@@ -1,0 +1,128 @@
+package charmtrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIWorkflow exercises the documented end-to-end workflow using
+// only the public API: generate a trace, serialize, reload, extract,
+// render, compute metrics.
+func TestPublicAPIWorkflow(t *testing.T) {
+	tr, err := JacobiTrace(DefaultJacobiConfig())
+	if err != nil {
+		t.Fatalf("JacobiTrace: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	tr2, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	s, err := Extract(tr2, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if out := RenderLogical(s); !strings.Contains(out, "jacobi") {
+		t.Fatal("logical render missing chare names")
+	}
+	r := ComputeMetrics(s)
+	if len(r.DifferentialDuration) != len(tr2.Events) {
+		t.Fatal("metrics not per-event")
+	}
+	if late := Lateness(s); len(late) != len(tr2.Events) {
+		t.Fatal("lateness not per-event")
+	}
+	if svg := RenderSVG(s); !strings.HasPrefix(svg, "<svg") {
+		t.Fatal("bad SVG")
+	}
+	if sum := PhaseSummary(s); !strings.Contains(sum, "phase") {
+		t.Fatal("bad phase summary")
+	}
+	clusters := ClusterExact(s)
+	if len(clusters) == 0 || len(clusters) >= len(tr2.Chares) {
+		t.Fatalf("clustering ineffective: %d clusters for %d chares", len(clusters), len(tr2.Chares))
+	}
+	if out := RenderLogicalClustered(s, clusters); !strings.Contains(out, "rows for") {
+		t.Fatal("clustered render missing header")
+	}
+	if coarse := ClusterByPhaseShape(s); len(coarse) > len(clusters) {
+		t.Fatal("phase-shape clustering finer than exact")
+	}
+}
+
+// TestBuilderAPI drives the public TraceBuilder.
+func TestBuilderAPI(t *testing.T) {
+	b := NewTraceBuilder(1)
+	e := b.AddEntry("work")
+	c := b.AddChare("solo", -1, -1, 0)
+	m := b.NewMsg()
+	b.BeginBlock(c, 0, e, 0)
+	b.Send(c, m, 1)
+	b.EndBlock(c, 2)
+	c2 := b.AddChare("peer", -1, -1, 0)
+	b.BeginBlock(c2, 0, e, 10)
+	b.Recv(c2, m, 10)
+	b.EndBlock(c2, 11)
+	tr, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	s, err := Extract(tr, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if s.NumPhases() != 1 {
+		t.Fatalf("phases = %d, want 1", s.NumPhases())
+	}
+}
+
+// TestAllGeneratorsProduceValidStructures smoke-tests every workload
+// generator through the public API.
+func TestAllGeneratorsProduceValidStructures(t *testing.T) {
+	small := func(mt MergeTreeConfig) MergeTreeConfig {
+		mt.Procs = 64
+		mt.GroupSize = 8
+		return mt
+	}
+	cases := []struct {
+		name string
+		gen  func() (*Trace, error)
+		opt  Options
+	}{
+		{"jacobi", func() (*Trace, error) { return JacobiTrace(DefaultJacobiConfig()) }, DefaultOptions()},
+		{"lulesh-charm", func() (*Trace, error) { return LuleshCharmTrace(DefaultLuleshConfig()) }, DefaultOptions()},
+		{"lulesh-mpi", func() (*Trace, error) { return LuleshMPITrace(DefaultLuleshConfig()) }, MessagePassingOptions()},
+		{"lassen-charm", func() (*Trace, error) { return LassenCharmTrace(DefaultLassenConfig()) }, DefaultOptions()},
+		{"lassen-charm-fine", func() (*Trace, error) { return LassenCharmTrace(FineLassenConfig()) }, DefaultOptions()},
+		{"lassen-mpi", func() (*Trace, error) { return LassenMPITrace(DefaultLassenConfig()) }, MessagePassingOptions()},
+		{"mergetree", func() (*Trace, error) { return MergeTreeTrace(small(DefaultMergeTreeConfig())) }, MessagePassingOptions()},
+		{"pdes", func() (*Trace, error) { return PDESTrace(DefaultPDESConfig()) }, DefaultOptions()},
+		{"nasbt", func() (*Trace, error) { return NASBTTrace(DefaultNASBTConfig()) }, MessagePassingOptions()},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			tr, err := c.gen()
+			if err != nil {
+				t.Fatalf("generate: %v", err)
+			}
+			s, err := Extract(tr, c.opt)
+			if err != nil {
+				t.Fatalf("Extract: %v", err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if s.NumPhases() == 0 {
+				t.Fatal("no phases recovered")
+			}
+		})
+	}
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"charmtrace/internal/core"
+	"charmtrace/internal/trace"
+)
+
+// must panics on error: experiment workloads are deterministic and any
+// failure is a bug worth crashing on.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// extract runs the algorithm and validates the result.
+func extract(tr *trace.Trace, opt core.Options) *core.Structure {
+	s := must(core.Extract(tr, opt))
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// phasesByOffset returns phase indices ordered by global offset.
+func phasesByOffset(s *core.Structure) []int32 {
+	order := make([]int32, len(s.Phases))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if s.Phases[order[i]].Offset != s.Phases[order[j]].Offset {
+			return s.Phases[order[i]].Offset < s.Phases[order[j]].Offset
+		}
+		return order[i] < order[j]
+	})
+	return order
+}
+
+// kindPattern renders the phase sequence as 'a' (application) and 'R'
+// (runtime) in offset order, collapsing runs of concurrent per-chare
+// phases (equal offsets) into one symbol with a multiplicity suffix.
+func kindPattern(s *core.Structure) string {
+	order := phasesByOffset(s)
+	var parts []string
+	for i := 0; i < len(order); {
+		j := i
+		for j < len(order) &&
+			s.Phases[order[j]].Offset == s.Phases[order[i]].Offset &&
+			s.Phases[order[j]].Runtime == s.Phases[order[i]].Runtime {
+			j++
+		}
+		sym := "a"
+		if s.Phases[order[i]].Runtime {
+			sym = "R"
+		}
+		if n := j - i; n > 1 {
+			sym = fmt.Sprintf("%s*%d", sym, n)
+		}
+		parts = append(parts, sym)
+		i = j
+	}
+	return strings.Join(parts, " ")
+}
+
+// paperVsMeasured prints the comparison rows every experiment ends with.
+func paperVsMeasured(paper, measured string) {
+	fmt.Printf("  paper:    %s\n", paper)
+	fmt.Printf("  measured: %s\n", measured)
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"fmt"
+
+	"charmtrace/internal/apps/jacobi"
+	"charmtrace/internal/core"
+	"charmtrace/internal/structdiff"
+)
+
+func init() {
+	register("inv1", "invariance: logical structure across seeds (the paper's central premise)", invSeeds)
+}
+
+func invSeeds(bool) {
+	base := extract(must(jacobi.Trace(jacobi.DefaultConfig())), core.DefaultOptions())
+	equivalent := 0
+	const seeds = 8
+	for seed := int64(2); seed < 2+seeds; seed++ {
+		cfg := jacobi.DefaultConfig()
+		cfg.Seed = seed
+		other := extract(must(jacobi.Trace(cfg)), core.DefaultOptions())
+		d := must(structdiff.Compare(base, other))
+		if d.Empty() {
+			equivalent++
+		} else {
+			fmt.Printf("  seed %d diverges:\n%s", seed, d)
+		}
+	}
+	fmt.Printf("  %d/%d alternative-seed runs recover an equivalent logical structure\n",
+		equivalent, seeds)
+	paperVsMeasured(
+		"logical structure reflects the developers' program, not the non-deterministic schedule: reordering shows a structure of dependencies unaffected by imbalance, network travel time and queuing policy (§3.2.1)",
+		fmt.Sprintf("%d/%d seeds — different jitter, same recovered structure (also holds under chare migration and scheduler priorities; see internal/sim tests)",
+			equivalent, seeds))
+}

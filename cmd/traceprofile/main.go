@@ -1,0 +1,63 @@
+// Command traceprofile prints a Projections-style aggregate profile of a
+// trace: time per entry method, busy/idle per processor, message volume.
+//
+// Usage:
+//
+//	traceprofile -in run.trace
+//	traceprofile -app lulesh
+//	traceprofile -app jacobi -from 1000 -to 20000   # window first
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"charmtrace/internal/cli"
+	"charmtrace/internal/profile"
+	"charmtrace/internal/trace"
+	"charmtrace/internal/tracefile"
+)
+
+func main() {
+	in := flag.String("in", "", "input trace file")
+	app := flag.String("app", "", "generate this workload instead of reading a file")
+	from := flag.Int64("from", -1, "window start (virtual ns; -1 = trace start)")
+	to := flag.Int64("to", -1, "window end (virtual ns; -1 = trace end)")
+	iters := flag.Int("iters", 0, "iteration override for -app")
+	scale := flag.Int("scale", 0, "size override for -app")
+	seed := flag.Int64("seed", 0, "seed override for -app")
+	flag.Parse()
+
+	var tr *trace.Trace
+	var err error
+	switch {
+	case *app != "":
+		tr, _, err = cli.Generate(*app, cli.Params{Iterations: *iters, Scale: *scale, Seed: *seed})
+	case *in != "":
+		tr, err = tracefile.ReadFile(*in)
+	default:
+		err = fmt.Errorf("need -in <file> or -app <workload>; workloads:\n%s", cli.Describe())
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceprofile:", err)
+		os.Exit(1)
+	}
+	if *from >= 0 || *to >= 0 {
+		lo, hi := tr.Span()
+		f, t := lo, hi+1
+		if *from >= 0 {
+			f = trace.Time(*from)
+		}
+		if *to >= 0 {
+			t = trace.Time(*to)
+		}
+		tr, err = trace.Window(tr, f, t)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "traceprofile:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("window [%d, %d): %d blocks, %d events\n\n", f, t, len(tr.Blocks), len(tr.Events))
+	}
+	fmt.Print(profile.Build(tr).String())
+}

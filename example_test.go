@@ -1,0 +1,89 @@
+package charmtrace_test
+
+import (
+	"fmt"
+
+	"charmtrace"
+)
+
+// The core workflow: simulate a workload, recover its logical structure,
+// and inspect the phases.
+func Example() {
+	cfg := charmtrace.DefaultJacobiConfig()
+	cfg.Iterations = 2
+	tr, err := charmtrace.JacobiTrace(cfg)
+	if err != nil {
+		panic(err)
+	}
+	s, err := charmtrace.Extract(tr, charmtrace.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d phases\n", s.NumPhases())
+	for i := range s.Phases {
+		kind := "application"
+		if s.Phases[i].Runtime {
+			kind = "runtime"
+		}
+		lo, hi := s.Phases[i].GlobalSpan()
+		fmt.Printf("phase %d: %s, steps %d..%d\n", i, kind, lo, hi)
+	}
+	// Output:
+	// 4 phases
+	// phase 0: application, steps 0..7
+	// phase 1: runtime, steps 8..26
+	// phase 2: application, steps 27..34
+	// phase 3: runtime, steps 35..53
+}
+
+// Building a trace by hand with the TraceBuilder: one chare sends a message
+// to another; the matching endpoints land in one phase, the receive one
+// step after the send.
+func ExampleNewTraceBuilder() {
+	b := charmtrace.NewTraceBuilder(2)
+	entry := b.AddEntry("work")
+	alice := b.AddChare("alice", -1, -1, 0)
+	bob := b.AddChare("bob", -1, -1, 1)
+
+	msg := b.NewMsg()
+	b.BeginBlock(alice, 0, entry, 0)
+	b.Send(alice, msg, 5)
+	b.EndBlock(alice, 10)
+	b.BeginBlock(bob, 1, entry, 100)
+	b.Recv(bob, msg, 100)
+	b.EndBlock(bob, 120)
+
+	tr, err := b.Finish()
+	if err != nil {
+		panic(err)
+	}
+	s, err := charmtrace.Extract(tr, charmtrace.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("phases: %d, send step %d, recv step %d\n",
+		s.NumPhases(), s.Step[0], s.Step[1])
+	// Output:
+	// phases: 1, send step 0, recv step 1
+}
+
+// Metrics ride on top of the structure: the injected slow chare carries the
+// maximum differential duration.
+func ExampleComputeMetrics() {
+	cfg := charmtrace.DefaultJacobiConfig()
+	cfg.SlowChare = 5
+	tr, err := charmtrace.JacobiTrace(cfg)
+	if err != nil {
+		panic(err)
+	}
+	s, err := charmtrace.Extract(tr, charmtrace.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	r := charmtrace.ComputeMetrics(s)
+	max, at := r.MaxDifferentialDuration()
+	fmt.Printf("max differential duration %d ns on %s\n",
+		max, tr.Chares[tr.Events[at].Chare].Name)
+	// Output:
+	// max differential duration 3500 ns on jacobi[5]
+}

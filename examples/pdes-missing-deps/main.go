@@ -1,0 +1,48 @@
+// pdes-missing-deps demonstrates the Section 7.1 limitation (Figure 24):
+// when a control dependency passes through the runtime without being
+// recorded — here, the PDES simulator chares' call to the completion
+// detector — nothing in the trace orders the two phases, so the recovered
+// structure places them over the same global steps. Recording the call (the
+// paper's tracing recommendation) sequences them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"charmtrace"
+)
+
+func structure(cfg charmtrace.PDESConfig) *charmtrace.Structure {
+	tr, err := charmtrace.PDESTrace(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := charmtrace.Extract(tr, charmtrace.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
+}
+
+func main() {
+	cfg := charmtrace.DefaultPDESConfig()
+
+	fmt.Println("== detector call NOT recorded (stock tracing) ==")
+	s := structure(cfg)
+	fmt.Print(charmtrace.PhaseSummary(s))
+	if pairs := s.ConcurrentPhases(); len(pairs) > 0 {
+		fmt.Printf("\nconcurrent phase pairs (overlapping global steps, unordered): %v\n", pairs)
+		fmt.Println("-> the completion-detector phase floats beside the simulation phase,")
+		fmt.Println("   exactly the Figure 24 behaviour: nothing structurally prevents the overlap.")
+	} else {
+		fmt.Println("\nno concurrent phases found (unexpected)")
+	}
+
+	fmt.Println("\n== detector call recorded (the paper's §7.1 tracing recommendation) ==")
+	cfg.TraceDetectorCall = true
+	s = structure(cfg)
+	fmt.Print(charmtrace.PhaseSummary(s))
+	fmt.Printf("\nconcurrent phase pairs: %v\n", s.ConcurrentPhases())
+	fmt.Println("-> with the dependency recorded, the detector follows the simulation.")
+}

@@ -1,0 +1,3 @@
+module charmtrace
+
+go 1.22

@@ -1,0 +1,140 @@
+// Package jacobi is the paper's running example: a Charm++ program
+// computing heat distribution via Jacobi iteration on a 2D domain
+// decomposed over a chare array. Each iteration every chare sends halo
+// exchanges to its four grid neighbours, computes once all halos arrive,
+// and contributes the residual to a Max reduction whose broadcast callback
+// starts the next iteration (Figures 8, 12, 14, 15).
+package jacobi
+
+import (
+	"math"
+
+	"charmtrace/internal/sim"
+	"charmtrace/internal/trace"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Grid is the chare grid edge: Grid*Grid chares.
+	Grid int
+	// NumPE is the processor count.
+	NumPE int
+	// Iterations is the number of Jacobi iterations.
+	Iterations int
+	// Compute is the base per-iteration compute time per chare.
+	Compute sim.Time
+	// SlowChare (if >= 0) multiplies one chare's compute by SlowFactor
+	// during iteration SlowIteration, the Figure 14/15 scenario.
+	SlowChare     int
+	SlowFactor    int
+	SlowIteration int
+	// Seed feeds the network jitter.
+	Seed int64
+	// TraceReductions toggles the §5 tracing additions.
+	TraceReductions bool
+}
+
+// DefaultConfig is the paper's 16-chare (4x4) run on 8 processors.
+func DefaultConfig() Config {
+	return Config{
+		Grid: 4, NumPE: 8, Iterations: 4, Compute: 500,
+		SlowChare: -1, SlowFactor: 8, SlowIteration: 1,
+		Seed: 1, TraceReductions: true,
+	}
+}
+
+// state is per-chare simulation state.
+type state struct {
+	iter    int
+	ghosts  int
+	residue float64
+}
+
+// Trace runs the simulation and returns its event trace.
+func Trace(cfg Config) (*trace.Trace, error) {
+	n := cfg.Grid * cfg.Grid
+	simCfg := sim.DefaultConfig(cfg.NumPE)
+	simCfg.Seed = cfg.Seed
+	simCfg.TraceReductions = cfg.TraceReductions
+	rt := sim.New(simCfg)
+
+	arr := rt.NewArray("jacobi", n, nil, func(i int) any { return &state{} })
+	neighbors := func(i int) []int {
+		x, y := i%cfg.Grid, i/cfg.Grid
+		var out []int
+		if x > 0 {
+			out = append(out, i-1)
+		}
+		if x < cfg.Grid-1 {
+			out = append(out, i+1)
+		}
+		if y > 0 {
+			out = append(out, i-cfg.Grid)
+		}
+		if y < cfg.Grid-1 {
+			out = append(out, i+cfg.Grid)
+		}
+		return out
+	}
+
+	var ghost, resume sim.EntryRef
+	var red *sim.Reduction
+
+	sendHalos := func(ctx *sim.Ctx) {
+		for _, nb := range neighbors(ctx.Index()) {
+			ctx.Send(arr.At(nb), ghost, ctx.Index())
+		}
+	}
+	computeTime := func(ctx *sim.Ctx, st *state) sim.Time {
+		d := cfg.Compute
+		if ctx.Index() == cfg.SlowChare && st.iter == cfg.SlowIteration {
+			d *= sim.Time(cfg.SlowFactor)
+		}
+		return d
+	}
+
+	// the SDAG iteration body that sends halo exchanges.
+	begin := arr.RegisterSDAG("serial_0", 0, false, func(ctx *sim.Ctx, m sim.Message) {
+		ctx.Compute(20)
+		sendHalos(ctx)
+	})
+	// the when-clause serial receiving ghosts; computes and contributes
+	// once all neighbours have arrived.
+	ghost = arr.RegisterSDAG("ghost", 2, true, func(ctx *sim.Ctx, m sim.Message) {
+		st := ctx.State().(*state)
+		st.ghosts++
+		if st.ghosts < len(neighbors(ctx.Index())) {
+			ctx.Compute(5)
+			return
+		}
+		st.ghosts = 0
+		ctx.Compute(computeTime(ctx, st))
+		st.residue = math.Exp2(-float64(st.iter))
+		ctx.Contribute(red, st.residue)
+	})
+	// the serial triggered by the reduction broadcast, restarting the iteration.
+	resume = arr.RegisterSDAG("resume", 4, true, func(ctx *sim.Ctx, m sim.Message) {
+		st := ctx.State().(*state)
+		st.iter++
+		if st.iter >= cfg.Iterations {
+			return
+		}
+		ctx.Compute(20)
+		sendHalos(ctx)
+	})
+	red = rt.NewReduction(arr, sim.Max, sim.BroadcastCallback(resume))
+
+	for i := 0; i < n; i++ {
+		rt.Spawn(arr.At(i), begin, nil)
+	}
+	return rt.Run()
+}
+
+// MustTrace is Trace that panics on error.
+func MustTrace(cfg Config) *trace.Trace {
+	t, err := Trace(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

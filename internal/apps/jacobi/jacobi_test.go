@@ -1,0 +1,149 @@
+package jacobi
+
+import (
+	"testing"
+
+	"charmtrace/internal/core"
+	"charmtrace/internal/metrics"
+	"charmtrace/internal/trace"
+)
+
+func TestTraceShape(t *testing.T) {
+	cfg := DefaultConfig()
+	tr := MustTrace(cfg)
+	if got := len(tr.ApplicationChares()); got != 16 {
+		t.Fatalf("app chares = %d, want 16", got)
+	}
+	// Every iteration: each inner chare sends 4 halos; boundary fewer.
+	// 4x4 grid: total neighbour links = 2*4*3 = 24 directed 48 per iter.
+	wantHalo := 48 * cfg.Iterations
+	halo := 0
+	for _, ev := range tr.Events {
+		if ev.Kind == trace.Send && !tr.IsRuntimeChare(ev.Chare) {
+			for _, r := range tr.RecvsOf(ev.Msg) {
+				if !tr.IsRuntimeChare(tr.Events[r].Chare) && tr.Events[r].Chare != ev.Chare {
+					halo++
+				}
+			}
+		}
+	}
+	if halo != wantHalo {
+		t.Fatalf("halo messages = %d, want %d", halo, wantHalo)
+	}
+}
+
+func TestStructureAlternatesAppAndRuntime(t *testing.T) {
+	tr := MustTrace(DefaultConfig())
+	s, err := core.Extract(tr, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Figure 8: an alternating pattern of application and runtime phases.
+	byOffset := make([]int32, len(s.Phases))
+	for i := range byOffset {
+		byOffset[i] = int32(i)
+	}
+	for i := 1; i < len(byOffset); i++ {
+		for j := i; j > 0 && s.Phases[byOffset[j]].Offset < s.Phases[byOffset[j-1]].Offset; j-- {
+			byOffset[j], byOffset[j-1] = byOffset[j-1], byOffset[j]
+		}
+	}
+	var kinds []bool
+	for _, p := range byOffset {
+		kinds = append(kinds, s.Phases[p].Runtime)
+	}
+	for i := 0; i+1 < len(kinds); i++ {
+		if kinds[i] == kinds[i+1] {
+			t.Fatalf("phases do not alternate app/runtime: %v", kinds)
+		}
+	}
+	// One app phase + one runtime phase per iteration.
+	if got := len(kinds); got != 2*DefaultConfig().Iterations {
+		t.Fatalf("phases = %d, want %d", got, 2*DefaultConfig().Iterations)
+	}
+}
+
+func TestSlowChareShowsInDifferentialDuration(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SlowChare = 5
+	tr := MustTrace(cfg)
+	s, err := core.Extract(tr, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	r := metrics.Compute(s)
+	maxD, at := r.MaxDifferentialDuration()
+	if maxD < trace.Time(cfg.Compute)*trace.Time(cfg.SlowFactor-2) {
+		t.Fatalf("max differential %d too small", maxD)
+	}
+	slow := trace.ChareID(-1)
+	for _, c := range tr.Chares {
+		if c.Index == cfg.SlowChare && !c.Runtime {
+			slow = c.ID
+		}
+	}
+	if tr.Events[at].Chare != slow {
+		t.Fatalf("max differential on chare %d, want slow chare %d", tr.Events[at].Chare, slow)
+	}
+}
+
+func TestSlowChareRaisesIterationImbalance(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SlowChare = 5
+	cfg.SlowIteration = 1
+	tr := MustTrace(cfg)
+	s, err := core.Extract(tr, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	r := metrics.Compute(s)
+	// Figure 14: the phase containing the long event shows the greatest
+	// imbalance. The long compute lands in the sub-block of the contribute
+	// send (Figure 13's division rules), so locate that event first.
+	_, slowEvent := r.MaxDifferentialDuration()
+	slowPhase := s.PhaseOf[slowEvent]
+	for pi := range s.Phases {
+		if int32(pi) != slowPhase && r.PhaseImbalance[pi] > r.PhaseImbalance[slowPhase] {
+			t.Fatalf("phase %d imbalance %d exceeds slow phase %d imbalance %d",
+				pi, r.PhaseImbalance[pi], slowPhase, r.PhaseImbalance[slowPhase])
+		}
+	}
+	slowDur := trace.Time(cfg.Compute) * trace.Time(cfg.SlowFactor-1)
+	if r.PhaseImbalance[slowPhase] < slowDur/2 {
+		t.Fatalf("peak imbalance %d below expected %d", r.PhaseImbalance[slowPhase], slowDur/2)
+	}
+}
+
+func TestIdleExperiencedNonZero(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SlowChare = 0 // corner chare slow: others idle waiting on reduction
+	tr := MustTrace(cfg)
+	s, err := core.Extract(tr, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	r := metrics.Compute(s)
+	if r.TotalIdleExperienced() == 0 {
+		t.Fatal("no idle experienced despite slow chare gating the reduction")
+	}
+}
+
+func TestWithoutReductionTracingStillExtracts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TraceReductions = false
+	tr := MustTrace(cfg)
+	s, err := core.Extract(tr, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	with := MustTrace(DefaultConfig())
+	if len(tr.Events) >= len(with.Events) {
+		t.Fatal("§5 tracing should record strictly more events")
+	}
+}

@@ -1,0 +1,226 @@
+// Package lassen is a communication-skeleton proxy of the LASSEN wavefront
+// propagation mini-app used in Section 6.2. Space is a regular Cartesian
+// grid of cells decomposed over sub-domains; a wavefront expands from a
+// corner source one cell-ring per iteration, and each sub-domain's compute
+// time is proportional to the number of its cells the front currently
+// crosses. Early iterations therefore concentrate work in one sub-domain
+// (Figure 21); as the front grows, more sub-domains share it (Figure 23),
+// and a finer decomposition splits the front into smaller pieces whose peak
+// differential duration drops proportionally (Figure 22).
+//
+// Per iteration the Charm++ variant runs: a point-to-point phase to grid
+// neighbours (whose message creation order alternates by iteration parity,
+// as the paper observed), a short two-step control phase in which every
+// chare invokes itself (the control passes through unrecorded SDAG
+// machinery, so the self-invocation appears as a fresh source partition),
+// and an allreduce of the remaining front size. The MPI variant runs the
+// exchange plus the allreduce.
+package lassen
+
+import (
+	"charmtrace/internal/mpisim"
+	"charmtrace/internal/sim"
+	"charmtrace/internal/trace"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Cells is the edge of the global cell grid (Cells x Cells domain).
+	Cells int
+	// GridX and GridY are the sub-domain grid dimensions: GridX*GridY
+	// chares (or ranks). The paper's runs decompose the same domain into 8
+	// (4x2) and 64 (8x8) pieces.
+	GridX, GridY int
+	// NumPE is the processor count (Charm++ variant).
+	NumPE int
+	// Iterations is the number of front-advance steps.
+	Iterations int
+	// CellCost is the compute time per active cell.
+	CellCost sim.Time
+	// BaseCost is the fixed per-iteration compute time.
+	BaseCost sim.Time
+	// Seed feeds the network jitter.
+	Seed int64
+	// Scatter places chare (x, y) on PE (x+y)%NumPE instead of the default
+	// block mapping. Overdecomposition only spreads the wavefront's work if
+	// the placement interleaves the pieces along both the row and column
+	// segments of the front (the effect Charm++ load balancing achieves);
+	// the 64-chare configuration uses it.
+	Scatter bool
+}
+
+// DefaultConfig is the paper's 8-processor setup with an 8-chare (4x2)
+// decomposition; FineConfig is the 64-chare one.
+func DefaultConfig() Config {
+	return Config{
+		Cells: 32, GridX: 4, GridY: 2, NumPE: 8, Iterations: 6,
+		CellCost: 40, BaseCost: 100, Seed: 1,
+	}
+}
+
+// FineConfig is the 64-chare (8x8) decomposition of the same domain.
+func FineConfig() Config {
+	cfg := DefaultConfig()
+	cfg.GridX, cfg.GridY = 8, 8
+	cfg.Scatter = true
+	return cfg
+}
+
+// activeCells counts the cells of a sub-domain crossed by the front ring
+// at radius r (Chebyshev ring: cells with max(|x|,|y|) == r from the origin
+// corner).
+func activeCells(cfg Config, sub, r int) int {
+	sideX, sideY := cfg.Cells/cfg.GridX, cfg.Cells/cfg.GridY
+	sx, sy := (sub%cfg.GridX)*sideX, (sub/cfg.GridX)*sideY
+	count := 0
+	for y := sy; y < sy+sideY; y++ {
+		for x := sx; x < sx+sideX; x++ {
+			cheb := x
+			if y > cheb {
+				cheb = y
+			}
+			if cheb == r {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// gridNeighbors returns the 4-connected neighbours of sub-domain i, in an
+// order alternating with iteration parity — the paper observed LASSEN's
+// point-to-point phase structure alternating because the message-creation
+// data structures alternate.
+func gridNeighbors(i int, cfg Config, iter int) []int {
+	gx, gy := cfg.GridX, cfg.GridY
+	x, y := i%gx, i/gx
+	var out []int
+	add := func(nx, ny int) {
+		if nx >= 0 && nx < gx && ny >= 0 && ny < gy {
+			out = append(out, ny*gx+nx)
+		}
+	}
+	if iter%2 == 0 {
+		add(x+1, y)
+		add(x, y+1)
+		add(x-1, y)
+		add(x, y-1)
+	} else {
+		add(x, y-1)
+		add(x-1, y)
+		add(x, y+1)
+		add(x+1, y)
+	}
+	return out
+}
+
+// state is per-chare simulation state for the Charm++ variant.
+type state struct {
+	iter   int
+	fronts int
+}
+
+// CharmTrace runs the Charm++ variant.
+func CharmTrace(cfg Config) (*trace.Trace, error) {
+	n := cfg.GridX * cfg.GridY
+	simCfg := sim.DefaultConfig(cfg.NumPE)
+	simCfg.Seed = cfg.Seed
+	rt := sim.New(simCfg)
+	var placement func(i int) int
+	if cfg.Scatter {
+		placement = func(i int) int { return (i%cfg.GridX + i/cfg.GridX) % cfg.NumPE }
+	}
+	arr := rt.NewArray("lassen", n, placement, func(i int) any { return &state{} })
+
+	var front, selfCtl, doneCtl, resume sim.EntryRef
+	var red *sim.Reduction
+
+	compute := func(ctx *sim.Ctx, st *state) {
+		ctx.Compute(cfg.BaseCost + cfg.CellCost*sim.Time(activeCells(cfg, ctx.Index(), st.iter)))
+	}
+	sendFront := func(ctx *sim.Ctx, st *state) {
+		compute(ctx, st)
+		for _, nb := range gridNeighbors(ctx.Index(), cfg, st.iter) {
+			ctx.Send(arr.At(nb), front, nil)
+		}
+	}
+
+	begin := arr.RegisterSDAG("advance", 0, false, func(ctx *sim.Ctx, m sim.Message) {
+		sendFront(ctx, ctx.State().(*state))
+	})
+	front = arr.RegisterSDAG("recvFront", 2, true, func(ctx *sim.Ctx, m sim.Message) {
+		st := ctx.State().(*state)
+		st.fronts++
+		ctx.Compute(10)
+		if st.fronts == len(gridNeighbors(ctx.Index(), cfg, st.iter)) {
+			st.fronts = 0
+			// SDAG control (unrecorded) schedules the control serial.
+			ctx.SendUntraced(arr.At(ctx.Index()), selfCtl, nil)
+		}
+	})
+	// The short control phase: each chare invokes itself with a pure
+	// control message to move the computation forward.
+	selfCtl = arr.RegisterSDAG("control", 4, false, func(ctx *sim.Ctx, m sim.Message) {
+		ctx.Compute(20)
+		ctx.Send(arr.At(ctx.Index()), doneCtl, nil)
+	})
+	doneCtl = arr.RegisterSDAG("controlDone", 5, true, func(ctx *sim.Ctx, m sim.Message) {
+		st := ctx.State().(*state)
+		ctx.Compute(20)
+		remaining := float64(cfg.Iterations - st.iter)
+		ctx.Contribute(red, remaining)
+	})
+	resume = arr.RegisterSDAG("resume", 7, true, func(ctx *sim.Ctx, m sim.Message) {
+		st := ctx.State().(*state)
+		st.iter++
+		if st.iter >= cfg.Iterations {
+			return
+		}
+		sendFront(ctx, st)
+	})
+	red = rt.NewReduction(arr, sim.Max, sim.BroadcastCallback(resume))
+
+	for i := 0; i < n; i++ {
+		rt.Spawn(arr.At(i), begin, nil)
+	}
+	return rt.Run()
+}
+
+// MustCharmTrace is CharmTrace that panics on error.
+func MustCharmTrace(cfg Config) *trace.Trace {
+	t, err := CharmTrace(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// MPITrace runs the MPI variant: one rank per sub-domain, a neighbour
+// exchange plus allreduce per iteration (Figures 20a and 20c).
+func MPITrace(cfg Config) (*trace.Trace, error) {
+	n := cfg.GridX * cfg.GridY
+	mpiCfg := mpisim.DefaultConfig(n)
+	mpiCfg.Seed = cfg.Seed
+	return mpisim.Run(mpiCfg, func(r *mpisim.Rank) {
+		for it := 0; it < cfg.Iterations; it++ {
+			r.Compute(cfg.BaseCost + cfg.CellCost*sim.Time(activeCells(cfg, r.ID(), it)))
+			nbs := gridNeighbors(r.ID(), cfg, it)
+			for _, nb := range nbs {
+				r.Send(nb, it, nil)
+			}
+			for _, nb := range nbs {
+				r.Recv(nb, it)
+			}
+			r.Allreduce(float64(cfg.Iterations-it), mpisim.Max)
+		}
+	})
+}
+
+// MustMPITrace is MPITrace that panics on error.
+func MustMPITrace(cfg Config) *trace.Trace {
+	t, err := MPITrace(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

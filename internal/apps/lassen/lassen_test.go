@@ -1,0 +1,229 @@
+package lassen
+
+import (
+	"testing"
+
+	"charmtrace/internal/core"
+	"charmtrace/internal/metrics"
+	"charmtrace/internal/trace"
+)
+
+func TestActiveCellsWavefront(t *testing.T) {
+	cfg := DefaultConfig()
+	// Iteration 0: only the origin sub-domain holds the single front cell.
+	total := 0
+	for sub := 0; sub < cfg.GridX*cfg.GridY; sub++ {
+		n := activeCells(cfg, sub, 0)
+		if sub != 0 && n != 0 {
+			t.Fatalf("sub %d active at r=0: %d", sub, n)
+		}
+		total += n
+	}
+	if total != 1 {
+		t.Fatalf("total active at r=0 = %d, want 1", total)
+	}
+	// The ring at radius r holds 2r+1 cells inside the domain.
+	for r := 1; r < cfg.Cells; r++ {
+		total = 0
+		for sub := 0; sub < cfg.GridX*cfg.GridY; sub++ {
+			total += activeCells(cfg, sub, r)
+		}
+		if total != 2*r+1 {
+			t.Fatalf("ring %d cells = %d, want %d", r, total, 2*r+1)
+		}
+	}
+}
+
+func TestCharmStructureRepeatingPattern(t *testing.T) {
+	cfg := DefaultConfig()
+	tr := MustCharmTrace(cfg)
+	s, err := core.Extract(tr, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Figure 20(b/d): per iteration a point-to-point phase, short two-step
+	// control phases in which each chare invokes itself (one per chare,
+	// concurrent), and the runtime reduction phase.
+	n := cfg.GridX * cfg.GridY
+	want := (2 + n) * cfg.Iterations
+	if s.NumPhases() != want {
+		t.Fatalf("phases = %d, want %d (p2p + %d control + runtime per iteration)",
+			s.NumPhases(), want, n)
+	}
+	// Control phases: exactly two local steps, all messages self-directed.
+	ctl := 0
+	for pi := range s.Phases {
+		p := &s.Phases[pi]
+		if p.Runtime || len(p.Events) == 0 {
+			continue
+		}
+		selfOnly := true
+		for _, e := range p.Events {
+			ev := &tr.Events[e]
+			if ev.Kind != trace.Send {
+				continue
+			}
+			for _, r := range tr.RecvsOf(ev.Msg) {
+				if tr.Events[r].Chare != ev.Chare {
+					selfOnly = false
+				}
+			}
+		}
+		if selfOnly {
+			ctl++
+			if p.MaxLocalStep != 1 {
+				t.Fatalf("control phase %d spans %d steps, want 2", pi, p.MaxLocalStep+1)
+			}
+		}
+	}
+	if ctl != n*cfg.Iterations {
+		t.Fatalf("control phases = %d, want %d", ctl, n*cfg.Iterations)
+	}
+}
+
+func TestMPIStructure(t *testing.T) {
+	cfg := DefaultConfig()
+	tr := MustMPITrace(cfg)
+	s, err := core.Extract(tr, core.MessagePassingOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Figure 20(a/c): point-to-point phase + allreduce per iteration, no
+	// control phase.
+	if s.NumPhases() != 2*cfg.Iterations {
+		t.Fatalf("phases = %d, want %d", s.NumPhases(), 2*cfg.Iterations)
+	}
+}
+
+// TestEarlyIterationsConcentrateDifferentialDuration: Figure 21 — in early
+// iterations the same chare (the origin sub-domain) carries the high
+// differential duration in every iteration.
+func TestEarlyIterationsConcentrateDifferentialDuration(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Iterations = 4 // front stays within the origin sub-domain (side 8)
+	tr := MustCharmTrace(cfg)
+	s, err := core.Extract(tr, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	r := metrics.Compute(s)
+	origin := trace.ChareID(-1)
+	for _, c := range tr.Chares {
+		if !c.Runtime && c.Index == 0 {
+			origin = c.ID
+		}
+	}
+	// Figure 21: in every point-to-point phase the same chare carries the
+	// highest differential duration — the repeated pattern the logical
+	// structure makes easy to spot.
+	checked := 0
+	for pi := range s.Phases {
+		p := &s.Phases[pi]
+		if p.Runtime || len(p.Chares) < 2 {
+			continue // skip runtime and per-chare control phases
+		}
+		var bestE trace.EventID = trace.NoEvent
+		for _, e := range p.Events {
+			if bestE == trace.NoEvent || r.DifferentialDuration[e] > r.DifferentialDuration[bestE] {
+				bestE = e
+			}
+		}
+		if bestE == trace.NoEvent || r.DifferentialDuration[bestE] == 0 {
+			continue
+		}
+		checked++
+		if tr.Events[bestE].Chare != origin {
+			t.Fatalf("phase %d max differential on chare %d, want origin %d",
+				pi, tr.Events[bestE].Chare, origin)
+		}
+	}
+	if checked < cfg.Iterations-1 {
+		t.Fatalf("only %d phases carried differential signal, want >= %d",
+			checked, cfg.Iterations-1)
+	}
+}
+
+// TestFrontSpreadsAcrossChares: Figure 23 — later iterations spread the
+// high differential duration across more chares.
+func TestFrontSpreadsAcrossChares(t *testing.T) {
+	cfg := FineConfig()
+	cfg.Iterations = 16
+	tr := MustCharmTrace(cfg)
+	s, err := core.Extract(tr, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	r := metrics.Compute(s)
+	// Count distinct chares with non-trivial differential duration in the
+	// first third vs the last third of global steps.
+	maxStep := s.MaxStep()
+	early := map[trace.ChareID]bool{}
+	late := map[trace.ChareID]bool{}
+	threshold := trace.Time(2 * cfg.CellCost)
+	for e := range tr.Events {
+		if r.DifferentialDuration[e] < threshold {
+			continue
+		}
+		switch {
+		case s.Step[e] < maxStep/3:
+			early[tr.Events[e].Chare] = true
+		case s.Step[e] > 2*maxStep/3:
+			late[tr.Events[e].Chare] = true
+		}
+	}
+	if len(late) <= len(early) {
+		t.Fatalf("front did not spread: early chares %d, late chares %d", len(early), len(late))
+	}
+}
+
+// TestFinerDecompositionReducesPeakDifferential: Figure 22 — the 64-chare
+// run's maximum differential duration is roughly a quarter of the 8-chare
+// run's, and total imbalance less than half (Section 6.2).
+func TestFinerDecompositionReducesPeakDifferential(t *testing.T) {
+	coarse := DefaultConfig()
+	coarse.Iterations = 16
+	fine := FineConfig()
+	fine.Iterations = 16
+
+	sc, err := core.Extract(MustCharmTrace(coarse), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := core.Extract(MustCharmTrace(fine), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, rf := metrics.Compute(sc), metrics.Compute(sf)
+	maxC, _ := rc.MaxDifferentialDuration()
+	maxF, _ := rf.MaxDifferentialDuration()
+	ratio := float64(maxC) / float64(maxF)
+	if ratio < 2.5 || ratio > 6 {
+		t.Fatalf("coarse/fine max differential ratio = %.2f (%d vs %d), want ~4",
+			ratio, maxC, maxF)
+	}
+	// Work is spread more equitably in the 64-chare run: its worst phase
+	// imbalance is less than half the 8-chare run's, and the overall
+	// imbalance is strictly lower.
+	peak := func(r *metrics.Report) trace.Time {
+		var best trace.Time
+		for _, d := range r.PhaseImbalance {
+			if d > best {
+				best = d
+			}
+		}
+		return best
+	}
+	if 2*peak(rf) >= peak(rc) {
+		t.Fatalf("fine peak imbalance %d not less than half of coarse %d", peak(rf), peak(rc))
+	}
+	if rf.TotalImbalance() >= rc.TotalImbalance() {
+		t.Fatalf("fine total imbalance %d not below coarse %d",
+			rf.TotalImbalance(), rc.TotalImbalance())
+	}
+}

@@ -1,0 +1,118 @@
+package lulesh
+
+import (
+	"testing"
+
+	"charmtrace/internal/core"
+)
+
+// phaseKindsByOffset returns each phase's runtime flag ordered by offset.
+func phaseKindsByOffset(s *core.Structure) ([]bool, []int32) {
+	order := make([]int32, len(s.Phases))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && s.Phases[order[j]].Offset < s.Phases[order[j-1]].Offset; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	kinds := make([]bool, len(order))
+	for i, p := range order {
+		kinds[i] = s.Phases[p].Runtime
+	}
+	return kinds, order
+}
+
+func TestCharmStructure(t *testing.T) {
+	cfg := DefaultConfig()
+	tr := MustCharmTrace(cfg)
+	s, err := core.Extract(tr, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	kinds, _ := phaseKindsByOffset(s)
+	// Figure 16(b): setup (app) + setup reduction (runtime), then per
+	// iteration two app phases + one runtime phase.
+	want := 2 + 3*cfg.Iterations
+	if len(kinds) != want {
+		t.Fatalf("phases = %d, want %d (setup+reduction, then 2 app + allreduce per iteration); kinds=%v",
+			len(kinds), want, kinds)
+	}
+	if kinds[0] || !kinds[1] {
+		t.Fatalf("setup pattern wrong: %v", kinds[:2])
+	}
+	for it := 0; it < cfg.Iterations; it++ {
+		base := 2 + 3*it
+		if kinds[base] || kinds[base+1] || !kinds[base+2] {
+			t.Fatalf("iteration %d pattern = %v, want [app app runtime]", it, kinds[base:base+3])
+		}
+	}
+}
+
+func TestCharmWithoutInferenceSplitsPhases(t *testing.T) {
+	cfg := DefaultConfig()
+	tr := MustCharmTrace(cfg)
+	with, err := core.Extract(tr, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	opt := core.DefaultOptions()
+	opt.InferDependencies = false
+	without, err := core.Extract(tr, opt)
+	if err != nil {
+		t.Fatalf("Extract (no inference): %v", err)
+	}
+	if err := without.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Figure 17: without the §3.1.4 inference and merging, phases split
+	// into several smaller ones forced in sequence.
+	if without.NumPhases() <= with.NumPhases() {
+		t.Fatalf("phases without inference = %d, not more than with = %d",
+			without.NumPhases(), with.NumPhases())
+	}
+}
+
+func TestMPIStructure(t *testing.T) {
+	cfg := DefaultConfig()
+	tr := MustMPITrace(cfg)
+	s, err := core.Extract(tr, core.MessagePassingOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Figure 16(a): setup + setup allreduce, then per iteration three p2p
+	// phases + one allreduce phase.
+	want := 2 + 4*cfg.Iterations
+	if s.NumPhases() != want {
+		t.Fatalf("phases = %d, want %d", s.NumPhases(), want)
+	}
+}
+
+func TestCharmAndMPIPhasePatternsCorrespond(t *testing.T) {
+	cfg := DefaultConfig()
+	charm := MustCharmTrace(cfg)
+	mpi := MustMPITrace(cfg)
+	sc, err := core.Extract(charm, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := core.Extract(mpi, core.MessagePassingOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per iteration: Charm++ has 2 p2p phases, MPI has 3; both end with a
+	// collective. Charm++ therefore has exactly one fewer phase per
+	// iteration.
+	diff := sm.NumPhases() - sc.NumPhases()
+	if diff != cfg.Iterations {
+		t.Fatalf("MPI has %d phases, Charm++ %d; difference %d, want %d (one per iteration)",
+			sm.NumPhases(), sc.NumPhases(), diff, cfg.Iterations)
+	}
+}

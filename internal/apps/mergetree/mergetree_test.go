@@ -1,0 +1,138 @@
+package mergetree
+
+import (
+	"testing"
+
+	"charmtrace/internal/core"
+	"charmtrace/internal/trace"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Procs = 64
+	cfg.GroupSize = 8
+	return cfg
+}
+
+func TestTraceShape(t *testing.T) {
+	cfg := testConfig()
+	tr := MustTrace(cfg)
+	// Per rank: 1 ring send + 1 cross send = 128; up-sweep: groups-1 = 7.
+	if got := tr.CountKind(trace.Send); got != 135 {
+		t.Fatalf("sends = %d, want 135", got)
+	}
+	for _, ev := range tr.Events {
+		if ev.Kind != trace.Recv {
+			continue
+		}
+		send := tr.SendOf(ev.Msg)
+		if tr.Events[send].Time >= ev.Time {
+			t.Fatal("recv not after send")
+		}
+	}
+}
+
+func TestUpsweepOff(t *testing.T) {
+	cfg := testConfig()
+	cfg.Upsweep = false
+	tr := MustTrace(cfg)
+	if got := tr.CountKind(trace.Send); got != 128 {
+		t.Fatalf("sends = %d, want 128", got)
+	}
+}
+
+// TestImbalanceCausesOutOfOrderReceives verifies the Figure 10 premise:
+// some process receives its cross-group (phase 2) message physically
+// before its ring (phase 1) message.
+func TestImbalanceCausesOutOfOrderReceives(t *testing.T) {
+	tr := MustTrace(testConfig())
+	crossed := false
+	for c := range tr.Chares {
+		var ringAt, crossAt trace.Time = -1, -1
+		for e := range tr.Events {
+			ev := &tr.Events[e]
+			if ev.Chare != trace.ChareID(c) || ev.Kind != trace.Recv {
+				continue
+			}
+			// Identify the message's phase by its sender relationship.
+			send := tr.Events[tr.SendOf(ev.Msg)]
+			sameGroup := int(tr.Chares[send.Chare].Index)/8 == int(tr.Chares[ev.Chare].Index)/8
+			if sameGroup && ringAt < 0 {
+				ringAt = ev.Time
+			}
+			if !sameGroup && crossAt < 0 {
+				crossAt = ev.Time
+			}
+		}
+		if ringAt >= 0 && crossAt >= 0 && crossAt < ringAt {
+			crossed = true
+		}
+	}
+	if !crossed {
+		t.Fatal("no process received phase-2 before phase-1; imbalance too weak for the Figure 10 scenario")
+	}
+}
+
+// ringStepSum measures how ragged the early steps are: the total global
+// step mass of the phase-1 (ring) receives. Recorded order pushes ring
+// receives behind the cross receives that physically overtook them,
+// inflating the sum.
+func ringStepSum(t *testing.T, s *core.Structure) int64 {
+	t.Helper()
+	tr := s.Trace
+	var sum int64
+	for e := range tr.Events {
+		ev := &tr.Events[e]
+		if ev.Kind != trace.Recv {
+			continue
+		}
+		send := tr.Events[tr.SendOf(ev.Msg)]
+		if int(tr.Chares[send.Chare].Index)/8 == int(tr.Chares[ev.Chare].Index)/8 {
+			sum += int64(s.Step[e])
+		}
+	}
+	return sum
+}
+
+// TestReorderingRestoresEarlyParallelStructure is the Figure 10 claim:
+// recorded order forces some phase-1 receives far right; reordering pulls
+// them back among their peers.
+func TestReorderingRestoresEarlyParallelStructure(t *testing.T) {
+	tr := MustTrace(testConfig())
+
+	reorder, err := core.Extract(tr, core.MessagePassingOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if err := reorder.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	opt := core.MessagePassingOptions()
+	opt.Reorder = false
+	recorded, err := core.Extract(tr, opt)
+	if err != nil {
+		t.Fatalf("Extract (recorded): %v", err)
+	}
+	if err := recorded.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, rec := ringStepSum(t, reorder), ringStepSum(t, recorded)
+	if re >= rec {
+		t.Fatalf("ring-receive step mass: reordered %d, recorded %d — reordering should compact early steps",
+			re, rec)
+	}
+}
+
+func TestDeterministicImbalance(t *testing.T) {
+	a := MustTrace(testConfig())
+	b := MustTrace(testConfig())
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("event counts differ")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Package nasbt is a skeleton of the NAS BT multi-partition benchmark used
+// for the paper's motivating Figure 1: a square process grid performs
+// pipelined line sweeps along x then y, followed by a cell update exchange,
+// per iteration. The sweep pipelines of successive iterations overlap in
+// physical time, which makes the raw timeline hard to read; the logical
+// structure separates the interleaved phases.
+package nasbt
+
+import (
+	"charmtrace/internal/mpisim"
+	"charmtrace/internal/trace"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Grid is the process grid edge: Grid*Grid ranks (the paper's Figure 1
+	// trace used 9 processes, a 3x3 grid).
+	Grid int
+	// Iterations is the number of ADI iterations.
+	Iterations int
+	// Compute is the per-cell solve time.
+	Compute mpisim.Time
+	// Seed feeds the network jitter.
+	Seed int64
+}
+
+// DefaultConfig is the 9-process configuration of Figure 1.
+func DefaultConfig() Config {
+	return Config{Grid: 3, Iterations: 3, Compute: 300, Seed: 1}
+}
+
+// Trace runs the benchmark and returns its event trace.
+func Trace(cfg Config) (*trace.Trace, error) {
+	g := cfg.Grid
+	mpiCfg := mpisim.DefaultConfig(g * g)
+	mpiCfg.Seed = cfg.Seed
+	return mpisim.Run(mpiCfg, func(r *mpisim.Rank) {
+		x, y := r.ID()%g, r.ID()/g
+		for it := 0; it < cfg.Iterations; it++ {
+			base := it * 4
+			// X sweep: a pipeline along each row.
+			if x > 0 {
+				r.Recv(r.ID()-1, base)
+			}
+			r.Compute(cfg.Compute)
+			if x < g-1 {
+				r.Send(r.ID()+1, base, nil)
+			}
+			// Y sweep: a pipeline along each column.
+			if y > 0 {
+				r.Recv(r.ID()-g, base+1)
+			}
+			r.Compute(cfg.Compute)
+			if y < g-1 {
+				r.Send(r.ID()+g, base+1, nil)
+			}
+			// Cell update: exchange with the 4-connected neighbours.
+			var nbs []int
+			if x > 0 {
+				nbs = append(nbs, r.ID()-1)
+			}
+			if x < g-1 {
+				nbs = append(nbs, r.ID()+1)
+			}
+			if y > 0 {
+				nbs = append(nbs, r.ID()-g)
+			}
+			if y < g-1 {
+				nbs = append(nbs, r.ID()+g)
+			}
+			for _, nb := range nbs {
+				r.Send(nb, base+2, nil)
+			}
+			r.Compute(cfg.Compute / 2)
+			for _, nb := range nbs {
+				r.Recv(nb, base+2)
+			}
+		}
+	})
+}
+
+// MustTrace is Trace that panics on error.
+func MustTrace(cfg Config) *trace.Trace {
+	t, err := Trace(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

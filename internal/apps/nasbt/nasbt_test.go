@@ -1,0 +1,85 @@
+package nasbt
+
+import (
+	"testing"
+
+	"charmtrace/internal/core"
+	"charmtrace/internal/trace"
+)
+
+func TestTraceShape(t *testing.T) {
+	cfg := DefaultConfig()
+	tr := MustTrace(cfg)
+	// Per iteration: x sweep g*(g-1) msgs, y sweep g*(g-1), update 2*2*g*(g-1).
+	g := cfg.Grid
+	perIter := g*(g-1)*2 + 4*g*(g-1)
+	if got := tr.CountKind(trace.Send); got != perIter*cfg.Iterations {
+		t.Fatalf("sends = %d, want %d", got, perIter*cfg.Iterations)
+	}
+}
+
+// TestLogicalSeparatesInterleavedPhases is the Figure 1 claim: phases that
+// overlap in physical time are disjoint in logical steps.
+func TestLogicalSeparatesInterleavedPhases(t *testing.T) {
+	tr := MustTrace(DefaultConfig())
+	s, err := core.Extract(tr, core.MessagePassingOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPhases() < 6 {
+		t.Fatalf("phases = %d, want several per iteration", s.NumPhases())
+	}
+	// Find two phases whose physical spans overlap.
+	type span struct{ lo, hi trace.Time }
+	spans := make([]span, s.NumPhases())
+	for pi := range s.Phases {
+		sp := span{1<<62 - 1, 0}
+		for _, e := range s.Phases[pi].Events {
+			tm := tr.Events[e].Time
+			if tm < sp.lo {
+				sp.lo = tm
+			}
+			if tm > sp.hi {
+				sp.hi = tm
+			}
+		}
+		spans[pi] = sp
+	}
+	overlapping := 0
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			if spans[i].hi < spans[j].lo || spans[j].hi < spans[i].lo {
+				continue
+			}
+			overlapping++
+			// Physically overlapping pipeline phases must still be given
+			// either disjoint or ordered step ranges per chare — verified
+			// globally by Validate; here we check most pairs are separated
+			// in steps entirely.
+		}
+	}
+	if overlapping == 0 {
+		t.Fatal("no physically interleaved phases; pipeline overlap missing")
+	}
+	// The sweeps pipeline across iterations: physical interleaving with
+	// logical separation is what Figure 1 shows.
+	sepInSteps := 0
+	for i := range spans {
+		li, hi := s.Phases[i].GlobalSpan()
+		for j := i + 1; j < len(spans); j++ {
+			if spans[i].hi < spans[j].lo || spans[j].hi < spans[i].lo {
+				continue
+			}
+			lj, hj := s.Phases[j].GlobalSpan()
+			if hi < lj || hj < li {
+				sepInSteps++
+			}
+		}
+	}
+	if sepInSteps == 0 {
+		t.Fatal("no physically-overlapping phase pair is separated in logical steps")
+	}
+}

@@ -1,0 +1,146 @@
+// Package pdes is the Section 7.1 mini-app: a parallel discrete event
+// simulation whose simulator chares exchange event messages for several
+// rounds and then call a completion detector when finished. The call to the
+// detector is control flow through the runtime that the tracing framework
+// does not record, so the recovered logical structure has nothing to order
+// the detector phase after the simulation phase — both cover the same
+// global steps (Figure 24).
+package pdes
+
+import (
+	"math/rand"
+
+	"charmtrace/internal/sim"
+	"charmtrace/internal/trace"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Chares is the number of simulator chares (the paper used 16).
+	Chares int
+	// NumPE is the processor count (the paper used 4).
+	NumPE int
+	// Rounds is the number of event-exchange rounds each chare performs.
+	Rounds int
+	// EventCompute is the cost of processing one simulated event.
+	EventCompute sim.Time
+	// Seed drives the event-target draw and network jitter.
+	Seed int64
+	// TraceDetectorCall records the completion-detector invocation (the
+	// dependency the paper's trace was missing); leave false to reproduce
+	// Figure 24.
+	TraceDetectorCall bool
+	// UseQuiescence drives the detector from the runtime's quiescence
+	// detection instead of explicit per-chare reports: the most faithful
+	// model of a Charm++ completion-detection library, whose triggering
+	// dependency is entirely runtime-internal.
+	UseQuiescence bool
+}
+
+// DefaultConfig is the paper's 16-chare, 4-process run.
+func DefaultConfig() Config {
+	return Config{Chares: 16, NumPE: 4, Rounds: 5, EventCompute: 200, Seed: 1}
+}
+
+// simState is per-simulator-chare state.
+type simState struct {
+	sent int
+	rng  *rand.Rand
+}
+
+// detState is per-detector-chare state.
+type detState struct {
+	reports int // local simulator chares reported
+	gathers int // per-PE completions gathered (detector 0 only)
+}
+
+// Trace runs the mini-app and returns its event trace.
+func Trace(cfg Config) (*trace.Trace, error) {
+	simCfg := sim.DefaultConfig(cfg.NumPE)
+	simCfg.Seed = cfg.Seed
+	rt := sim.New(simCfg)
+
+	sims := rt.NewArray("pdes", cfg.Chares, nil, func(i int) any {
+		return &simState{rng: rand.New(rand.NewSource(cfg.Seed + int64(i)))}
+	})
+	// One completion-detector chare per PE, as a chare group.
+	det := rt.NewArray("detector", cfg.NumPE, func(i int) int { return i }, func(i int) any {
+		return &detState{}
+	})
+
+	var handleEvent, detReport, detGather, detRoot sim.EntryRef
+
+	// Simulator chares: process an event, schedule a new one on a random
+	// chare until the round budget is spent, then report to the local
+	// completion detector (unless quiescence detection drives it).
+	handleEvent = sims.Register("handleEvent", func(ctx *sim.Ctx, m sim.Message) {
+		st := ctx.State().(*simState)
+		ctx.Compute(cfg.EventCompute)
+		if st.sent < cfg.Rounds {
+			st.sent++
+			target := st.rng.Intn(cfg.Chares)
+			ctx.Send(sims.At(target), handleEvent, nil)
+			return
+		}
+		if cfg.UseQuiescence {
+			return // the runtime's quiescence detection notices on its own
+		}
+		// Completion: invoke the detector. In stock Charm++ this call is
+		// internal to the completion-detection library and does not appear
+		// in the trace.
+		if cfg.TraceDetectorCall {
+			ctx.Send(det.At(ctx.PE()), detReport, nil)
+		} else {
+			ctx.SendUntraced(det.At(ctx.PE()), detReport, nil)
+		}
+	})
+	// Detector: count local reports; when all local simulator chares have
+	// reported, notify detector 0, which announces completion among the
+	// detector chares.
+	perPE := make([]int, cfg.NumPE)
+	for i := 0; i < cfg.Chares; i++ {
+		perPE[sims.PEOf(i)]++
+	}
+	detReport = det.Register("report", func(ctx *sim.Ctx, m sim.Message) {
+		st := ctx.State().(*detState)
+		st.reports++
+		ctx.Compute(20)
+		if st.reports == perPE[ctx.PE()] {
+			ctx.Send(det.At(0), detGather, nil)
+		}
+	})
+	detGather = det.Register("gather", func(ctx *sim.Ctx, m sim.Message) {
+		st := ctx.State().(*detState)
+		st.gathers++
+		ctx.Compute(20)
+		if st.gathers == cfg.NumPE {
+			ctx.Broadcast(detRoot, nil)
+		}
+	})
+	detRoot = det.Register("done", func(ctx *sim.Ctx, m sim.Message) {
+		ctx.Compute(20)
+	})
+	qdFired := det.Register("qdFired", func(ctx *sim.Ctx, m sim.Message) {
+		ctx.Compute(20)
+		ctx.Broadcast(detRoot, nil)
+	})
+
+	for i := 0; i < cfg.Chares; i++ {
+		rt.Spawn(sims.At(i), handleEvent, nil)
+	}
+	if cfg.UseQuiescence {
+		// The library's trigger is the runtime's quiescence detection; the
+		// detectors then run their (traced) announcement among themselves.
+		rt.OnQuiescence(det.At(0), qdFired, nil)
+	}
+	return rt.Run()
+}
+
+// MustTrace is Trace that panics on error.
+func MustTrace(cfg Config) *trace.Trace {
+	t, err := Trace(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,137 @@
+package pdes
+
+import (
+	"testing"
+
+	"charmtrace/internal/core"
+	"charmtrace/internal/trace"
+)
+
+func TestTraceShape(t *testing.T) {
+	cfg := DefaultConfig()
+	tr := MustTrace(cfg)
+	// Every simulator chare schedules Rounds events.
+	simSends := 0
+	for _, ev := range tr.Events {
+		if ev.Kind != trace.Send {
+			continue
+		}
+		if tr.Chares[ev.Chare].Name[:4] == "pdes" {
+			simSends++
+		}
+	}
+	// Event targets are random, so chares that receive few events spend
+	// less of their send budget; the total is bounded by the budget and at
+	// least one send per spawned chare.
+	if simSends < cfg.Chares || simSends > cfg.Chares*cfg.Rounds {
+		t.Fatalf("simulator sends = %d, want in [%d, %d]",
+			simSends, cfg.Chares, cfg.Chares*cfg.Rounds)
+	}
+}
+
+// TestDetectorPhaseConcurrentWithSimulation is the Figure 24 claim: with
+// the detector call unrecorded, the detector phase and the simulation phase
+// cover the same global steps (nothing structurally prevents it).
+func TestDetectorPhaseConcurrentWithSimulation(t *testing.T) {
+	tr := MustTrace(DefaultConfig())
+	s, err := core.Extract(tr, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	simPhase, detPhase := classify(tr, s)
+	if simPhase < 0 || detPhase < 0 {
+		t.Fatalf("could not classify phases (sim=%d det=%d)", simPhase, detPhase)
+	}
+	pairs := s.ConcurrentPhases()
+	for _, pr := range pairs {
+		if (pr[0] == simPhase && pr[1] == detPhase) || (pr[0] == detPhase && pr[1] == simPhase) {
+			return
+		}
+	}
+	t.Fatalf("simulation phase %d and detector phase %d not concurrent; pairs=%v",
+		simPhase, detPhase, pairs)
+}
+
+// TestRecordingDetectorCallSequencesPhases: once the dependency is traced,
+// the detector phase follows the simulation phase.
+func TestRecordingDetectorCallSequencesPhases(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TraceDetectorCall = true
+	tr := MustTrace(cfg)
+	s, err := core.Extract(tr, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	simPhase, detPhase := classify(tr, s)
+	if detPhase < 0 || simPhase == detPhase {
+		return // detector merged into the simulation phase: sequenced outcome
+	}
+	for _, pr := range s.ConcurrentPhases() {
+		if (pr[0] == simPhase && pr[1] == detPhase) || (pr[0] == detPhase && pr[1] == simPhase) {
+			t.Fatal("detector phase still concurrent despite recorded dependency")
+		}
+	}
+	if s.Phases[detPhase].Offset <= s.Phases[simPhase].Offset {
+		t.Fatalf("detector phase offset %d not after simulation offset %d",
+			s.Phases[detPhase].Offset, s.Phases[simPhase].Offset)
+	}
+}
+
+// classify locates the biggest phase made of simulator events and the
+// biggest made of detector events.
+func classify(tr *trace.Trace, s *core.Structure) (int32, int32) {
+	simPhase, detPhase := int32(-1), int32(-1)
+	var simSize, detSize int
+	for pi := range s.Phases {
+		p := &s.Phases[pi]
+		sim, det := 0, 0
+		for _, e := range p.Events {
+			name := tr.Chares[tr.Events[e].Chare].Name
+			switch name[:4] {
+			case "pdes":
+				sim++
+			case "dete":
+				det++
+			}
+		}
+		if sim > det && sim > simSize {
+			simSize, simPhase = sim, int32(pi)
+		}
+		if det > sim && det > detSize {
+			detSize, detPhase = det, int32(pi)
+		}
+	}
+	return simPhase, detPhase
+}
+
+// TestQuiescenceModeAlsoConcurrent: driving the detector from runtime
+// quiescence detection (the most faithful completion-detection model)
+// produces the same Figure 24 overlap.
+func TestQuiescenceModeAlsoConcurrent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UseQuiescence = true
+	tr := MustTrace(cfg)
+	s, err := core.Extract(tr, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	simPhase, detPhase := classify(tr, s)
+	if simPhase < 0 || detPhase < 0 {
+		t.Fatalf("could not classify phases (sim=%d det=%d)", simPhase, detPhase)
+	}
+	for _, pr := range s.ConcurrentPhases() {
+		if (pr[0] == simPhase && pr[1] == detPhase) || (pr[0] == detPhase && pr[1] == simPhase) {
+			return
+		}
+	}
+	t.Fatal("quiescence-driven detector phase not concurrent with simulation")
+}

@@ -1,0 +1,212 @@
+// Package cli provides the workload registry shared by the command-line
+// tools: every paper workload is addressable by name, producing a trace and
+// the extraction options appropriate for its programming model.
+package cli
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"charmtrace/internal/apps/jacobi"
+	"charmtrace/internal/apps/lassen"
+	"charmtrace/internal/apps/lulesh"
+	"charmtrace/internal/apps/mergetree"
+	"charmtrace/internal/apps/nasbt"
+	"charmtrace/internal/apps/pdes"
+	"charmtrace/internal/core"
+	"charmtrace/internal/trace"
+)
+
+// Params tune a workload without exposing each app's full config.
+type Params struct {
+	// Iterations overrides the workload's iteration count (0 = default).
+	Iterations int
+	// Scale overrides the workload's size knob (chares/processes; 0 = default).
+	Scale int
+	// Seed overrides the RNG seed (0 = default).
+	Seed int64
+	// NoReductionTracing disables the §5 tracing additions where relevant.
+	NoReductionTracing bool
+}
+
+// workload describes one registered workload.
+type workload struct {
+	desc string
+	gen  func(p Params) (*trace.Trace, error)
+	opts func() core.Options
+}
+
+func pick[T int | int64](override, def T) T {
+	if override != 0 {
+		return override
+	}
+	return def
+}
+
+var workloads = map[string]workload{
+	"jacobi": {
+		desc: "Jacobi 2D heat (Charm++): halo exchange + Max reduction per iteration",
+		gen: func(p Params) (*trace.Trace, error) {
+			cfg := jacobi.DefaultConfig()
+			cfg.Iterations = pick(p.Iterations, cfg.Iterations)
+			cfg.Grid = pick(p.Scale, cfg.Grid)
+			cfg.Seed = pick(p.Seed, cfg.Seed)
+			cfg.TraceReductions = !p.NoReductionTracing
+			return jacobi.Trace(cfg)
+		},
+		opts: core.DefaultOptions,
+	},
+	"jacobi-slow": {
+		desc: "Jacobi 2D with one slow chare in one iteration (Figures 14/15)",
+		gen: func(p Params) (*trace.Trace, error) {
+			cfg := jacobi.DefaultConfig()
+			cfg.Iterations = pick(p.Iterations, cfg.Iterations)
+			cfg.Grid = pick(p.Scale, cfg.Grid)
+			cfg.Seed = pick(p.Seed, cfg.Seed)
+			cfg.SlowChare = cfg.Grid + 1
+			return jacobi.Trace(cfg)
+		},
+		opts: core.DefaultOptions,
+	},
+	"lulesh": {
+		desc: "LULESH proxy (Charm++): setup + mirrored exchanges + dt allreduce (Figure 16b)",
+		gen: func(p Params) (*trace.Trace, error) {
+			cfg := lulesh.DefaultConfig()
+			cfg.Iterations = pick(p.Iterations, cfg.Iterations)
+			cfg.Grid = pick(p.Scale, cfg.Grid)
+			cfg.Seed = pick(p.Seed, cfg.Seed)
+			cfg.TraceReductions = !p.NoReductionTracing
+			return lulesh.CharmTrace(cfg)
+		},
+		opts: core.DefaultOptions,
+	},
+	"lulesh-mpi": {
+		desc: "LULESH proxy (MPI): setup + three exchanges + allreduce (Figure 16a)",
+		gen: func(p Params) (*trace.Trace, error) {
+			cfg := lulesh.DefaultConfig()
+			cfg.Iterations = pick(p.Iterations, cfg.Iterations)
+			cfg.Grid = pick(p.Scale, cfg.Grid)
+			cfg.Seed = pick(p.Seed, cfg.Seed)
+			return lulesh.MPITrace(cfg)
+		},
+		opts: core.MessagePassingOptions,
+	},
+	"lassen": {
+		desc: "LASSEN wavefront (Charm++, 8 chares): p2p + control + allreduce (Figure 20b)",
+		gen: func(p Params) (*trace.Trace, error) {
+			cfg := lassen.DefaultConfig()
+			cfg.Iterations = pick(p.Iterations, cfg.Iterations)
+			cfg.Seed = pick(p.Seed, cfg.Seed)
+			return lassen.CharmTrace(cfg)
+		},
+		opts: core.DefaultOptions,
+	},
+	"lassen64": {
+		desc: "LASSEN wavefront (Charm++, 64 chares on 8 PEs; Figure 20d)",
+		gen: func(p Params) (*trace.Trace, error) {
+			cfg := lassen.FineConfig()
+			cfg.Iterations = pick(p.Iterations, cfg.Iterations)
+			cfg.Seed = pick(p.Seed, cfg.Seed)
+			return lassen.CharmTrace(cfg)
+		},
+		opts: core.DefaultOptions,
+	},
+	"lassen-mpi": {
+		desc: "LASSEN wavefront (MPI, 8 procs; Figure 20a)",
+		gen: func(p Params) (*trace.Trace, error) {
+			cfg := lassen.DefaultConfig()
+			cfg.Iterations = pick(p.Iterations, cfg.Iterations)
+			cfg.Seed = pick(p.Seed, cfg.Seed)
+			return lassen.MPITrace(cfg)
+		},
+		opts: core.MessagePassingOptions,
+	},
+	"lassen-mpi64": {
+		desc: "LASSEN wavefront (MPI, 64 procs; Figure 20c)",
+		gen: func(p Params) (*trace.Trace, error) {
+			cfg := lassen.FineConfig()
+			cfg.Iterations = pick(p.Iterations, cfg.Iterations)
+			cfg.Seed = pick(p.Seed, cfg.Seed)
+			return lassen.MPITrace(cfg)
+		},
+		opts: core.MessagePassingOptions,
+	},
+	"mergetree": {
+		desc: "MPI merge tree, 1,024 processes with data-dependent imbalance (Figure 10)",
+		gen: func(p Params) (*trace.Trace, error) {
+			cfg := mergetree.DefaultConfig()
+			cfg.Procs = pick(p.Scale, cfg.Procs)
+			cfg.Seed = pick(p.Seed, cfg.Seed)
+			return mergetree.Trace(cfg)
+		},
+		opts: core.MessagePassingOptions,
+	},
+	"pdes": {
+		desc: "PDES mini-app with unrecorded completion-detector call (Figure 24)",
+		gen: func(p Params) (*trace.Trace, error) {
+			cfg := pdes.DefaultConfig()
+			cfg.Chares = pick(p.Scale, cfg.Chares)
+			cfg.Rounds = pick(p.Iterations, cfg.Rounds)
+			cfg.Seed = pick(p.Seed, cfg.Seed)
+			return pdes.Trace(cfg)
+		},
+		opts: core.DefaultOptions,
+	},
+	"pdes-traced": {
+		desc: "PDES mini-app with the detector call recorded (the Figure 24 fix)",
+		gen: func(p Params) (*trace.Trace, error) {
+			cfg := pdes.DefaultConfig()
+			cfg.Chares = pick(p.Scale, cfg.Chares)
+			cfg.Rounds = pick(p.Iterations, cfg.Rounds)
+			cfg.Seed = pick(p.Seed, cfg.Seed)
+			cfg.TraceDetectorCall = true
+			return pdes.Trace(cfg)
+		},
+		opts: core.DefaultOptions,
+	},
+	"nasbt": {
+		desc: "NAS BT-style sweeps, 9 MPI processes (Figure 1)",
+		gen: func(p Params) (*trace.Trace, error) {
+			cfg := nasbt.DefaultConfig()
+			cfg.Iterations = pick(p.Iterations, cfg.Iterations)
+			cfg.Grid = pick(p.Scale, cfg.Grid)
+			cfg.Seed = pick(p.Seed, cfg.Seed)
+			return nasbt.Trace(cfg)
+		},
+		opts: core.MessagePassingOptions,
+	},
+}
+
+// Names lists the registered workloads, sorted.
+func Names() []string {
+	out := make([]string, 0, len(workloads))
+	for n := range workloads {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns a usage table of all workloads.
+func Describe() string {
+	var b strings.Builder
+	for _, n := range Names() {
+		fmt.Fprintf(&b, "  %-14s %s\n", n, workloads[n].desc)
+	}
+	return b.String()
+}
+
+// Generate runs the named workload and returns its trace plus the
+// extraction options matching its programming model.
+func Generate(name string, p Params) (*trace.Trace, core.Options, error) {
+	w, ok := workloads[name]
+	if !ok {
+		return nil, core.Options{}, fmt.Errorf("unknown workload %q; available:\n%s", name, Describe())
+	}
+	tr, err := w.gen(p)
+	if err != nil {
+		return nil, core.Options{}, fmt.Errorf("workload %s: %w", name, err)
+	}
+	return tr, w.opts(), nil
+}

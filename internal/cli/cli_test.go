@@ -1,0 +1,96 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"charmtrace/internal/core"
+)
+
+func TestAllWorkloadsGenerate(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p := Params{}
+			if name == "mergetree" {
+				p.Scale = 64 // keep the 1,024-process default out of unit tests
+			}
+			tr, opt, err := Generate(name, p)
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			if len(tr.Events) == 0 {
+				t.Fatal("empty trace")
+			}
+			s, err := core.Extract(tr, opt)
+			if err != nil {
+				t.Fatalf("Extract: %v", err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	_, _, err := Generate("no-such-app", Params{})
+	if err == nil || !strings.Contains(err.Error(), "unknown workload") {
+		t.Fatalf("err = %v, want unknown workload", err)
+	}
+}
+
+func TestParamOverrides(t *testing.T) {
+	small, _, err := Generate("jacobi", Params{Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, _, err := Generate("jacobi", Params{Iterations: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(big.Events) <= len(small.Events) {
+		t.Fatal("iteration override had no effect")
+	}
+	seeded, _, err := Generate("jacobi", Params{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, _, err := Generate("jacobi", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	differ := false
+	for i := range def.Events {
+		if i < len(seeded.Events) && def.Events[i].Time != seeded.Events[i].Time {
+			differ = true
+			break
+		}
+	}
+	if !differ {
+		t.Fatal("seed override had no effect")
+	}
+}
+
+func TestNoReductionTracing(t *testing.T) {
+	with, _, err := Generate("jacobi", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, _, err := Generate("jacobi", Params{NoReductionTracing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(without.Events) >= len(with.Events) {
+		t.Fatal("NoReductionTracing did not reduce traced events")
+	}
+}
+
+func TestDescribeCoversAllNames(t *testing.T) {
+	d := Describe()
+	for _, n := range Names() {
+		if !strings.Contains(d, n) {
+			t.Fatalf("Describe missing %q", n)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package cluster groups chares with equivalent logical behaviour, the
+// scalability direction the paper's conclusion calls for ("new
+// visualization techniques are needed that scale to large numbers of
+// parallel tasks"). Chares whose timelines are indistinguishable in the
+// recovered logical structure — same steps, same phases, same event kinds —
+// collapse into one cluster, so a 13,824-chare LULESH renders as a handful
+// of behavioural rows (corners, edges, faces, interior) instead of
+// thousands.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"charmtrace/internal/core"
+	"charmtrace/internal/trace"
+)
+
+// Cluster is one group of behaviourally equivalent chares.
+type Cluster struct {
+	// Representative is the lowest-ID member; renders stand for the whole
+	// cluster with it.
+	Representative trace.ChareID
+	// Members, sorted by ID.
+	Members []trace.ChareID
+	// Runtime is true when the cluster holds runtime chares (clusters never
+	// mix application and runtime chares).
+	Runtime bool
+}
+
+// Size returns the number of member chares.
+func (c *Cluster) Size() int { return len(c.Members) }
+
+// Label renders "name ×N" for display.
+func (c *Cluster) Label(tr *trace.Trace) string {
+	name := tr.Chares[c.Representative].Name
+	if len(c.Members) == 1 {
+		return name
+	}
+	return fmt.Sprintf("%s x%d", name, len(c.Members))
+}
+
+// Exact clusters chares whose logical timelines are identical: the same
+// sequence of (global step, event kind, phase-relative position). Phase IDs
+// themselves are arbitrary, so two chares in the same phases compare by
+// step and kind; chares of different phases that happen to share steps and
+// kinds still group — which is the desired behaviour for symmetric
+// concurrent phases (e.g. LASSEN's per-chare control phases).
+func Exact(s *core.Structure) []Cluster {
+	return clusterBy(s, func(c trace.ChareID) uint64 {
+		h := fnv.New64a()
+		for _, e := range s.EventsOfChare(c) {
+			ev := &s.Trace.Events[e]
+			writeInt(h, int64(s.Step[e]))
+			writeInt(h, int64(ev.Kind))
+			writeInt(h, int64(s.LocalStep[e]))
+		}
+		return h.Sum64()
+	})
+}
+
+// ByPhaseShape clusters chares by the coarser signature of how many events
+// they contribute at each of their phases' local steps — ignoring global
+// offsets, so chares doing the same thing in different (concurrent) phases
+// group together.
+func ByPhaseShape(s *core.Structure) []Cluster {
+	return clusterBy(s, func(c trace.ChareID) uint64 {
+		h := fnv.New64a()
+		for _, e := range s.EventsOfChare(c) {
+			ev := &s.Trace.Events[e]
+			writeInt(h, int64(s.LocalStep[e]))
+			writeInt(h, int64(ev.Kind))
+		}
+		return h.Sum64()
+	})
+}
+
+func writeInt(h interface{ Write([]byte) (int, error) }, v int64) {
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	h.Write(b[:])
+}
+
+// clusterBy groups chares by signature, keeping application and runtime
+// chares apart, and orders clusters by representative ID.
+func clusterBy(s *core.Structure, sig func(trace.ChareID) uint64) []Cluster {
+	type key struct {
+		sig     uint64
+		runtime bool
+	}
+	groups := make(map[key][]trace.ChareID)
+	for ci := range s.Trace.Chares {
+		c := trace.ChareID(ci)
+		k := key{sig(c), s.Trace.IsRuntimeChare(c)}
+		groups[k] = append(groups[k], c)
+	}
+	out := make([]Cluster, 0, len(groups))
+	for k, members := range groups {
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		out = append(out, Cluster{
+			Representative: members[0],
+			Members:        members,
+			Runtime:        k.runtime,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Runtime != out[j].Runtime {
+			return !out[i].Runtime
+		}
+		return out[i].Representative < out[j].Representative
+	})
+	return out
+}
+
+// Validate checks the clustering invariants: every chare in exactly one
+// cluster, members sorted, kinds unmixed.
+func Validate(s *core.Structure, clusters []Cluster) error {
+	seen := make(map[trace.ChareID]bool)
+	for i := range clusters {
+		c := &clusters[i]
+		if len(c.Members) == 0 {
+			return fmt.Errorf("cluster: empty cluster %d", i)
+		}
+		if c.Representative != c.Members[0] {
+			return fmt.Errorf("cluster: representative %d is not the first member", c.Representative)
+		}
+		for j, m := range c.Members {
+			if seen[m] {
+				return fmt.Errorf("cluster: chare %d in two clusters", m)
+			}
+			seen[m] = true
+			if j > 0 && c.Members[j-1] >= m {
+				return fmt.Errorf("cluster: members unsorted in cluster %d", i)
+			}
+			if s.Trace.IsRuntimeChare(m) != c.Runtime {
+				return fmt.Errorf("cluster: mixed kinds in cluster %d", i)
+			}
+		}
+	}
+	if len(seen) != len(s.Trace.Chares) {
+		return fmt.Errorf("cluster: %d chares clustered, trace has %d", len(seen), len(s.Trace.Chares))
+	}
+	return nil
+}

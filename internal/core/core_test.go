@@ -1,0 +1,381 @@
+package core
+
+import (
+	"testing"
+
+	"charmtrace/internal/trace"
+)
+
+// ringTrace builds the Figure 3 example: n chares on n PEs, each sending
+// recvResult to its ring neighbour from a serial_0 block.
+func ringTrace(t *testing.T, n int) *trace.Trace {
+	t.Helper()
+	b := trace.NewBuilder(n)
+	eSerial := b.AddSDAGEntry("serial_0", 0, false)
+	eRecv := b.AddSDAGEntry("recvResult", 1, true)
+	chares := make([]trace.ChareID, n)
+	for i := 0; i < n; i++ {
+		chares[i] = b.AddChare("arr", 0, i, trace.PE(i))
+	}
+	msgs := make([]trace.MsgID, n)
+	for i := 0; i < n; i++ {
+		msgs[i] = b.NewMsg()
+		begin := trace.Time(10 * (i + 1))
+		b.BeginBlock(chares[i], trace.PE(i), eSerial, begin)
+		b.Send(chares[i], msgs[i], begin+1)
+		b.EndBlock(chares[i], begin+5)
+	}
+	for i := 0; i < n; i++ {
+		from := (i - 1 + n) % n
+		begin := trace.Time(1000 + 10*i)
+		b.BeginBlock(chares[i], trace.PE(i), eRecv, begin)
+		b.Recv(chares[i], msgs[from], begin)
+		b.EndBlock(chares[i], begin+5)
+	}
+	tr, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return tr
+}
+
+func TestRingMergesIntoSinglePhase(t *testing.T) {
+	tr := ringTrace(t, 4)
+	s, err := Extract(tr, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPhases() != 1 {
+		t.Fatalf("phases = %d, want 1 (Figure 3 cycle merge)", s.NumPhases())
+	}
+	for e := range tr.Events {
+		ev := &tr.Events[e]
+		want := int32(0)
+		if ev.Kind == trace.Recv {
+			want = 1
+		}
+		if s.Step[e] != want {
+			t.Fatalf("event %d (%v) step = %d, want %d", e, ev.Kind, s.Step[e], want)
+		}
+	}
+}
+
+// barrierTrace builds two ring iterations separated by a runtime reduction:
+// ring sends, contributions to a runtime reduction chare, broadcast back,
+// second ring.
+func barrierTrace(t *testing.T, n int) *trace.Trace {
+	t.Helper()
+	b := trace.NewBuilder(n)
+	eWork := b.AddSDAGEntry("serial_0", 0, false)
+	eRecv := b.AddSDAGEntry("recvResult", 1, true)
+	eContrib := b.AddEntry("CkReductionMgr::contribute")
+	eBcast := b.AddSDAGEntry("resume", 2, true)
+	chares := make([]trace.ChareID, n)
+	for i := 0; i < n; i++ {
+		chares[i] = b.AddChare("arr", 0, i, trace.PE(i))
+	}
+	red := b.AddRuntimeChare("CkReductionMgr", 0)
+
+	// Iteration 1: ring sends.
+	ringMsg := make([]trace.MsgID, n)
+	for i := 0; i < n; i++ {
+		ringMsg[i] = b.NewMsg()
+		begin := trace.Time(10 * (i + 1))
+		b.BeginBlock(chares[i], trace.PE(i), eWork, begin)
+		b.Send(chares[i], ringMsg[i], begin+1)
+		b.EndBlock(chares[i], begin+5)
+	}
+	// Ring receives + contribution sends (the contribution crosses into the
+	// runtime, splitting the serial block).
+	contribMsg := make([]trace.MsgID, n)
+	for i := 0; i < n; i++ {
+		contribMsg[i] = b.NewMsg()
+		from := (i - 1 + n) % n
+		begin := trace.Time(1000 + 20*i)
+		b.BeginBlock(chares[i], trace.PE(i), eRecv, begin)
+		b.Recv(chares[i], ringMsg[from], begin)
+		b.Send(chares[i], contribMsg[i], begin+2)
+		b.EndBlock(chares[i], begin+5)
+	}
+	// Runtime chare collects contributions, then broadcasts. Per the §5
+	// tracing additions, the reduction manager's local blocks are chained by
+	// internal messages so the control flow is reconstructible.
+	bcast := b.NewMsg()
+	var internal trace.MsgID
+	for i := 0; i < n; i++ {
+		begin := trace.Time(2000 + 20*i)
+		b.BeginBlock(red, 0, eContrib, begin)
+		b.Recv(red, contribMsg[i], begin)
+		if i > 0 {
+			b.Recv(red, internal, begin+1)
+		}
+		if i < n-1 {
+			internal = b.NewMsg()
+			b.Send(red, internal, begin+2)
+		} else {
+			b.Send(red, bcast, begin+2)
+		}
+		b.EndBlock(red, begin+5)
+	}
+	// Iteration 2: broadcast receipt, then ring send again.
+	ring2 := make([]trace.MsgID, n)
+	for i := 0; i < n; i++ {
+		ring2[i] = b.NewMsg()
+		begin := trace.Time(3000 + 20*i)
+		b.BeginBlock(chares[i], trace.PE(i), eBcast, begin)
+		b.Recv(chares[i], bcast, begin)
+		b.Send(chares[i], ring2[i], begin+2)
+		b.EndBlock(chares[i], begin+5)
+	}
+	for i := 0; i < n; i++ {
+		from := (i - 1 + n) % n
+		begin := trace.Time(4000 + 20*i)
+		b.BeginBlock(chares[i], trace.PE(i), eRecv, begin)
+		b.Recv(chares[i], ring2[from], begin)
+		b.EndBlock(chares[i], begin+5)
+	}
+	tr, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return tr
+}
+
+func TestRuntimeBarrierSeparatesPhases(t *testing.T) {
+	tr := barrierTrace(t, 4)
+	s, err := Extract(tr, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPhases() != 3 {
+		t.Fatalf("phases = %d, want 3 (app, runtime, app)", s.NumPhases())
+	}
+	// Order phases by offset: app, runtime, app.
+	var kinds []bool
+	for _, p := range phasesByOffset(s) {
+		kinds = append(kinds, s.Phases[p].Runtime)
+	}
+	want := []bool{false, true, false}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("phase kinds by offset = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func phasesByOffset(s *Structure) []int32 {
+	out := make([]int32, len(s.Phases))
+	for i := range out {
+		out[i] = int32(i)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && s.Phases[out[j]].Offset < s.Phases[out[j-1]].Offset; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// fig5Trace reproduces the Figure 5 scenario: three partitions A, B, C where
+// X's sources order A before B, while C has only a receive on X, so C merges
+// with A at the same leap.
+func fig5Trace(t *testing.T) *trace.Trace {
+	t.Helper()
+	b := trace.NewBuilder(2)
+	e := b.AddEntry("work")
+	x := b.AddChare("X", trace.NoArray, -1, 0)
+	y := b.AddChare("Y", trace.NoArray, -1, 1)
+
+	mA, mB, mC := b.NewMsg(), b.NewMsg(), b.NewMsg()
+	// A: X sends to Y at t=10.
+	b.BeginBlock(x, 0, e, 10)
+	b.Send(x, mA, 10)
+	b.EndBlock(x, 12)
+	// C: Y sends to X at t=15 (Y-side source; X side is receive-only).
+	b.BeginBlock(y, 1, e, 15)
+	b.Send(y, mC, 15)
+	b.EndBlock(y, 17)
+	// B: X sends to Y at t=20.
+	b.BeginBlock(x, 0, e, 20)
+	b.Send(x, mB, 20)
+	b.EndBlock(x, 22)
+	// Receives.
+	b.BeginBlock(y, 1, e, 30)
+	b.Recv(y, mA, 30)
+	b.EndBlock(y, 31)
+	b.BeginBlock(x, 0, e, 32)
+	b.Recv(x, mC, 32)
+	b.EndBlock(x, 33)
+	b.BeginBlock(y, 1, e, 34)
+	b.Recv(y, mB, 34)
+	b.EndBlock(y, 35)
+	tr, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return tr
+}
+
+func TestInferDependenciesMergesOverlappingLeap(t *testing.T) {
+	tr := fig5Trace(t)
+	s, err := Extract(tr, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPhases() != 2 {
+		t.Fatalf("phases = %d, want 2 (A+C merged, then B)", s.NumPhases())
+	}
+	// A's send (event 0) and C's send must share a phase; B's send must not.
+	sendA := trace.EventID(0)
+	sendC := trace.EventID(1)
+	sendB := trace.EventID(2)
+	if s.PhaseOf[sendA] != s.PhaseOf[sendC] {
+		t.Fatal("A and C not merged despite same-leap chare overlap (Alg. 4)")
+	}
+	if s.PhaseOf[sendB] == s.PhaseOf[sendA] {
+		t.Fatal("B merged into A+C; expected separate later phase (Alg. 3 edge)")
+	}
+	if s.Phases[s.PhaseOf[sendB]].Offset <= s.Phases[s.PhaseOf[sendA]].Offset {
+		t.Fatal("B phase not after A+C phase")
+	}
+}
+
+func TestWithoutInferenceOverlapsAreSequenced(t *testing.T) {
+	tr := fig5Trace(t)
+	opt := DefaultOptions()
+	opt.InferDependencies = false
+	s, err := Extract(tr, opt)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPhases() != 3 {
+		t.Fatalf("phases = %d, want 3 (Figure 17: split phases forced in sequence)", s.NumPhases())
+	}
+	// All three phases must be totally ordered by offsets (sequenced).
+	offs := map[int32]bool{}
+	for i := range s.Phases {
+		offs[s.Phases[i].Offset] = true
+	}
+	if len(offs) != 3 {
+		t.Fatalf("phases not sequenced; offsets %v", offs)
+	}
+}
+
+// TestReorderingFollowsW: chare Z receives mLate (long dependency chain,
+// high w) physically *before* mEarly (short chain, low w). Reordering must
+// place the low-w block first.
+func TestReorderingFollowsW(t *testing.T) {
+	b := trace.NewBuilder(4)
+	e := b.AddEntry("work")
+	src := b.AddChare("src", trace.NoArray, -1, 0)
+	mid := b.AddChare("mid", trace.NoArray, -1, 1)
+	z := b.AddChare("z", trace.NoArray, -1, 2)
+
+	mToMid, mLate, mEarly := b.NewMsg(), b.NewMsg(), b.NewMsg()
+	// src: sends to mid (w=0) and directly to z (w=1 -> mEarly recv w ... ).
+	b.BeginBlock(src, 0, e, 0)
+	b.Send(src, mToMid, 0)
+	b.Send(src, mEarly, 1)
+	b.EndBlock(src, 2)
+	// mid: recv (w=1), send mLate (w=2).
+	b.BeginBlock(mid, 1, e, 10)
+	b.Recv(mid, mToMid, 10)
+	b.Send(mid, mLate, 11)
+	b.EndBlock(mid, 12)
+	// z: receives mLate FIRST physically (w=3), then mEarly (w=2).
+	b.BeginBlock(z, 2, e, 20)
+	b.Recv(z, mLate, 20)
+	b.EndBlock(z, 21)
+	b.BeginBlock(z, 2, e, 30)
+	b.Recv(z, mEarly, 30)
+	b.EndBlock(z, 31)
+	tr, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+
+	reordered, err := Extract(tr, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if err := reordered.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Reorder = false
+	recorded, err := Extract(tr, opt)
+	if err != nil {
+		t.Fatalf("Extract (no reorder): %v", err)
+	}
+	if err := recorded.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	recvLate := trace.EventID(4)
+	recvEarly := trace.EventID(5)
+	if tr.Events[recvLate].Msg != mLate || tr.Events[recvEarly].Msg != mEarly {
+		t.Fatal("test setup: event IDs shifted")
+	}
+	zSeq := reordered.EventsOfChare(z)
+	if len(zSeq) != 2 || zSeq[0] != recvEarly || zSeq[1] != recvLate {
+		t.Fatalf("reordered z sequence = %v, want [early late]", zSeq)
+	}
+	zSeqRec := recorded.EventsOfChare(z)
+	if len(zSeqRec) != 2 || zSeqRec[0] != recvLate {
+		t.Fatalf("recorded z sequence = %v, want physical order [late early]", zSeqRec)
+	}
+	// With reordering, mEarly's receive lands at its logical step (2), and
+	// mLate's at 3; without, mEarly is pushed after mLate.
+	if reordered.Step[recvEarly] >= reordered.Step[recvLate] {
+		t.Fatal("reordering did not place low-w receive first")
+	}
+	if recorded.Step[recvLate] >= recorded.Step[recvEarly] {
+		t.Fatal("recorded order should keep physical order")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	tr := barrierTrace(t, 4)
+	s, err := Extract(tr, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if s.Stats.InitialPartitions == 0 {
+		t.Fatal("no initial partitions recorded")
+	}
+	if s.Stats.MergedBy["dependency-merge"] == 0 {
+		t.Fatal("dependency merge did not merge anything")
+	}
+	if len(s.Stats.StageTime) == 0 {
+		t.Fatal("no stage timings recorded")
+	}
+}
+
+func TestMaxStepAndSpans(t *testing.T) {
+	tr := barrierTrace(t, 4)
+	s, err := Extract(tr, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if s.MaxStep() < 2 {
+		t.Fatalf("MaxStep = %d, want >= 2", s.MaxStep())
+	}
+	for i := range s.Phases {
+		lo, hi := s.Phases[i].GlobalSpan()
+		if lo > hi {
+			t.Fatalf("phase %d span inverted", i)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"charmtrace/internal/partition"
+	"charmtrace/internal/trace"
+)
+
+// atoms holds the initial-partition decomposition of a trace.
+type atoms struct {
+	set *partition.Set
+	// of maps every dependency event to its atom.
+	of []partition.ID
+	// firstOf/lastOf map every block with events to its first/last atom.
+	firstOf map[trace.BlockID]partition.ID
+	lastOf  map[trace.BlockID]partition.ID
+	// absorb maps an entry-method block to the when-triggered serial block
+	// that absorbed it (§2.1): the ordering stage treats the pair as one
+	// serial block.
+	absorb map[trace.BlockID]trace.BlockID
+}
+
+// canonicalBlock resolves a block through the absorb chain: the serial
+// block that stands for it in the ordering stage.
+func (a *atoms) canonicalBlock(b trace.BlockID) trace.BlockID {
+	for {
+		next, ok := a.absorb[b]
+		if !ok {
+			return b
+		}
+		b = next
+	}
+}
+
+// buildAtoms constructs the initial partitions (§3.1.1): maximal runs of
+// dependency events within a serial block that stay on one side of the
+// application/runtime boundary (Figure 2), plus the three kinds of initial
+// edges: remote invocations, happened-before between the fragments of a
+// split serial block, and SDAG-inferred happened-before (§2.1).
+func buildAtoms(tr *trace.Trace, opt Options) *atoms {
+	a := &atoms{
+		set:     partition.NewSet(),
+		of:      make([]partition.ID, len(tr.Events)),
+		firstOf: make(map[trace.BlockID]partition.ID),
+		lastOf:  make(map[trace.BlockID]partition.ID),
+		absorb:  make(map[trace.BlockID]trace.BlockID),
+	}
+	for i := range a.of {
+		a.of[i] = -1
+	}
+
+	// Cut every serial block into runs of equal runtime-boundary flag.
+	for bi := range tr.Blocks {
+		blk := &tr.Blocks[bi]
+		if len(blk.Events) == 0 {
+			continue
+		}
+		var prev partition.ID = -1
+		run := partition.Atom{Chare: blk.Chare, Block: blk.ID}
+		runSet := false
+		flush := func() {
+			if len(run.Events) == 0 {
+				return
+			}
+			id := a.set.AddAtom(run)
+			if prev >= 0 {
+				// Happened-before between fragments of the split block.
+				a.set.AddEdge(prev, id)
+			} else {
+				a.firstOf[blk.ID] = id
+			}
+			a.lastOf[blk.ID] = id
+			for _, e := range run.Events {
+				a.of[e] = id
+			}
+			prev = id
+			run = partition.Atom{Chare: blk.Chare, Block: blk.ID}
+			runSet = false
+		}
+		for _, e := range blk.Events {
+			rt := touchesRuntime(tr, e)
+			if runSet && rt != run.Runtime {
+				flush()
+			}
+			run.Runtime = rt
+			runSet = true
+			run.Events = append(run.Events, e)
+		}
+		flush()
+	}
+
+	// Remote invocation edges: send atom -> each receive atom.
+	for _, ev := range tr.Events {
+		if ev.Kind != trace.Send || ev.Msg == trace.NoMsg {
+			continue
+		}
+		from := a.of[ev.ID]
+		for _, r := range tr.RecvsOf(ev.Msg) {
+			a.set.AddEdge(from, a.of[r])
+		}
+	}
+
+	// Per-chare block-order edges: SDAG-inferred happened-before (adjacent
+	// serial numbers, when-absorption) and, for message-passing traces,
+	// full process-order dependencies.
+	for c := range tr.Chares {
+		blocks := tr.BlocksOfChare(trace.ChareID(c))
+		for i := 0; i+1 < len(blocks); i++ {
+			cur, next := blocks[i], blocks[i+1]
+			la, ok1 := a.lastOf[cur]
+			fb, ok2 := a.firstOf[next]
+			if !ok1 || !ok2 {
+				continue
+			}
+			ce, ne := &tr.Entries[tr.Blocks[cur].Entry], &tr.Entries[tr.Blocks[next].Entry]
+			switch {
+			case opt.ProcessOrderDeps:
+				a.set.AddEdge(la, fb)
+			case ce.SDAGSerial >= 0 && ne.SDAGSerial == ce.SDAGSerial+1:
+				// Serial n observed right before serial n+1 on this chare:
+				// infer the first happened-before the second (§2.1).
+				a.set.AddEdge(la, fb)
+			case ne.AfterWhen && ce.SDAGSerial < 0:
+				// An entry method right before a when-triggered serial is
+				// absorbed into that serial's entry method (§2.1): merge
+				// their partitions and let the ordering stage treat the
+				// pair as one serial block.
+				if a.set.Atom(la).Runtime == a.set.Atom(fb).Runtime {
+					a.set.Union(la, fb)
+				} else {
+					a.set.AddEdge(la, fb)
+				}
+				a.absorb[cur] = next
+			}
+		}
+	}
+	return a
+}
+
+// touchesRuntime reports whether a dependency event crosses into the
+// runtime: its own chare is a runtime chare, or the far endpoint of its
+// message is on a runtime chare.
+func touchesRuntime(tr *trace.Trace, eid trace.EventID) bool {
+	ev := &tr.Events[eid]
+	if tr.IsRuntimeChare(ev.Chare) {
+		return true
+	}
+	if ev.Msg == trace.NoMsg {
+		return false
+	}
+	switch ev.Kind {
+	case trace.Send:
+		for _, r := range tr.RecvsOf(ev.Msg) {
+			if tr.IsRuntimeChare(tr.Events[r].Chare) {
+				return true
+			}
+		}
+	case trace.Recv:
+		if s := tr.SendOf(ev.Msg); s != trace.NoEvent {
+			return tr.IsRuntimeChare(tr.Events[s].Chare)
+		}
+	}
+	return false
+}

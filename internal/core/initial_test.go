@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"charmtrace/internal/trace"
+)
+
+// TestAbsorbRule: an entry method that occurs right before a when-triggered
+// serial is absorbed into that serial's partition (§2.1), connecting blocks
+// the trace records no message between.
+func TestAbsorbRule(t *testing.T) {
+	b := trace.NewBuilder(2)
+	ePlain := b.AddEntry("deliver")                // non-SDAG entry
+	eSerial := b.AddSDAGEntry("serial_1", 1, true) // follows a when
+	src := b.AddChare("src", trace.NoArray, -1, 0)
+	c := b.AddChare("c", trace.NoArray, -1, 1)
+
+	m1, m2 := b.NewMsg(), b.NewMsg()
+	b.BeginBlock(src, 0, ePlain, 0)
+	b.Send(src, m1, 0)
+	b.EndBlock(src, 1)
+	// The plain entry delivers the when's dependency...
+	b.BeginBlock(c, 1, ePlain, 100)
+	b.Recv(c, m1, 100)
+	b.EndBlock(c, 110)
+	// ...and the generated serial runs right after it, sending onwards.
+	b.BeginBlock(c, 1, eSerial, 110)
+	b.Send(c, m2, 111)
+	b.EndBlock(c, 120)
+	b.BeginBlock(src, 0, ePlain, 300)
+	b.Recv(src, m2, 300)
+	b.EndBlock(src, 310)
+	tr := b.MustFinish()
+
+	s, err := Extract(tr, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The absorb rule unions the deliver block with the serial block, so
+	// the whole chain is one phase with monotone steps.
+	if s.NumPhases() != 1 {
+		t.Fatalf("phases = %d, want 1 (absorb rule should connect the chain)", s.NumPhases())
+	}
+	recvM1 := trace.EventID(1)
+	sendM2 := trace.EventID(2)
+	if s.Step[sendM2] <= s.Step[recvM1] {
+		t.Fatalf("serial's send at step %d not after absorbed recv at step %d",
+			s.Step[sendM2], s.Step[recvM1])
+	}
+}
+
+// TestBroadcastSpanningChares: one send with many receives (a broadcast)
+// merges all receivers into the sender's phase, and every receive lands at
+// least one step after the send.
+func TestBroadcastSpanningChares(t *testing.T) {
+	b := trace.NewBuilder(4)
+	e := b.AddEntry("work")
+	root := b.AddChare("root", trace.NoArray, -1, 0)
+	var kids []trace.ChareID
+	for i := 0; i < 6; i++ {
+		kids = append(kids, b.AddChare("kid", 0, i, trace.PE(i%4)))
+	}
+	m := b.NewMsg()
+	b.BeginBlock(root, 0, e, 0)
+	b.Send(root, m, 0)
+	b.EndBlock(root, 1)
+	for i, k := range kids {
+		begin := trace.Time(100 + 50*i)
+		b.BeginBlock(k, trace.PE(i%4), e, begin)
+		b.Recv(k, m, begin)
+		b.EndBlock(k, begin+10)
+	}
+	tr := b.MustFinish()
+	s, err := Extract(tr, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPhases() != 1 {
+		t.Fatalf("phases = %d, want 1", s.NumPhases())
+	}
+	send := trace.EventID(0)
+	for _, r := range tr.RecvsOf(m) {
+		if s.Step[r] != s.Step[send]+1 {
+			t.Fatalf("broadcast recv %d at step %d, want %d", r, s.Step[r], s.Step[send]+1)
+		}
+	}
+}
+
+// TestZeroDurationBlocks: blocks and events at identical timestamps must
+// not break ordering or validation.
+func TestZeroDurationBlocks(t *testing.T) {
+	b := trace.NewBuilder(1)
+	e := b.AddEntry("tick")
+	c0 := b.AddChare("a", trace.NoArray, -1, 0)
+	c1 := b.AddChare("b", trace.NoArray, -1, 0)
+	m := b.NewMsg()
+	b.BeginBlock(c0, 0, e, 5)
+	b.Send(c0, m, 5)
+	b.EndBlock(c0, 5)
+	b.BeginBlock(c1, 0, e, 5)
+	b.Recv(c1, m, 5)
+	b.EndBlock(c1, 5)
+	tr := b.MustFinish()
+	s, err := Extract(tr, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Step[1] != s.Step[0]+1 {
+		t.Fatalf("equal-time recv stepped at %d, want send+1", s.Step[1])
+	}
+}
+
+// TestSelfMessage: a chare invoking itself gets its receive one step after
+// its send within the same phase.
+func TestSelfMessage(t *testing.T) {
+	b := trace.NewBuilder(1)
+	e := b.AddEntry("self")
+	c := b.AddChare("a", trace.NoArray, -1, 0)
+	m := b.NewMsg()
+	b.BeginBlock(c, 0, e, 0)
+	b.Send(c, m, 1)
+	b.EndBlock(c, 2)
+	b.BeginBlock(c, 0, e, 10)
+	b.Recv(c, m, 10)
+	b.EndBlock(c, 11)
+	tr := b.MustFinish()
+	s, err := Extract(tr, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if s.NumPhases() != 1 || s.Step[1] != s.Step[0]+1 {
+		t.Fatalf("self-message structure wrong: phases=%d steps=%d,%d",
+			s.NumPhases(), s.Step[0], s.Step[1])
+	}
+}

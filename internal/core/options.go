@@ -1,0 +1,91 @@
+// Package core implements the paper's primary contribution: recovering
+// logical structure from Charm++ (and message-passing) event traces.
+//
+// Extract runs the two-stage algorithm of Section 3:
+//
+//  1. Phase-finding (§3.1): dependency events are grouped into initial
+//     partitions (serial blocks split at application/runtime boundaries),
+//     which are merged by matching message endpoints (Alg. 1), repaired
+//     across the application/runtime split (Alg. 2), completed with inferred
+//     happened-before dependencies (Alg. 3), merged per leap when chares
+//     overlap (Alg. 4), and finally given the two DAG properties that
+//     guarantee a single phase path per chare (Alg. 5). Every heuristic that
+//     can create cycles is followed by a cycle merge that contracts strongly
+//     connected components.
+//  2. Step assignment (§3.2): within each phase, serial blocks are reordered
+//     per chare by an idealized-replay clock w, events receive local logical
+//     steps (a receive at least one step after its matching send), and local
+//     steps are offset by phase-DAG predecessors into global steps.
+package core
+
+// Options configures Extract.
+type Options struct {
+	// Reorder enables the §3.2.1 idealized replay: serial blocks are ordered
+	// per chare by the w clock instead of physical time. Disabling it steps
+	// events in recorded order (the Figure 8(a)/10(a) baselines).
+	Reorder bool
+
+	// InferDependencies enables the §3.1.4 heuristics that compensate for
+	// missing control dependencies: inferring happened-before relationships
+	// from the physical-time order of partition-starting sources (Alg. 3)
+	// and merging concurrent overlapping partitions per leap (Alg. 4).
+	// Disabling it reproduces Figure 17: the DAG properties are still
+	// enforced, but by sequencing overlapping partitions instead of merging
+	// them, so phases split.
+	InferDependencies bool
+
+	// NeighborSerialMerge enables the §3.1.3 refinement that merges the
+	// partitions of SDAG serial n+1 blocks when their chares participated in
+	// serial n within a single phase.
+	NeighborSerialMerge bool
+
+	// MessagePassing selects the message-passing w rule of §3.2.1/Figure 9:
+	// sends are pinned after every receive that physically preceded them
+	// (w_send = 1 + max w_recv) and only receives are reordered. Use for
+	// traces of process-centric programs where each serial block holds a
+	// single communication event.
+	MessagePassing bool
+
+	// ProcessOrderDeps adds happened-before edges between consecutive
+	// serial blocks of each chare. Message-passing models assume per-process
+	// physical-time order implies control flow (§3.4); task-based traces
+	// must not assume this because runtime scheduling order is
+	// non-deterministic.
+	ProcessOrderDeps bool
+
+	// Parallel runs the per-phase ordering stage concurrently (one phase
+	// per goroutine, bounded by GOMAXPROCS). The paper notes the stage is
+	// phase-independent and "could be parallelized" (§3.3); the result is
+	// identical either way.
+	Parallel bool
+
+	// ChareRank, when non-nil, supplies a display rank per chare used for
+	// the Figure 7 tie-break instead of the raw chare ID — the paper's
+	// suggestion that orderings aware of the data topology (e.g. neighbours
+	// in 3D space) are more intuitive than tie-breaking by chare ID.
+	ChareRank []int32
+}
+
+// DefaultOptions returns the configuration used for Charm++ traces in the
+// paper's case studies: reordering and dependency inference on, neighbour
+// serial merge on, task-based stepping.
+func DefaultOptions() Options {
+	return Options{
+		Reorder:             true,
+		InferDependencies:   true,
+		NeighborSerialMerge: true,
+	}
+}
+
+// MessagePassingOptions returns the configuration for process-centric
+// message-passing traces: per-process order supplies control dependencies,
+// and the Figure 9 send-pinning rule applies. This is the algorithm used for
+// the MPI sides of the case studies (with Reorder=false it degenerates to
+// the Isaacs et al. [13] stepping baseline).
+func MessagePassingOptions() Options {
+	return Options{
+		Reorder:          true,
+		MessagePassing:   true,
+		ProcessOrderDeps: true,
+	}
+}

@@ -1,0 +1,447 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"charmtrace/internal/partition"
+	"charmtrace/internal/trace"
+)
+
+// Extract recovers the logical structure of a trace (Section 3). The trace
+// must be indexed (Builder.Finish and tracefile.Read both index); Extract
+// indexes it if not.
+func Extract(tr *trace.Trace, opt Options) (*Structure, error) {
+	if !tr.Indexed() {
+		if err := tr.Index(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	st := Stats{
+		MergedBy:  make(map[string]int),
+		StageTime: make(map[string]time.Duration),
+	}
+	stage := func(name string, f func() int) {
+		start := time.Now()
+		st.MergedBy[name] += f()
+		st.StageTime[name] += time.Since(start)
+	}
+
+	var a *atoms
+	stage("initial", func() int {
+		a = buildAtoms(tr, opt)
+		st.InitialPartitions = a.set.NumAtoms()
+		return 0
+	})
+	stage("dependency-merge", func() int { return dependencyMerge(tr, a) })
+	stage("cycle-merge", func() int { return a.set.CycleMerge() })
+	stage("repair-merge", func() int { return repairMerge(tr, a, opt) })
+	stage("cycle-merge", func() int { return a.set.CycleMerge() })
+	if opt.InferDependencies {
+		stage("infer-dependencies", func() int { return inferDependencies(tr, a) })
+		stage("cycle-merge", func() int { return a.set.CycleMerge() })
+		stage("leap-merge", func() int { return leapMerge(a) })
+		stage("cycle-merge", func() int { return a.set.CycleMerge() })
+	}
+	stage("enforce-orderability", func() int {
+		merged, rounds := enforceOrderability(tr, a, opt)
+		st.EnforceRounds = rounds
+		return merged
+	})
+	stage("enforce-chare-paths", func() int { return enforceCharePaths(tr, a) })
+
+	var s *Structure
+	stage("step-assignment", func() int {
+		s = assignSteps(tr, opt, a)
+		return 0
+	})
+	s.Stats = st
+	return s, nil
+}
+
+// dependencyMerge is Algorithm 1: partitions containing the matching
+// endpoints of a remote method invocation belong in the same phase.
+func dependencyMerge(tr *trace.Trace, a *atoms) int {
+	plan := a.set.NewMergePlan()
+	for _, ev := range tr.Events {
+		if ev.Kind != trace.Send || ev.Msg == trace.NoMsg {
+			continue
+		}
+		send := a.of[ev.ID]
+		for _, r := range tr.RecvsOf(ev.Msg) {
+			if recv := a.of[r]; !a.set.SamePartition(send, recv) {
+				plan.Schedule(send, recv)
+			}
+		}
+	}
+	return plan.Apply()
+}
+
+// repairMerge is Algorithm 2: restore merges that the application/runtime
+// split of serial blocks prevented. For consecutive events within one serial
+// block whose partitions now differ but agree on runtime-ness, merge. With
+// opt.NeighborSerialMerge it additionally applies the §3.1.3 refinement for
+// neighbouring SDAG serials.
+func repairMerge(tr *trace.Trace, a *atoms, opt Options) int {
+	merged := 0
+	for bi := range tr.Blocks {
+		blk := &tr.Blocks[bi]
+		for i := 0; i+1 < len(blk.Events); i++ {
+			p := a.of[blk.Events[i]]
+			q := a.of[blk.Events[i+1]]
+			if a.set.SamePartition(p, q) {
+				continue
+			}
+			if a.set.IsRuntime(p) == a.set.IsRuntime(q) {
+				a.set.Union(p, q)
+				merged++
+			}
+		}
+	}
+	if opt.NeighborSerialMerge {
+		merged += neighborSerialMerge(tr, a)
+	}
+	return merged
+}
+
+// neighborSerialMerge: if a set of chares participates in SDAG serial n
+// within a single partition and those chares immediately participate in
+// serial n+1 spread over several partitions, the control likely flowed from
+// one multi-chare group to the next, so the latter partitions are merged.
+func neighborSerialMerge(tr *trace.Trace, a *atoms) int {
+	// next[p] collects, per partition p holding serial-n blocks, the
+	// partitions of the immediately following serial-(n+1) blocks.
+	next := make(map[partition.ID][]partition.ID)
+	for c := range tr.Chares {
+		blocks := tr.BlocksOfChare(trace.ChareID(c))
+		for i := 0; i+1 < len(blocks); i++ {
+			ce := &tr.Entries[tr.Blocks[blocks[i]].Entry]
+			ne := &tr.Entries[tr.Blocks[blocks[i+1]].Entry]
+			if ce.SDAGSerial < 0 || ne.SDAGSerial != ce.SDAGSerial+1 {
+				continue
+			}
+			la, ok1 := a.lastOf[blocks[i]]
+			fb, ok2 := a.firstOf[blocks[i+1]]
+			if !ok1 || !ok2 {
+				continue
+			}
+			p := a.set.Find(la)
+			next[p] = append(next[p], fb)
+		}
+	}
+	merged := 0
+	for _, followers := range next {
+		if len(followers) < 2 {
+			continue
+		}
+		first := followers[0]
+		for _, f := range followers[1:] {
+			if a.set.IsRuntime(first) != a.set.IsRuntime(f) {
+				continue
+			}
+			if !a.set.SamePartition(first, f) {
+				a.set.Union(first, f)
+				merged++
+			}
+		}
+	}
+	return merged
+}
+
+// partInfo caches per-partition ordering information used by the §3.1.4
+// heuristics: the earliest event per chare, the earliest source (send) per
+// chare and per processor, and overall minima.
+type partInfo struct {
+	// initByChare maps chare -> earliest event of the partition on it.
+	initByChare map[trace.ChareID]trace.EventID
+	// srcTimeByPE maps PE -> earliest partition-starting source time.
+	srcTimeByPE map[trace.PE]trace.Time
+	minTime     trace.Time
+}
+
+func buildPartInfo(tr *trace.Trace, a *atoms, v *partition.View) []partInfo {
+	infos := make([]partInfo, len(v.Parts))
+	for pi := range v.Parts {
+		info := partInfo{
+			initByChare: make(map[trace.ChareID]trace.EventID),
+			srcTimeByPE: make(map[trace.PE]trace.Time),
+			minTime:     1<<62 - 1,
+		}
+		for _, atomID := range v.Parts[pi].Atoms {
+			for _, e := range a.set.Atom(atomID).Events {
+				ev := &tr.Events[e]
+				if cur, ok := info.initByChare[ev.Chare]; !ok || less(tr, e, cur) {
+					info.initByChare[ev.Chare] = e
+				}
+				if ev.Time < info.minTime {
+					info.minTime = ev.Time
+				}
+			}
+		}
+		// Partition-starting sources: per-chare initial events that are sends.
+		for _, e := range info.initByChare {
+			ev := &tr.Events[e]
+			if ev.Kind != trace.Send {
+				continue
+			}
+			if cur, ok := info.srcTimeByPE[ev.PE]; !ok || ev.Time < cur {
+				info.srcTimeByPE[ev.PE] = ev.Time
+			}
+		}
+		infos[pi] = info
+	}
+	return infos
+}
+
+// less orders events by (time, ID) for deterministic minima.
+func less(tr *trace.Trace, a, b trace.EventID) bool {
+	ta, tb := tr.Events[a].Time, tr.Events[b].Time
+	if ta != tb {
+		return ta < tb
+	}
+	return a < b
+}
+
+// inferDependencies is Algorithm 3: the initial events in each partition are
+// sources; the physical-time order between partition-starting sources on the
+// same chare is inferred as a happened-before relationship between their
+// partitions (Figure 5).
+func inferDependencies(tr *trace.Trace, a *atoms) int {
+	v := a.set.View()
+	infos := buildPartInfo(tr, a, v)
+	type src struct {
+		e    trace.EventID
+		part int32
+	}
+	byChare := make(map[trace.ChareID][]src)
+	for pi := range infos {
+		for c, e := range infos[pi].initByChare {
+			if tr.Events[e].Kind != trace.Send {
+				continue
+			}
+			byChare[c] = append(byChare[c], src{e, int32(pi)})
+		}
+	}
+	added := 0
+	for _, list := range byChare {
+		sort.Slice(list, func(i, j int) bool { return less(tr, list[i].e, list[j].e) })
+		for i := 0; i+1 < len(list); i++ {
+			p, q := list[i], list[i+1]
+			if p.part == q.part {
+				continue
+			}
+			a.set.AddEdge(a.of[p.e], a.of[q.e])
+			added++
+		}
+	}
+	_ = added
+	return 0 // Alg. 3 adds edges; partitions are merged by the cycle merge that follows.
+}
+
+// leapMerge is Algorithm 4: partitions in the same leap that overlap in
+// chares cannot be ordered, so they are assumed to be the same phase and
+// merged. Application and runtime partitions are only ever merged by cycle
+// merges, so the merge is restricted to same-kind pairs; cross-kind overlap
+// is ordered later by enforceOrderability.
+func leapMerge(a *atoms) int {
+	v := a.set.View()
+	if !v.Acyclic() {
+		a.set.CycleMerge()
+		v = a.set.View()
+	}
+	byLeap := v.PartsAtLeap()
+	plan := a.set.NewMergePlan()
+	for _, parts := range byLeap {
+		// seen maps (chare, kind) -> representative atom of the first
+		// partition at this leap holding that chare.
+		seen := make(map[int64]partition.ID)
+		for _, pi := range parts {
+			p := &v.Parts[pi]
+			kind := int64(0)
+			if p.Runtime {
+				kind = 1
+			}
+			rep := p.Atoms[0]
+			for _, c := range p.Chares {
+				key := int64(c)<<1 | kind
+				if other, ok := seen[key]; ok {
+					plan.Schedule(other, rep)
+				} else {
+					seen[key] = rep
+				}
+			}
+		}
+	}
+	return plan.Apply()
+}
+
+// enforceOrderability iterates until no two partitions at the same leap
+// share a chare (DAG property 1). Same-kind overlaps are merged when
+// dependency inference is enabled; application/runtime overlaps — and all
+// overlaps when inference is disabled (the Figure 17 ablation) — are instead
+// forced into sequence by the physical time of their initial sources.
+func enforceOrderability(tr *trace.Trace, a *atoms, opt Options) (merged, rounds int) {
+	const maxRounds = 64
+	for rounds = 0; rounds < maxRounds; rounds++ {
+		a.set.CycleMerge()
+		v := a.set.View()
+		infos := buildPartInfo(tr, a, v)
+		byLeap := v.PartsAtLeap()
+
+		type pair struct{ p, q int32 }
+		var overlaps []pair
+		for _, parts := range byLeap {
+			seen := make(map[trace.ChareID]int32)
+			dedup := make(map[int64]struct{})
+			for _, pi := range parts {
+				for _, c := range v.Parts[pi].Chares {
+					if other, ok := seen[c]; ok && other != pi {
+						lo, hi := other, pi
+						if lo > hi {
+							lo, hi = hi, lo
+						}
+						key := int64(lo)<<32 | int64(uint32(hi))
+						if _, dup := dedup[key]; !dup {
+							dedup[key] = struct{}{}
+							overlaps = append(overlaps, pair{lo, hi})
+						}
+					} else {
+						seen[c] = pi
+					}
+				}
+			}
+		}
+		if len(overlaps) == 0 {
+			return merged, rounds + 1
+		}
+		plan := a.set.NewMergePlan()
+		for _, ov := range overlaps {
+			p, q := &v.Parts[ov.p], &v.Parts[ov.q]
+			if p.Runtime == q.Runtime && opt.InferDependencies {
+				plan.Schedule(p.Atoms[0], q.Atoms[0])
+				continue
+			}
+			first, second := ov.p, ov.q
+			if partLater(tr, v, infos, ov.p, ov.q) {
+				first, second = ov.q, ov.p
+			}
+			a.set.AddEdge(v.Parts[first].Atoms[0], v.Parts[second].Atoms[0])
+		}
+		merged += plan.Apply()
+	}
+	// Safety valve: merge any remaining overlaps so the pipeline terminates.
+	a.set.CycleMerge()
+	return merged, maxRounds
+}
+
+// partLater reports whether partition p starts later than q, comparing the
+// physical time of initial sources on shared chares, falling back to shared
+// processors, then to the overall earliest event (§3.1.4, "Enforcing DAG
+// Properties").
+func partLater(tr *trace.Trace, v *partition.View, infos []partInfo, p, q int32) bool {
+	ip, iq := &infos[p], &infos[q]
+	// Shared chares: compare earliest initial events there.
+	bestP, bestQ := trace.Time(1<<62-1), trace.Time(1<<62-1)
+	for c, e := range ip.initByChare {
+		if e2, ok := iq.initByChare[c]; ok {
+			if tr.Events[e].Time < bestP {
+				bestP = tr.Events[e].Time
+			}
+			if tr.Events[e2].Time < bestQ {
+				bestQ = tr.Events[e2].Time
+			}
+		}
+	}
+	if bestP != bestQ {
+		return bestP > bestQ
+	}
+	// Shared processors: compare earliest initial-source times.
+	bestP, bestQ = 1<<62-1, 1<<62-1
+	for pe, tp := range ip.srcTimeByPE {
+		if tq, ok := iq.srcTimeByPE[pe]; ok {
+			if tp < bestP {
+				bestP = tp
+			}
+			if tq < bestQ {
+				bestQ = tq
+			}
+		}
+	}
+	if bestP != bestQ {
+		return bestP > bestQ
+	}
+	if ip.minTime != iq.minTime {
+		return ip.minTime > iq.minTime
+	}
+	return p > q
+}
+
+// enforceCharePaths is Algorithm 5 (DAG property 2): walking leaps from the
+// last to the first, every partition whose direct successors do not span all
+// of its chares gains happened-before edges to the partitions of the next
+// leap containing the missing chares (Figure 6).
+func enforceCharePaths(tr *trace.Trace, a *atoms) int {
+	v := a.set.View()
+	if !v.Acyclic() {
+		a.set.CycleMerge()
+		v = a.set.View()
+	}
+	byLeap := v.PartsAtLeap()
+	lastMap := make(map[trace.ChareID]int32) // chare -> nearest later leap containing it
+	added := 0
+	for k := int32(len(byLeap)) - 1; k >= 0; k-- {
+		for _, pi := range byLeap[k] {
+			p := &v.Parts[pi]
+			// Chares covered by direct successors.
+			covered := make(map[trace.ChareID]bool)
+			for _, succ := range v.G.Adj[pi] {
+				for _, c := range v.Parts[succ].Chares {
+					covered[c] = true
+				}
+			}
+			// missing chares grouped by the next leap that contains them.
+			missingByLeap := make(map[int32][]trace.ChareID)
+			for _, c := range p.Chares {
+				if covered[c] {
+					continue
+				}
+				if l, ok := lastMap[c]; ok {
+					missingByLeap[l] = append(missingByLeap[l], c)
+				}
+				// No later leap contains c: property 2 already satisfied.
+			}
+			var leaps []int32
+			for l := range missingByLeap {
+				leaps = append(leaps, l)
+			}
+			sort.Slice(leaps, func(i, j int) bool { return leaps[i] < leaps[j] })
+			for _, l := range leaps {
+				want := make(map[trace.ChareID]bool)
+				for _, c := range missingByLeap[l] {
+					want[c] = true
+				}
+				for _, qi := range byLeap[l] {
+					q := &v.Parts[qi]
+					hit := false
+					for _, c := range q.Chares {
+						if want[c] {
+							hit = true
+							delete(want, c)
+						}
+					}
+					if hit {
+						a.set.AddEdge(p.Atoms[0], q.Atoms[0])
+						added++
+					}
+				}
+			}
+		}
+		for _, pi := range byLeap[k] {
+			for _, c := range v.Parts[pi].Chares {
+				lastMap[c] = k
+			}
+		}
+	}
+	return 0
+}

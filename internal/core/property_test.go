@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"charmtrace/internal/trace"
+)
+
+// randomTrace drives a tiny random message-driven execution: seed blocks
+// send messages, each delivery runs a block that may send further messages,
+// one PE executes at a time. The result is a valid trace with arbitrary
+// interleavings, broadcast-free but with runtime chares mixed in.
+func randomTrace(rng *rand.Rand) *trace.Trace {
+	numPE := 1 + rng.Intn(4)
+	numChares := numPE + rng.Intn(6)
+	b := trace.NewBuilder(numPE)
+	entries := []trace.EntryID{
+		b.AddEntry("e0"),
+		b.AddSDAGEntry("serial_0", 0, false),
+		b.AddSDAGEntry("serial_1", 1, true),
+	}
+	chares := make([]trace.ChareID, numChares)
+	homes := make([]trace.PE, numChares)
+	for i := range chares {
+		homes[i] = trace.PE(rng.Intn(numPE))
+		if rng.Intn(5) == 0 {
+			chares[i] = b.AddRuntimeChare("rt", homes[i])
+		} else {
+			chares[i] = b.AddChare("app", 0, i, homes[i])
+		}
+	}
+
+	type delivery struct {
+		msg   trace.MsgID
+		chare int
+		ready trace.Time
+	}
+	var queue []delivery
+	peClock := make([]trace.Time, numPE)
+	chareBusy := make(map[int]trace.Time)
+
+	// Seed blocks: a few chares start spontaneously and send messages.
+	budget := 10 + rng.Intn(40)
+	send := func(from int, tm trace.Time) {
+		to := rng.Intn(numChares)
+		m := b.NewMsg()
+		b.Send(chares[from], m, tm)
+		queue = append(queue, delivery{m, to, tm + trace.Time(1+rng.Intn(20))})
+	}
+	seeds := 1 + rng.Intn(3)
+	for s := 0; s < seeds && budget > 0; s++ {
+		c := rng.Intn(numChares)
+		pe := homes[c]
+		begin := peClock[pe]
+		if t, ok := chareBusy[c]; ok && t > begin {
+			begin = t
+		}
+		b.BeginBlock(chares[c], pe, entries[rng.Intn(len(entries))], begin)
+		nsend := 1 + rng.Intn(2)
+		for i := 0; i < nsend && budget > 0; i++ {
+			send(c, begin+trace.Time(i+1))
+			budget--
+		}
+		end := begin + trace.Time(nsend+2)
+		b.EndBlock(chares[c], end)
+		peClock[pe] = end
+		chareBusy[c] = end
+	}
+	// Process deliveries.
+	for len(queue) > 0 {
+		// Pop the earliest-ready delivery for determinism.
+		best := 0
+		for i := range queue {
+			if queue[i].ready < queue[best].ready {
+				best = i
+			}
+		}
+		d := queue[best]
+		queue = append(queue[:best], queue[best+1:]...)
+		pe := homes[d.chare]
+		begin := peClock[pe]
+		if d.ready > begin {
+			begin = d.ready
+		}
+		if t, ok := chareBusy[d.chare]; ok && t > begin {
+			begin = t
+		}
+		b.BeginBlock(chares[d.chare], pe, entries[rng.Intn(len(entries))], begin)
+		b.Recv(chares[d.chare], d.msg, begin)
+		nsend := 0
+		if budget > 0 {
+			nsend = rng.Intn(3)
+		}
+		for i := 0; i < nsend && budget > 0; i++ {
+			send(d.chare, begin+trace.Time(i+1))
+			budget--
+		}
+		end := begin + trace.Time(nsend+2)
+		b.EndBlock(chares[d.chare], end)
+		peClock[pe] = end
+		chareBusy[d.chare] = end
+	}
+	return b.MustFinish()
+}
+
+// TestExtractInvariantsOnRandomTraces checks Validate() over random traces
+// for every option combination.
+func TestExtractInvariantsOnRandomTraces(t *testing.T) {
+	opts := []Options{
+		DefaultOptions(),
+		{Reorder: false, InferDependencies: true, NeighborSerialMerge: true},
+		{Reorder: true, InferDependencies: false},
+		{Reorder: false, InferDependencies: false},
+		MessagePassingOptions(),
+		{Reorder: false, MessagePassing: true, ProcessOrderDeps: true},
+		{Reorder: true, InferDependencies: true, ProcessOrderDeps: true},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng)
+		for _, opt := range opts {
+			s, err := Extract(tr, opt)
+			if err != nil {
+				t.Logf("seed %d: Extract error: %v", seed, err)
+				return false
+			}
+			if err := s.Validate(); err != nil {
+				t.Logf("seed %d opts %+v: %v", seed, opt, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExtractDeterministic: the same trace and options always produce the
+// same structure.
+func TestExtractDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := randomTrace(rng)
+	a, err := Extract(tr, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Extract(tr, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumPhases() != b.NumPhases() {
+		t.Fatalf("phase counts differ: %d vs %d", a.NumPhases(), b.NumPhases())
+	}
+	for e := range tr.Events {
+		if a.Step[e] != b.Step[e] || a.PhaseOf[e] != b.PhaseOf[e] {
+			t.Fatalf("event %d differs between runs", e)
+		}
+	}
+}
+
+// TestPhaseEventsSortedByStep: the Events list of every phase is ordered by
+// (local step, chare).
+func TestPhaseEventsSortedByStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		tr := randomTrace(rng)
+		s, err := Extract(tr, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pi := range s.Phases {
+			evs := s.Phases[pi].Events
+			for j := 0; j+1 < len(evs); j++ {
+				if s.LocalStep[evs[j]] > s.LocalStep[evs[j+1]] {
+					t.Fatalf("phase %d events not step-sorted", pi)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentPhasesSymmetry: ConcurrentPhases only reports unordered,
+// step-overlapping pairs.
+func TestConcurrentPhasesSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := randomTrace(rng)
+	s, err := Extract(tr, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range s.ConcurrentPhases() {
+		a, b := &s.Phases[pair[0]], &s.Phases[pair[1]]
+		al, ah := a.GlobalSpan()
+		bl, bh := b.GlobalSpan()
+		if ah < bl || bh < al {
+			t.Fatalf("pair %v does not overlap in steps", pair)
+		}
+	}
+}

@@ -1,0 +1,661 @@
+package core
+
+import (
+	"container/heap"
+	"runtime"
+	"sort"
+	"sync"
+
+	"charmtrace/internal/partition"
+	"charmtrace/internal/trace"
+)
+
+// fragment is a serial block's run of events inside one phase. Reordering
+// (§3.2.1) permutes fragments per chare; events inside a fragment keep their
+// recorded order, since the order within a serial block is determined
+// explicitly by the developer.
+type fragment struct {
+	block  trace.BlockID
+	chare  trace.ChareID
+	events []trace.EventID
+	wInit  int32
+	idx    int // position within the phase's fragment list
+}
+
+// scratch holds per-event working arrays reused across every phase of one
+// extraction. Phases touch disjoint event sets, each cell is initialized by
+// its phase before being read, and cross-phase lookups are guarded by
+// PhaseOf — so the arrays never need clearing, and the parallel ordering
+// stage can share one scratch (distinct phases write distinct indices).
+type scratch struct {
+	w       []int32
+	frag    []*fragment
+	sendDep []trace.EventID
+	indeg   []int32
+	next    [][]trace.EventID
+}
+
+func newScratch(n int) *scratch {
+	return &scratch{
+		w:       make([]int32, n),
+		frag:    make([]*fragment, n),
+		sendDep: make([]trace.EventID, n),
+		indeg:   make([]int32, n),
+		next:    make([][]trace.EventID, n),
+	}
+}
+
+// assignSteps runs the ordering stage (§3.2): per-phase w-clock computation,
+// per-chare fragment reordering, local step assignment, and global offsets
+// from the phase DAG.
+func assignSteps(tr *trace.Trace, opt Options, a *atoms) *Structure {
+	v := a.set.View()
+	if !v.Acyclic() {
+		a.set.CycleMerge()
+		v = a.set.View()
+	}
+	leap, _ := v.Leaps()
+
+	s := &Structure{
+		Trace:       tr,
+		Opts:        opt,
+		Phases:      make([]Phase, len(v.Parts)),
+		DAG:         v.G,
+		PhaseOf:     make([]int32, len(tr.Events)),
+		LocalStep:   make([]int32, len(tr.Events)),
+		Step:        make([]int32, len(tr.Events)),
+		chareEvents: make([][]trace.EventID, len(tr.Chares)),
+	}
+	for i := range s.PhaseOf {
+		s.PhaseOf[i] = -1
+		s.LocalStep[i] = -1
+		s.Step[i] = -1
+	}
+
+	// chareSeq collects, per phase, the per-chare ordered event sequences so
+	// the final chare timelines can be stitched in phase order.
+	chareSeq := make([]map[trace.ChareID][]trace.EventID, len(v.Parts))
+
+	// PhaseOf must be complete before any phase is stepped: stepPhase
+	// consults it to keep cross-phase sends out of a phase's dependencies.
+	for pi := range v.Parts {
+		for _, atomID := range v.Parts[pi].Atoms {
+			for _, e := range a.set.Atom(atomID).Events {
+				s.PhaseOf[e] = int32(pi)
+			}
+		}
+	}
+
+	sc := newScratch(len(tr.Events))
+
+	// orderPhase handles one phase; phases touch disjoint events (and
+	// disjoint scratch cells), so the stage parallelizes cleanly (§3.3:
+	// "this stage could be parallelized").
+	orderPhase := func(pi int) {
+		part := &v.Parts[pi]
+		ph := &s.Phases[pi]
+		ph.ID = int32(pi)
+		ph.Runtime = part.Runtime
+		ph.Leap = leap[pi]
+		ph.Chares = append([]trace.ChareID(nil), part.Chares...)
+
+		events := phaseEvents(tr, a, part.Atoms)
+		phaseW(tr, opt, events, a, sc, s.PhaseOf, int32(pi))
+		placed := orderFragments(tr, opt, buildFragments(tr, events, a, sc), sc, s.PhaseOf, int32(pi))
+		order, maxLocal := stepPhase(tr, events, placed, s.PhaseOf, int32(pi), s.LocalStep, sc)
+		chareSeq[pi] = order
+		ph.MaxLocalStep = maxLocal
+
+		ph.Events = events
+		sort.Slice(ph.Events, func(i, j int) bool {
+			ei, ej := ph.Events[i], ph.Events[j]
+			if s.LocalStep[ei] != s.LocalStep[ej] {
+				return s.LocalStep[ei] < s.LocalStep[ej]
+			}
+			if tr.Events[ei].Chare != tr.Events[ej].Chare {
+				return tr.Events[ei].Chare < tr.Events[ej].Chare
+			}
+			return ei < ej
+		})
+	}
+	if opt.Parallel && len(v.Parts) > 1 {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for pi := range v.Parts {
+			pi := pi
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer func() {
+					<-sem
+					wg.Done()
+				}()
+				orderPhase(pi)
+			}()
+		}
+		wg.Wait()
+	} else {
+		for pi := range v.Parts {
+			orderPhase(pi)
+		}
+	}
+
+	computeOffsets(s)
+	for e := range tr.Events {
+		if s.PhaseOf[e] >= 0 {
+			s.Step[e] = s.Phases[s.PhaseOf[e]].Offset + s.LocalStep[e]
+		}
+	}
+	stitchChareTimelines(s, chareSeq)
+	return s
+}
+
+// phaseEvents gathers a partition's events, sorted by (time, ID).
+func phaseEvents(tr *trace.Trace, a *atoms, atomIDs []partition.ID) []trace.EventID {
+	var events []trace.EventID
+	for _, id := range atomIDs {
+		events = append(events, a.set.Atom(id).Events...)
+	}
+	sort.Slice(events, func(i, j int) bool { return timeOrderLess(tr, events[i], events[j]) })
+	return events
+}
+
+// timeOrderLess orders events by time, sends before receives at equal time
+// (a message's send never follows its receive), then by ID.
+func timeOrderLess(tr *trace.Trace, a, b trace.EventID) bool {
+	ea, eb := &tr.Events[a], &tr.Events[b]
+	if ea.Time != eb.Time {
+		return ea.Time < eb.Time
+	}
+	if ea.Kind != eb.Kind {
+		return ea.Kind == trace.Send
+	}
+	return a < b
+}
+
+// phaseW computes the idealized-replay clock w (§3.2.1) for a phase's
+// events, which must be sorted by timeOrderLess.
+//
+// Task-based rule: the phase's initial sends get w = 0; subsequent sends of
+// a serial block count up; a receive gets w_send + 1; sends after a receive
+// count up from the receive's w.
+//
+// Message-passing rule (Figure 9): a receive still gets w_send + 1, but a
+// send is pinned after every receive that physically preceded it on its
+// timeline: w_send = 1 + max{w_recv | recv before send}, so receives may be
+// reordered around the send while the send keeps its position.
+func phaseW(tr *trace.Trace, opt Options, events []trace.EventID, a *atoms, sc *scratch, phaseOf []int32, pi int32) {
+	w := sc.w
+	lastW := make(map[trace.BlockID]int32)    // task-based: last w per serial block
+	maxRecvW := make(map[trace.ChareID]int32) // message-passing: max receive w per timeline
+	for _, e := range events {
+		ev := &tr.Events[e]
+		var val int32
+		if ev.Kind == trace.Recv {
+			val = 0
+			// The matching send is in this phase (Alg. 1 merges endpoints)
+			// and was processed earlier (sends precede receives in time
+			// order); the guard covers synthetic cross-phase records.
+			if send := tr.SendOf(ev.Msg); send != trace.NoEvent && phaseOf[send] == pi {
+				val = w[send] + 1
+			}
+			if !opt.MessagePassing {
+				if lw, ok := lastW[a.canonicalBlock(ev.Block)]; ok && lw+1 > val {
+					val = lw + 1
+				}
+			}
+			if opt.MessagePassing {
+				if cur, ok := maxRecvW[ev.Chare]; !ok || val > cur {
+					maxRecvW[ev.Chare] = val
+				}
+			}
+		} else { // Send
+			if opt.MessagePassing {
+				if mr, ok := maxRecvW[ev.Chare]; ok {
+					val = mr + 1
+				}
+			} else if lw, ok := lastW[a.canonicalBlock(ev.Block)]; ok {
+				val = lw + 1
+			}
+		}
+		w[e] = val
+		lastW[a.canonicalBlock(ev.Block)] = val
+	}
+}
+
+// buildFragments groups a phase's events by serial block, preserving
+// per-block recorded order.
+func buildFragments(tr *trace.Trace, events []trace.EventID, a *atoms, sc *scratch) []*fragment {
+	byBlock := make(map[trace.BlockID]*fragment)
+	var frags []*fragment
+	for _, e := range events {
+		ev := &tr.Events[e]
+		// Absorbed block pairs (§2.1) order as one serial block.
+		canon := a.canonicalBlock(ev.Block)
+		f, ok := byBlock[canon]
+		if !ok {
+			f = &fragment{block: canon, chare: ev.Chare, wInit: sc.w[e], idx: len(frags)}
+			byBlock[canon] = f
+			frags = append(frags, f)
+		}
+		f.events = append(f.events, e)
+		sc.frag[e] = f
+	}
+	return frags
+}
+
+// orderFragments orders a phase's fragments (§3.2.1): by the w of the
+// fragment's initial event, ties broken by the chare that invoked the serial
+// block, then by comparing source fragments one step back (Figure 7), and
+// finally by physical time. Without Reorder, fragments order by physical
+// time. The placement respects every intra-phase message dependency between
+// fragments (a dependency-aware traversal whose ready set is prioritized by
+// the comparator); the returned slice is the global placement order, which
+// step assignment uses as its scheduling priority.
+func orderFragments(tr *trace.Trace, opt Options, frags []*fragment, sc *scratch, phaseOf []int32, pi int32) []*fragment {
+	// invoker returns the chare that invoked a fragment: the chare of the
+	// send matching its initial receive, or NoChare for send-initial
+	// (phase-source) fragments.
+	invoker := func(f *fragment) trace.ChareID {
+		ev := &tr.Events[f.events[0]]
+		if ev.Kind != trace.Recv {
+			return trace.NoChare
+		}
+		if send := tr.SendOf(ev.Msg); send != trace.NoEvent {
+			return tr.Events[send].Chare
+		}
+		return trace.NoChare
+	}
+	// sourceFrag returns the fragment containing the send that invoked f,
+	// if it is in the same phase.
+	sourceFrag := func(f *fragment) *fragment {
+		ev := &tr.Events[f.events[0]]
+		if ev.Kind != trace.Recv {
+			return nil
+		}
+		if send := tr.SendOf(ev.Msg); send != trace.NoEvent && phaseOf[send] == pi {
+			return sc.frag[send]
+		}
+		return nil
+	}
+	// rank orders invoking chares: by the caller-supplied topology rank
+	// when one is given (the paper's suggestion that data-topology-aware
+	// tie-breaking is more intuitive), by chare ID otherwise.
+	rank := func(c trace.ChareID) int32 {
+		if opt.ChareRank != nil && c >= 0 && int(c) < len(opt.ChareRank) {
+			return opt.ChareRank[c]
+		}
+		return int32(c)
+	}
+	var cmp func(f, g *fragment, depth int) int
+	cmp = func(f, g *fragment, depth int) int {
+		if f.wInit != g.wInit {
+			if f.wInit < g.wInit {
+				return -1
+			}
+			return 1
+		}
+		fi, gi := invoker(f), invoker(g)
+		if rf, rg := rank(fi), rank(gi); rf != rg {
+			if rf < rg {
+				return -1
+			}
+			return 1
+		}
+		if fi != gi {
+			if fi < gi {
+				return -1
+			}
+			return 1
+		}
+		if depth < 4 {
+			sf, sg := sourceFrag(f), sourceFrag(g)
+			if sf != nil && sg != nil && sf != sg {
+				if c := cmp(sf, sg, depth+1); c != 0 {
+					return c
+				}
+			}
+		}
+		return 0
+	}
+	less := func(f, g *fragment) bool {
+		if opt.Reorder {
+			if c := cmp(f, g, 0); c != 0 {
+				return c < 0
+			}
+		}
+		tf, tg := tr.Events[f.events[0]].Time, tr.Events[g.events[0]].Time
+		if tf != tg {
+			return tf < tg
+		}
+		return f.block < g.block
+	}
+
+	// Fragments are placed in a single phase-wide order that respects every
+	// intra-phase message dependency between fragments: a Kahn traversal
+	// whose ready set is prioritized by the paper's comparator. A plain sort
+	// can invert two same-w fragments against an explicit dependency (the
+	// invoker tie-break knows nothing about messages between the tied
+	// blocks); the dependency-aware traversal only applies the comparator
+	// among fragments whose predecessors are already placed.
+	indeg := make([]int, len(frags))
+	succ := make([][]int, len(frags))
+	seenEdge := make(map[int64]struct{})
+	for gi, f := range frags {
+		for _, e := range f.events {
+			ev := &tr.Events[e]
+			if ev.Kind != trace.Recv {
+				continue
+			}
+			send := tr.SendOf(ev.Msg)
+			if send == trace.NoEvent || phaseOf[send] != pi {
+				continue
+			}
+			sf := sc.frag[send]
+			if sf == f {
+				continue
+			}
+			si := sf.idx
+			key := int64(si)<<32 | int64(uint32(gi))
+			if _, dup := seenEdge[key]; dup {
+				continue
+			}
+			seenEdge[key] = struct{}{}
+			succ[si] = append(succ[si], gi)
+			indeg[gi]++
+		}
+	}
+	ready := &fragHeap{less: less}
+	for i, f := range frags {
+		if indeg[i] == 0 {
+			ready.push(f)
+		}
+	}
+	out := make([]*fragment, 0, len(frags))
+	for len(out) < len(frags) {
+		if ready.Len() == 0 {
+			// Dependency cycle among fragments (pathological multi-receive
+			// blocks): release the earliest-starting blocked fragment. Step
+			// assignment only treats intra-fragment and message edges as
+			// hard, so a released cycle cannot corrupt the steps.
+			var best *fragment
+			for i, f := range frags {
+				if indeg[i] > 0 && (best == nil || less(f, best)) {
+					best = f
+				}
+			}
+			indeg[best.idx] = 0
+			ready.push(best)
+			continue
+		}
+		f := ready.pop()
+		out = append(out, f)
+		for _, gi := range succ[f.idx] {
+			indeg[gi]--
+			if indeg[gi] == 0 {
+				ready.push(frags[gi])
+			}
+		}
+	}
+	return out
+}
+
+// fragHeap is a priority queue of fragments under a closure comparator.
+type fragHeap struct {
+	items []*fragment
+	less  func(a, b *fragment) bool
+}
+
+func (h *fragHeap) Len() int           { return len(h.items) }
+func (h *fragHeap) Less(i, j int) bool { return h.less(h.items[i], h.items[j]) }
+func (h *fragHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *fragHeap) Push(x any)         { h.items = append(h.items, x.(*fragment)) }
+func (h *fragHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	f := old[n-1]
+	old[n-1] = nil
+	h.items = old[:n-1]
+	return f
+}
+func (h *fragHeap) push(f *fragment) { heap.Push(h, f) }
+func (h *fragHeap) pop() *fragment   { return heap.Pop(h).(*fragment) }
+
+// stepPhase assigns local logical steps within a phase and derives the
+// final per-chare event order. The phase's initial sources get step 0;
+// every other event gets one over the maximum of the events that
+// happened-before it — the prior event along its chare's timeline and its
+// matching send when it is a receive.
+//
+// The hard constraints are the intra-fragment event order and the message
+// edges; both point strictly forward in (time, kind) order, so their union
+// is always acyclic and the assignment never needs a fallback. The fragment
+// placement computed by orderFragments acts as the scheduling priority:
+// ready events pop in placement order, which keeps each fragment's events
+// together whenever dependencies permit. The pop order restricted to one
+// chare IS that chare's timeline, so per-chare steps are strictly
+// increasing and every receive lands after its send, by construction.
+func stepPhase(tr *trace.Trace, events []trace.EventID, placed []*fragment, phaseOf []int32, pi int32, localStep []int32, sc *scratch) (map[trace.ChareID][]trace.EventID, int32) {
+	// Priority of each event: (fragment placement, position in fragment).
+	type prio struct {
+		place int32
+		pos   int32
+	}
+	prioOf := make(map[trace.EventID]prio, len(events))
+	for pl, f := range placed {
+		for pos, e := range f.events {
+			prioOf[e] = prio{int32(pl), int32(pos)}
+		}
+	}
+	// Hard edges: consecutive events of a fragment, and send -> receive.
+	for _, e := range events {
+		sc.sendDep[e] = trace.NoEvent
+		sc.indeg[e] = 0
+		sc.next[e] = sc.next[e][:0]
+	}
+	addEdge := func(from, to trace.EventID) {
+		sc.next[from] = append(sc.next[from], to)
+		sc.indeg[to]++
+	}
+	for _, f := range placed {
+		for i := 0; i+1 < len(f.events); i++ {
+			addEdge(f.events[i], f.events[i+1])
+		}
+	}
+	for _, e := range events {
+		ev := &tr.Events[e]
+		if ev.Kind != trace.Recv {
+			continue
+		}
+		if send := tr.SendOf(ev.Msg); send != trace.NoEvent && phaseOf[send] == pi {
+			sc.sendDep[e] = send
+			addEdge(send, e)
+		}
+	}
+
+	// Deterministic priority queue over ready events.
+	h := &eventPrioHeap{prio: func(a, b trace.EventID) bool {
+		pa, pb := prioOf[a], prioOf[b]
+		if pa.place != pb.place {
+			return pa.place < pb.place
+		}
+		if pa.pos != pb.pos {
+			return pa.pos < pb.pos
+		}
+		return a < b
+	}}
+	for _, e := range events {
+		if sc.indeg[e] == 0 {
+			h.push(e)
+		}
+	}
+	order := make(map[trace.ChareID][]trace.EventID)
+	var maxStep int32
+	for h.Len() > 0 {
+		e := h.pop()
+		ev := &tr.Events[e]
+		st := int32(0)
+		if seq := order[ev.Chare]; len(seq) > 0 {
+			if p := localStep[seq[len(seq)-1]]; p+1 > st {
+				st = p + 1
+			}
+		}
+		if sd := sc.sendDep[e]; sd != trace.NoEvent {
+			if p := localStep[sd]; p+1 > st {
+				st = p + 1
+			}
+		}
+		localStep[e] = st
+		if st > maxStep {
+			maxStep = st
+		}
+		order[ev.Chare] = append(order[ev.Chare], e)
+		for _, n := range sc.next[e] {
+			sc.indeg[n]--
+			if sc.indeg[n] == 0 {
+				h.push(n)
+			}
+		}
+	}
+	return order, maxStep
+}
+
+// eventPrioHeap is a priority queue of events under a closure comparator.
+type eventPrioHeap struct {
+	items []trace.EventID
+	prio  func(a, b trace.EventID) bool
+}
+
+func (h *eventPrioHeap) Len() int           { return len(h.items) }
+func (h *eventPrioHeap) Less(i, j int) bool { return h.prio(h.items[i], h.items[j]) }
+func (h *eventPrioHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *eventPrioHeap) Push(x any)         { h.items = append(h.items, x.(trace.EventID)) }
+func (h *eventPrioHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	e := old[n-1]
+	h.items = old[:n-1]
+	return e
+}
+func (h *eventPrioHeap) push(e trace.EventID) { heap.Push(h, e) }
+func (h *eventPrioHeap) pop() trace.EventID   { return heap.Pop(h).(trace.EventID) }
+
+// computeOffsets assigns each phase its global step offset: the maximum over
+// phase-DAG predecessors of (their offset + their max local step + 1). An
+// implementation refinement guards the per-chare uniqueness of global steps:
+// if two phases sharing a chare remain unordered and their global spans
+// collide, an order edge (earlier initial event first) is inserted and
+// offsets are recomputed.
+func computeOffsets(s *Structure) {
+	for round := 0; round < 64; round++ {
+		order, ok := s.DAG.TopoSort()
+		if !ok {
+			// Cannot happen: edges are only added between unordered phases.
+			break
+		}
+		for i := range s.Phases {
+			s.Phases[i].Offset = 0
+		}
+		for _, p := range order {
+			ph := &s.Phases[p]
+			for _, q := range s.DAG.Adj[p] {
+				if need := ph.Offset + ph.MaxLocalStep + 1; s.Phases[q].Offset < need {
+					s.Phases[q].Offset = need
+				}
+			}
+		}
+		if !fixChareCollision(s) {
+			return
+		}
+	}
+}
+
+// fixChareCollision finds one pair of unordered phases that share a chare
+// and collide in global steps, adds an order edge, and reports whether it
+// did. Phases connected in the DAG can never collide (the offset rule
+// separates them), so the added edge cannot create a cycle.
+func fixChareCollision(s *Structure) bool {
+	type span struct {
+		phase  int32
+		lo, hi int32
+	}
+	byChare := make(map[trace.ChareID][]span)
+	for i := range s.Phases {
+		ph := &s.Phases[i]
+		lo, hi := ph.GlobalSpan()
+		for _, c := range ph.Chares {
+			byChare[c] = append(byChare[c], span{int32(i), lo, hi})
+		}
+	}
+	for _, spans := range byChare {
+		// Sweep by span start: a collision exists iff a span begins before
+		// the previous maximum end.
+		sort.Slice(spans, func(i, j int) bool {
+			if spans[i].lo != spans[j].lo {
+				return spans[i].lo < spans[j].lo
+			}
+			return spans[i].phase < spans[j].phase
+		})
+		maxIdx := 0
+		for i := 1; i < len(spans); i++ {
+			a, b := spans[maxIdx], spans[i]
+			if b.lo > a.hi {
+				if b.hi > a.hi {
+					maxIdx = i
+				}
+				continue
+			}
+			// Colliding spans imply the phases are unordered.
+			first, second := a.phase, b.phase
+			if phaseStartTime(s, second) < phaseStartTime(s, first) {
+				first, second = second, first
+			}
+			s.DAG.AddEdge(first, second)
+			return true
+		}
+	}
+	return false
+}
+
+// phaseStartTime returns the earliest event time of a phase.
+func phaseStartTime(s *Structure, p int32) trace.Time {
+	best := trace.Time(1<<62 - 1)
+	for _, e := range s.Phases[p].Events {
+		if t := s.Trace.Events[e].Time; t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// stitchChareTimelines concatenates each chare's per-phase ordered event
+// sequences in phase order (offset, then leap, then ID).
+func stitchChareTimelines(s *Structure, chareSeq []map[trace.ChareID][]trace.EventID) {
+	type ph struct {
+		idx int32
+		seq []trace.EventID
+	}
+	byChare := make(map[trace.ChareID][]ph)
+	for pi, seqs := range chareSeq {
+		for c, seq := range seqs {
+			byChare[c] = append(byChare[c], ph{int32(pi), seq})
+		}
+	}
+	for c, list := range byChare {
+		sort.Slice(list, func(i, j int) bool {
+			pi, pj := &s.Phases[list[i].idx], &s.Phases[list[j].idx]
+			if pi.Offset != pj.Offset {
+				return pi.Offset < pj.Offset
+			}
+			if pi.Leap != pj.Leap {
+				return pi.Leap < pj.Leap
+			}
+			return list[i].idx < list[j].idx
+		})
+		var seq []trace.EventID
+		for _, p := range list {
+			seq = append(seq, p.seq...)
+		}
+		s.chareEvents[c] = seq
+	}
+}

@@ -1,0 +1,143 @@
+package mpisim
+
+import (
+	"testing"
+
+	"charmtrace/internal/trace"
+)
+
+func TestRecvAnyArrivalOrder(t *testing.T) {
+	// Rank 2 receives from 0 and 1 via RecvAny; with jitter disabled, rank
+	// 1's later send arrives later, so arrival order is 0 then 1.
+	cfg := DefaultConfig(3)
+	cfg.Jitter = 0
+	var order []int
+	MustRun(cfg, func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Send(2, 7, "from0")
+		case 1:
+			r.Compute(5000)
+			r.Send(2, 7, "from1")
+		case 2:
+			for i := 0; i < 2; i++ {
+				from, tag, _ := r.RecvAny(7)
+				if tag != 7 {
+					t.Errorf("tag = %d", tag)
+				}
+				order = append(order, from)
+			}
+		}
+	})
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("RecvAny order = %v, want [0 1] (arrival order)", order)
+	}
+}
+
+func TestRecvAnyFiltersTags(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Jitter = 0
+	var got []int
+	MustRun(cfg, func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Send(1, 5, nil) // not accepted first
+			r.Compute(100)
+			r.Send(1, 9, nil)
+		case 1:
+			_, tag, _ := r.RecvAny(9)
+			got = append(got, tag)
+			_, tag, _ = r.RecvAny(5, 9)
+			got = append(got, tag)
+		}
+	})
+	if len(got) != 2 || got[0] != 9 || got[1] != 5 {
+		t.Fatalf("tags = %v, want [9 5]", got)
+	}
+}
+
+func TestRecvAnyPanicsWithoutTags(t *testing.T) {
+	_, err := Run(DefaultConfig(1), func(r *Rank) {
+		r.RecvAny()
+	})
+	if err == nil {
+		t.Fatal("RecvAny() without tags should fail the run")
+	}
+}
+
+func TestBarrierGatesAllRanks(t *testing.T) {
+	after := make([]Time, 4)
+	MustRun(DefaultConfig(4), func(r *Rank) {
+		r.Compute(Time(1000 * (r.ID() + 1)))
+		r.Barrier()
+		after[r.ID()] = r.Now()
+	})
+	// Everyone leaves the barrier after the slowest (4000ns) joined.
+	for i, tm := range after {
+		if tm < 4000 {
+			t.Fatalf("rank %d left barrier at %d, before slowest join", i, tm)
+		}
+	}
+}
+
+func TestOps(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want float64
+	}{{Sum, 6}, {Max, 3}, {Min, 1}}
+	for _, c := range cases {
+		var got float64
+		MustRun(DefaultConfig(3), func(r *Rank) {
+			got = r.Allreduce(float64(r.ID()+1), c.op)
+		})
+		if got != c.want {
+			t.Fatalf("op %d = %v, want %v", c.op, got, c.want)
+		}
+	}
+}
+
+func TestSendOutOfRangePanicsRun(t *testing.T) {
+	_, err := Run(DefaultConfig(1), func(r *Rank) {
+		r.Send(5, 0, nil)
+	})
+	if err == nil {
+		t.Fatal("out-of-range Send should fail the run")
+	}
+}
+
+func TestNegativeComputeFailsRun(t *testing.T) {
+	_, err := Run(DefaultConfig(1), func(r *Rank) {
+		r.Compute(-1)
+	})
+	if err == nil {
+		t.Fatal("negative Compute should fail the run")
+	}
+}
+
+func TestZeroProcsRejected(t *testing.T) {
+	if _, err := Run(Config{}, func(r *Rank) {}); err == nil {
+		t.Fatal("zero procs accepted")
+	}
+}
+
+func TestRecvAnyTraceRecordsMatch(t *testing.T) {
+	cfg := DefaultConfig(2)
+	tr := MustRun(cfg, func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Send(1, 3, nil)
+		case 1:
+			r.RecvAny(3)
+		}
+	})
+	if tr.CountKind(trace.Recv) != 1 || tr.CountKind(trace.Send) != 1 {
+		t.Fatal("RecvAny did not record events")
+	}
+	recv := tr.Events[1]
+	if recv.Kind == trace.Recv {
+		send := tr.SendOf(recv.Msg)
+		if tr.Events[send].Time >= recv.Time {
+			t.Fatal("recv not after send")
+		}
+	}
+}

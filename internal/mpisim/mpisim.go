@@ -1,0 +1,486 @@
+// Package mpisim simulates process-centric message-passing (MPI-style)
+// programs and records their event traces: one process per processor, one
+// serial block per communication call (§3.4: in the message-passing model
+// each serial block contains a single send or receive event), blocking
+// receives, and collectives.
+//
+// Each rank runs as a goroutine, but exactly one runs at a time under a
+// strict scheduler hand-off, and every blocking decision depends only on
+// virtual state — traces are fully deterministic for a given seed.
+//
+// Collectives are abstracted the way the paper's MPI traces show them
+// (Figure 20a: "the allreduce is abstracted into its collective call and
+// thus is shown as two steps"): each rank records a send to its ring
+// successor and a receive from its ring predecessor, which the dependency
+// and cycle merges contract into a single phase spanning two logical steps,
+// while the simulated completion time is gated by the slowest participant
+// like a real allreduce.
+package mpisim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"charmtrace/internal/trace"
+)
+
+// Time aliases virtual nanoseconds.
+type Time = trace.Time
+
+// Config parameterizes the simulated machine.
+type Config struct {
+	NumProcs int
+	Seed     int64
+	// Latency is the base point-to-point delivery latency.
+	Latency Time
+	// Jitter adds uniform [0, Jitter] to each delivery.
+	Jitter Time
+	// SendDur and RecvDur are the virtual durations of the send and receive
+	// call blocks recorded in the trace.
+	SendDur Time
+	RecvDur Time
+}
+
+// DefaultConfig returns a small-cluster configuration.
+func DefaultConfig(n int) Config {
+	return Config{NumProcs: n, Seed: 1, Latency: 1000, Jitter: 200, SendDur: 50, RecvDur: 50}
+}
+
+// Program is the per-rank body, the analogue of main() in an MPI program.
+type Program func(r *Rank)
+
+// Op combines allreduce contributions.
+type Op int
+
+// Supported allreduce operators.
+const (
+	Sum Op = iota
+	Max
+	Min
+)
+
+func (op Op) combine(a, b float64) float64 {
+	switch op {
+	case Sum:
+		return a + b
+	case Max:
+		if a > b {
+			return a
+		}
+		return b
+	case Min:
+		if a < b {
+			return a
+		}
+		return b
+	default:
+		panic(fmt.Sprintf("mpisim: unknown Op %d", int(op)))
+	}
+}
+
+// message is one in-flight point-to-point message.
+type message struct {
+	msg     trace.MsgID
+	from    int
+	tag     int
+	data    any
+	arrival Time
+	seq     int64 // send order for MPI non-overtaking matching
+}
+
+// collective tracks one in-progress collective operation (allreduce or
+// barrier) identified by its per-rank sequence number.
+type collective struct {
+	joined  int
+	value   float64
+	haveVal bool
+	op      Op
+	deposit []Time        // per rank join time
+	sendMsg []trace.MsgID // per rank ring message
+	done    bool
+	doneAt  Time
+}
+
+// engine coordinates the ranks.
+type engine struct {
+	cfg    Config
+	rng    *rand.Rand
+	tb     *trace.Builder
+	ranks  []*Rank
+	chares []trace.ChareID
+	entry  struct {
+		send, recv, coll trace.EntryID
+	}
+	colls   map[int]*collective // keyed by collective sequence number
+	sendSeq int64
+	err     error
+}
+
+// Rank is the handle a Program uses for communication.
+type Rank struct {
+	eng   *engine
+	id    int
+	clock Time
+	// mailbox holds undelivered messages to this rank.
+	mailbox []*message
+	// scheduling state
+	finished bool
+	wakeAt   Time
+	resume   chan struct{}
+	yielded  chan struct{}
+	// blocking state
+	waitFrom, waitTag int
+	waitAny           []int // tags accepted by RecvAny; nil when not waiting-any
+	waiting           bool
+	waitColl          int
+	collSeq           int
+	got               *message
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the number of ranks.
+func (r *Rank) Size() int { return r.eng.cfg.NumProcs }
+
+// Now returns the rank's virtual clock.
+func (r *Rank) Now() Time { return r.clock }
+
+// Compute advances the rank's clock by d (application computation between
+// communication calls; like Score-P MPI tracing, it is not recorded as a
+// block).
+func (r *Rank) Compute(d Time) {
+	if d < 0 {
+		panic("mpisim: negative compute time")
+	}
+	r.clock += d
+}
+
+// Send performs a buffered (non-blocking completion) send.
+func (r *Rank) Send(to, tag int, data any) {
+	if to < 0 || to >= r.eng.cfg.NumProcs {
+		panic(fmt.Sprintf("mpisim: Send to rank %d out of range", to))
+	}
+	e := r.eng
+	m := e.tb.NewMsg()
+	e.tb.BeginBlock(e.chares[r.id], trace.PE(r.id), e.entry.send, r.clock)
+	e.tb.Send(e.chares[r.id], m, r.clock)
+	end := r.clock + e.cfg.SendDur
+	e.tb.EndBlock(e.chares[r.id], end)
+	e.sendSeq++
+	e.ranks[to].mailbox = append(e.ranks[to].mailbox, &message{
+		msg: m, from: r.id, tag: tag, data: data,
+		arrival: r.clock + e.latency(), seq: e.sendSeq,
+	})
+	r.clock = end
+}
+
+// Recv blocks until the matching message (earliest send from `from` with
+// `tag`, MPI non-overtaking order) is available, then records the receive.
+func (r *Rank) Recv(from, tag int) any {
+	r.waitFrom, r.waitTag = from, tag
+	r.waiting = true
+	r.yield()
+	m := r.got
+	r.got = nil
+	e := r.eng
+	start := r.clock
+	at := m.arrival
+	if at < start {
+		at = start
+	}
+	e.tb.BeginBlock(e.chares[r.id], trace.PE(r.id), e.entry.recv, start)
+	e.tb.Recv(e.chares[r.id], m.msg, at)
+	end := at + e.cfg.RecvDur
+	e.tb.EndBlock(e.chares[r.id], end)
+	r.clock = end
+	return m.data
+}
+
+// RecvAny blocks until a message from any source carrying one of the given
+// tags is available, preferring the earliest arrival (the MPI_ANY_SOURCE
+// pattern that lets physical arrival order diverge from logical order —
+// the mechanism behind Figure 10's ragged recorded-order steps). It
+// returns the sender, tag and payload.
+func (r *Rank) RecvAny(tags ...int) (int, int, any) {
+	if len(tags) == 0 {
+		panic("mpisim: RecvAny needs at least one tag")
+	}
+	r.waitAny = append([]int(nil), tags...)
+	r.waiting = true
+	r.yield()
+	m := r.got
+	r.got = nil
+	r.waitAny = nil
+	e := r.eng
+	start := r.clock
+	at := m.arrival
+	if at < start {
+		at = start
+	}
+	e.tb.BeginBlock(e.chares[r.id], trace.PE(r.id), e.entry.recv, start)
+	e.tb.Recv(e.chares[r.id], m.msg, at)
+	end := at + e.cfg.RecvDur
+	e.tb.EndBlock(e.chares[r.id], end)
+	r.clock = end
+	return m.from, m.tag, m.data
+}
+
+// Allreduce combines v across all ranks. The trace records one send (to the
+// ring successor) and one receive (from the ring predecessor) per rank; the
+// operation completes only after every rank has joined.
+func (r *Rank) Allreduce(v float64, op Op) float64 {
+	return r.collective(v, op, true)
+}
+
+// Barrier blocks until every rank has joined.
+func (r *Rank) Barrier() {
+	r.collective(0, Sum, false)
+}
+
+func (r *Rank) collective(v float64, op Op, reduce bool) float64 {
+	e := r.eng
+	seq := r.collSeq
+	r.collSeq++
+	c := e.colls[seq]
+	if c == nil {
+		c = &collective{
+			op:      op,
+			deposit: make([]Time, e.cfg.NumProcs),
+			sendMsg: make([]trace.MsgID, e.cfg.NumProcs),
+		}
+		e.colls[seq] = c
+	}
+	// The call: a send to the ring successor.
+	m := e.tb.NewMsg()
+	e.tb.BeginBlock(e.chares[r.id], trace.PE(r.id), e.entry.coll, r.clock)
+	e.tb.Send(e.chares[r.id], m, r.clock)
+	end := r.clock + e.cfg.SendDur
+	e.tb.EndBlock(e.chares[r.id], end)
+	r.clock = end
+	c.sendMsg[r.id] = m
+	c.deposit[r.id] = r.clock
+	if reduce {
+		if c.haveVal {
+			c.value = c.op.combine(c.value, v)
+		} else {
+			c.value, c.haveVal = v, true
+		}
+	}
+	c.joined++
+	if c.joined == e.cfg.NumProcs {
+		c.done = true
+		var max Time
+		for _, d := range c.deposit {
+			if d > max {
+				max = d
+			}
+		}
+		c.doneAt = max + e.cfg.Latency
+	}
+	// Block until the collective completes.
+	r.waitColl = seq
+	r.yield()
+	// The completion: a receive from the ring predecessor.
+	prev := (r.id - 1 + e.cfg.NumProcs) % e.cfg.NumProcs
+	at := c.doneAt + e.jitter()
+	if at < r.clock {
+		at = r.clock
+	}
+	e.tb.BeginBlock(e.chares[r.id], trace.PE(r.id), e.entry.coll, r.clock)
+	e.tb.Recv(e.chares[r.id], c.sendMsg[prev], at)
+	end = at + e.cfg.RecvDur
+	e.tb.EndBlock(e.chares[r.id], end)
+	r.clock = end
+	return c.value
+}
+
+// yield suspends the rank until the scheduler can satisfy its blocking
+// condition.
+func (r *Rank) yield() {
+	r.yielded <- struct{}{}
+	<-r.resume
+}
+
+func (e *engine) latency() Time {
+	return e.cfg.Latency + e.jitter()
+}
+
+func (e *engine) jitter() Time {
+	if e.cfg.Jitter <= 0 {
+		return 0
+	}
+	return Time(e.rng.Int63n(int64(e.cfg.Jitter) + 1))
+}
+
+// Run executes the program on every rank and returns the trace.
+func Run(cfg Config, prog Program) (*trace.Trace, error) {
+	if cfg.NumProcs <= 0 {
+		return nil, fmt.Errorf("mpisim: NumProcs must be positive")
+	}
+	e := &engine{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		tb:    trace.NewBuilder(cfg.NumProcs),
+		colls: make(map[int]*collective),
+	}
+	e.entry.send = e.tb.AddEntry("MPI_Send")
+	e.entry.recv = e.tb.AddEntry("MPI_Recv")
+	e.entry.coll = e.tb.AddEntry("MPI_Allreduce")
+	for i := 0; i < cfg.NumProcs; i++ {
+		e.chares = append(e.chares, e.tb.AddChare(fmt.Sprintf("rank[%d]", i), 0, i, trace.PE(i)))
+	}
+	for i := 0; i < cfg.NumProcs; i++ {
+		r := &Rank{
+			eng: e, id: i, waitColl: -1,
+			resume:  make(chan struct{}),
+			yielded: make(chan struct{}),
+		}
+		e.ranks = append(e.ranks, r)
+	}
+	for _, r := range e.ranks {
+		r := r
+		go func() {
+			<-r.resume
+			defer func() {
+				if p := recover(); p != nil {
+					e.err = fmt.Errorf("mpisim: rank %d panicked: %v", r.id, p)
+				}
+				r.finished = true
+				r.yielded <- struct{}{}
+			}()
+			prog(r)
+		}()
+	}
+	// Scheduler: resume one rank at a time; a rank runs until it blocks or
+	// finishes. Blocked ranks become runnable when their condition holds.
+	active := cfg.NumProcs
+	for active > 0 && e.err == nil {
+		// Wake blocked ranks whose conditions are now satisfiable.
+		progress := false
+		var pick *Rank
+		for _, r := range e.ranks {
+			if r.finished {
+				continue
+			}
+			ready, wake := e.ready(r)
+			if !ready {
+				continue
+			}
+			if pick == nil || wake < pick.wakeAt || (wake == pick.wakeAt && r.id < pick.id) {
+				r.wakeAt = wake
+				pick = r
+			}
+		}
+		if pick != nil {
+			progress = true
+			e.satisfy(pick)
+			pick.resume <- struct{}{}
+			<-pick.yielded
+			if pick.finished {
+				active--
+			}
+		}
+		if !progress {
+			e.err = fmt.Errorf("mpisim: deadlock — %d ranks blocked with no matching sends", active)
+		}
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.tb.Finish()
+}
+
+// MustRun is Run that panics on error.
+func MustRun(cfg Config, prog Program) *trace.Trace {
+	t, err := Run(cfg, prog)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// ready reports whether a rank's blocking condition is satisfiable and the
+// virtual time at which it would resume.
+func (e *engine) ready(r *Rank) (bool, Time) {
+	switch {
+	case r.waiting:
+		m := e.match(r)
+		if m == nil {
+			return false, 0
+		}
+		at := m.arrival
+		if at < r.clock {
+			at = r.clock
+		}
+		return true, at
+	case r.waitColl >= 0:
+		c := e.colls[r.waitColl]
+		if c == nil || !c.done {
+			return false, 0
+		}
+		at := c.doneAt
+		if at < r.clock {
+			at = r.clock
+		}
+		return true, at
+	default:
+		// Initial start (never run yet).
+		return true, r.clock
+	}
+}
+
+// satisfy hands the blocked rank what it was waiting for.
+func (e *engine) satisfy(r *Rank) {
+	switch {
+	case r.waiting:
+		m := e.match(r)
+		e.remove(r, m)
+		r.got = m
+		r.waiting = false
+	case r.waitColl >= 0:
+		r.waitColl = -1
+	}
+}
+
+// match finds the queued message satisfying the rank's receive: for a
+// directed Recv, the earliest-sent message from (waitFrom, waitTag) (MPI
+// non-overtaking order); for RecvAny, the earliest-arriving message with an
+// accepted tag.
+func (e *engine) match(r *Rank) *message {
+	var best *message
+	for _, m := range r.mailbox {
+		if r.waitAny != nil {
+			ok := false
+			for _, tag := range r.waitAny {
+				if m.tag == tag {
+					ok = true
+				}
+			}
+			if !ok {
+				continue
+			}
+			if best == nil || m.arrival < best.arrival ||
+				(m.arrival == best.arrival && m.seq < best.seq) {
+				best = m
+			}
+			continue
+		}
+		if m.from != r.waitFrom || m.tag != r.waitTag {
+			continue
+		}
+		if best == nil || m.seq < best.seq {
+			best = m
+		}
+	}
+	return best
+}
+
+func (e *engine) remove(r *Rank, m *message) {
+	for i, x := range r.mailbox {
+		if x == m {
+			r.mailbox = append(r.mailbox[:i], r.mailbox[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package mpisim
+
+import (
+	"strings"
+	"testing"
+
+	"charmtrace/internal/core"
+	"charmtrace/internal/trace"
+)
+
+func TestPingPong(t *testing.T) {
+	var got any
+	tr := MustRun(DefaultConfig(2), func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Compute(100)
+			r.Send(1, 7, "ping")
+			got = r.Recv(1, 8)
+		case 1:
+			msg := r.Recv(0, 7)
+			if msg != "ping" {
+				t.Errorf("rank 1 got %v", msg)
+			}
+			r.Compute(50)
+			r.Send(0, 8, "pong")
+		}
+	})
+	if got != "pong" {
+		t.Fatalf("rank 0 got %v, want pong", got)
+	}
+	if len(tr.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4 (send/recv per side)", len(tr.Blocks))
+	}
+	if tr.CountKind(trace.Send) != 2 || tr.CountKind(trace.Recv) != 2 {
+		t.Fatal("event counts wrong")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	prog := func(r *Rank) {
+		next := (r.ID() + 1) % r.Size()
+		prev := (r.ID() - 1 + r.Size()) % r.Size()
+		for i := 0; i < 3; i++ {
+			r.Compute(Time(10 * (r.ID() + 1)))
+			r.Send(next, i, r.ID())
+			r.Recv(prev, i)
+			r.Allreduce(float64(r.ID()), Max)
+		}
+	}
+	a := MustRun(DefaultConfig(5), prog)
+	b := MustRun(DefaultConfig(5), prog)
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestAllreduceValueAndGating(t *testing.T) {
+	vals := make([]float64, 4)
+	resume := make([]Time, 4)
+	tr := MustRun(DefaultConfig(4), func(r *Rank) {
+		r.Compute(Time(1000 * (r.ID() + 1))) // rank 3 is slowest
+		vals[r.ID()] = r.Allreduce(float64(r.ID()+1), Sum)
+		resume[r.ID()] = r.Now()
+	})
+	for i, v := range vals {
+		if v != 10 {
+			t.Fatalf("rank %d allreduce = %v, want 10", i, v)
+		}
+	}
+	// Everyone resumes after the slowest rank joined (4000ns) plus latency.
+	for i, tm := range resume {
+		if tm < 4000+tr.Blocks[0].Begin {
+			t.Fatalf("rank %d resumed at %d before slowest join", i, tm)
+		}
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	_, err := Run(DefaultConfig(2), func(r *Rank) {
+		r.Recv((r.ID()+1)%2, 0) // both wait, nobody sends
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}
+
+func TestNonOvertakingMatch(t *testing.T) {
+	// Rank 0 sends two messages with the same tag; rank 1 must receive them
+	// in send order even if jitter would reorder arrivals.
+	cfg := DefaultConfig(2)
+	cfg.Jitter = 5000
+	var first, second any
+	MustRun(cfg, func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Send(1, 0, "first")
+			r.Send(1, 0, "second")
+		case 1:
+			first = r.Recv(0, 0)
+			second = r.Recv(0, 0)
+		}
+	})
+	if first != "first" || second != "second" {
+		t.Fatalf("got %v then %v, want send order", first, second)
+	}
+}
+
+func TestRecvTimeNotBeforeSend(t *testing.T) {
+	tr := MustRun(DefaultConfig(3), func(r *Rank) {
+		next := (r.ID() + 1) % r.Size()
+		prev := (r.ID() - 1 + r.Size()) % r.Size()
+		r.Compute(Time(100 * r.ID()))
+		r.Send(next, 0, nil)
+		r.Recv(prev, 0)
+	})
+	for _, ev := range tr.Events {
+		if ev.Kind != trace.Recv {
+			continue
+		}
+		send := tr.SendOf(ev.Msg)
+		if tr.Events[send].Time >= ev.Time {
+			t.Fatalf("recv %d at %d not after send at %d", ev.ID, ev.Time, tr.Events[send].Time)
+		}
+	}
+}
+
+// TestStructureOfIterativeExchange: the full MPI-side pipeline — repeating
+// [neighbour exchange + allreduce] must extract into alternating phases.
+func TestStructureOfIterativeExchange(t *testing.T) {
+	const iters = 3
+	tr := MustRun(DefaultConfig(4), func(r *Rank) {
+		next := (r.ID() + 1) % r.Size()
+		prev := (r.ID() - 1 + r.Size()) % r.Size()
+		for i := 0; i < iters; i++ {
+			r.Compute(200)
+			r.Send(next, i, nil)
+			r.Recv(prev, i)
+			r.Allreduce(1, Sum)
+		}
+	})
+	s, err := core.Extract(tr, core.MessagePassingOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Expect 2 phases per iteration: point-to-point, then the collective.
+	if s.NumPhases() != 2*iters {
+		t.Fatalf("phases = %d, want %d", s.NumPhases(), 2*iters)
+	}
+	// Collective phases span exactly two local steps (call + completion).
+	collPhases := 0
+	for pi := range s.Phases {
+		allColl := true
+		for _, e := range s.Phases[pi].Events {
+			if tr.Entries[tr.Blocks[tr.Events[e].Block].Entry].Name != "MPI_Allreduce" {
+				allColl = false
+			}
+		}
+		if allColl && len(s.Phases[pi].Events) > 0 {
+			collPhases++
+			if s.Phases[pi].MaxLocalStep != 1 {
+				t.Fatalf("allreduce phase %d spans %d steps, want 2 (max local step 1)",
+					pi, s.Phases[pi].MaxLocalStep+1)
+			}
+		}
+	}
+	if collPhases != iters {
+		t.Fatalf("collective phases = %d, want %d", collPhases, iters)
+	}
+}

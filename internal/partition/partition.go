@@ -1,0 +1,318 @@
+// Package partition implements the merge machinery of the phase-finding
+// stage (Section 3.1 of the paper): a union-find over initial partitions
+// ("atoms"), an atom-level dependency-edge store, cycle merges that contract
+// strongly connected components so the partition graph stays a DAG, and
+// snapshot views that expose the current partitions with their chare sets
+// and the condensed partition DAG.
+//
+// The phase-finding pipeline in internal/core repeatedly alternates between
+// scheduling merges (unions) based on heuristics and taking a fresh View to
+// inspect the resulting partition graph.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"charmtrace/internal/graph"
+	"charmtrace/internal/trace"
+)
+
+// ID identifies an atom: one initial partition. After merging, an atom's
+// current partition is identified by its union-find root.
+type ID int32
+
+// Atom is an initial partition: a maximal run of dependency events within
+// one serial block that does not cross the application/runtime boundary
+// (Section 3.1.1, Figure 2). Every atom's events belong to a single chare.
+type Atom struct {
+	Chare   trace.ChareID
+	Runtime bool // partition carries a dependency touching the runtime
+	Events  []trace.EventID
+	Block   trace.BlockID // serial block the atom was cut from
+}
+
+// edge is a directed happened-before/dependency relation between atoms.
+type edge struct{ from, to ID }
+
+// Set is the evolving collection of partitions.
+type Set struct {
+	atoms  []Atom
+	parent []ID
+	size   []int32
+	// runtime[root] tracks whether the merged partition contains any
+	// runtime dependency; maintained under union.
+	runtime []bool
+	edges   []edge
+}
+
+// NewSet returns an empty partition set.
+func NewSet() *Set { return &Set{} }
+
+// AddAtom registers an initial partition and returns its ID.
+func (s *Set) AddAtom(a Atom) ID {
+	id := ID(len(s.atoms))
+	s.atoms = append(s.atoms, a)
+	s.parent = append(s.parent, id)
+	s.size = append(s.size, 1)
+	s.runtime = append(s.runtime, a.Runtime)
+	return id
+}
+
+// NumAtoms returns the number of atoms (initial partitions).
+func (s *Set) NumAtoms() int { return len(s.atoms) }
+
+// Atom returns the atom with the given ID.
+func (s *Set) Atom(id ID) *Atom { return &s.atoms[id] }
+
+// AddEdge records a dependency edge between the partitions containing the
+// two atoms. Self-edges (same current partition) are stored too; views and
+// cycle merges drop them.
+func (s *Set) AddEdge(from, to ID) {
+	s.edges = append(s.edges, edge{from, to})
+}
+
+// NumEdges returns the number of recorded atom-level edges.
+func (s *Set) NumEdges() int { return len(s.edges) }
+
+// Find returns the current partition (root atom) of an atom, with path
+// compression.
+func (s *Set) Find(a ID) ID {
+	for s.parent[a] != a {
+		s.parent[a] = s.parent[s.parent[a]]
+		a = s.parent[a]
+	}
+	return a
+}
+
+// SamePartition reports whether two atoms are currently merged.
+func (s *Set) SamePartition(a, b ID) bool { return s.Find(a) == s.Find(b) }
+
+// Union merges the partitions of a and b and returns the new root. The
+// merged partition is a runtime partition if either operand was.
+func (s *Set) Union(a, b ID) ID {
+	ra, rb := s.Find(a), s.Find(b)
+	if ra == rb {
+		return ra
+	}
+	if s.size[ra] < s.size[rb] {
+		ra, rb = rb, ra
+	}
+	s.parent[rb] = ra
+	s.size[ra] += s.size[rb]
+	s.runtime[ra] = s.runtime[ra] || s.runtime[rb]
+	return ra
+}
+
+// IsRuntime reports whether the partition containing atom a carries any
+// runtime dependency.
+func (s *Set) IsRuntime(a ID) bool { return s.runtime[s.Find(a)] }
+
+// CycleMerge contracts every strongly connected component of the current
+// partition graph into a single partition, restoring the DAG property
+// (Section 3.1: "we merge partitions that form strongly connected
+// components"). It returns the number of partitions eliminated.
+func (s *Set) CycleMerge() int {
+	parts, partOf := s.partsIndex()
+	if len(parts) == 0 {
+		return 0
+	}
+	g := graph.New(len(parts))
+	seen := make(map[int64]struct{}, len(s.edges))
+	for _, e := range s.edges {
+		u, v := partOf[s.Find(e.from)], partOf[s.Find(e.to)]
+		if u == v {
+			continue
+		}
+		key := int64(u)<<32 | int64(uint32(v))
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		g.AddEdge(u, v)
+	}
+	comp, ncomp := g.SCC()
+	if ncomp == len(parts) {
+		return 0
+	}
+	rep := make([]ID, ncomp)
+	for i := range rep {
+		rep[i] = -1
+	}
+	merged := 0
+	for i, root := range parts {
+		c := comp[i]
+		if rep[c] == -1 {
+			rep[c] = root
+			continue
+		}
+		s.Union(rep[c], root)
+		merged++
+	}
+	return merged
+}
+
+// partsIndex returns the current roots in deterministic (atom ID) order and
+// a map from root to dense index.
+func (s *Set) partsIndex() ([]ID, map[ID]int32) {
+	var parts []ID
+	partOf := make(map[ID]int32)
+	for a := ID(0); int(a) < len(s.atoms); a++ {
+		r := s.Find(a)
+		if _, ok := partOf[r]; !ok {
+			partOf[r] = int32(len(parts))
+			parts = append(parts, r)
+		}
+	}
+	return parts, partOf
+}
+
+// Part is one current partition in a View.
+type Part struct {
+	Root    ID
+	Atoms   []ID
+	Chares  []trace.ChareID // sorted, unique
+	Runtime bool
+}
+
+// HasChare reports whether the partition contains events of chare c.
+func (p *Part) HasChare(c trace.ChareID) bool {
+	i := sort.Search(len(p.Chares), func(i int) bool { return p.Chares[i] >= c })
+	return i < len(p.Chares) && p.Chares[i] == c
+}
+
+// ChareOverlap reports whether two partitions share any chare.
+func (p *Part) ChareOverlap(q *Part) bool {
+	i, j := 0, 0
+	for i < len(p.Chares) && j < len(q.Chares) {
+		switch {
+		case p.Chares[i] == q.Chares[j]:
+			return true
+		case p.Chares[i] < q.Chares[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// View is an immutable snapshot of the partition set: the current
+// partitions, the condensed partition graph over them, and (lazily) its
+// leaps. Mutating the underlying Set invalidates the view.
+type View struct {
+	Parts  []Part
+	PartOf []int32 // atom -> dense partition index
+	G      *graph.Graph
+
+	leap    []int32
+	maxLeap int32
+	haveLp  bool
+}
+
+// View snapshots the current partitions and the deduplicated partition
+// graph (self-loops dropped).
+func (s *Set) View() *View {
+	parts, partOf := s.partsIndex()
+	v := &View{
+		Parts:  make([]Part, len(parts)),
+		PartOf: make([]int32, len(s.atoms)),
+		G:      graph.New(len(parts)),
+	}
+	for i, root := range parts {
+		v.Parts[i] = Part{Root: root, Runtime: s.runtime[root]}
+	}
+	for a := ID(0); int(a) < len(s.atoms); a++ {
+		pi := partOf[s.Find(a)]
+		v.PartOf[a] = pi
+		v.Parts[pi].Atoms = append(v.Parts[pi].Atoms, a)
+	}
+	for i := range v.Parts {
+		p := &v.Parts[i]
+		set := make(map[trace.ChareID]struct{}, 4)
+		for _, a := range p.Atoms {
+			set[s.atoms[a].Chare] = struct{}{}
+		}
+		p.Chares = make([]trace.ChareID, 0, len(set))
+		for c := range set {
+			p.Chares = append(p.Chares, c)
+		}
+		sort.Slice(p.Chares, func(x, y int) bool { return p.Chares[x] < p.Chares[y] })
+	}
+	seen := make(map[int64]struct{}, len(s.edges))
+	for _, e := range s.edges {
+		u, v2 := partOf[s.Find(e.from)], partOf[s.Find(e.to)]
+		if u == v2 {
+			continue
+		}
+		key := int64(u)<<32 | int64(uint32(v2))
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		v.G.AddEdge(u, v2)
+	}
+	return v
+}
+
+// Acyclic reports whether the snapshot's partition graph is a DAG.
+func (v *View) Acyclic() bool {
+	_, ok := v.G.TopoSort()
+	return ok
+}
+
+// Leaps returns the leap of every partition and the maximum leap. The view's
+// graph must be acyclic (run CycleMerge on the set before snapshotting).
+func (v *View) Leaps() ([]int32, int32) {
+	if !v.haveLp {
+		v.leap, v.maxLeap = v.G.Leaps()
+		v.haveLp = true
+	}
+	return v.leap, v.maxLeap
+}
+
+// PartsAtLeap groups partition indices by leap: result[l] lists the
+// partitions whose leap is l.
+func (v *View) PartsAtLeap() [][]int32 {
+	leap, maxLeap := v.Leaps()
+	out := make([][]int32, maxLeap+1)
+	for p, l := range leap {
+		out[l] = append(out[l], int32(p))
+	}
+	return out
+}
+
+// String summarizes the view for debugging.
+func (v *View) String() string {
+	return fmt.Sprintf("partition.View{%d parts, %d edges}", len(v.Parts), v.G.NumEdges())
+}
+
+// MergePlan collects pairs to merge and applies them at once, mirroring the
+// schedule_merge / merge_scheduled structure of the paper's pseudocode.
+type MergePlan struct {
+	s     *Set
+	pairs []edge
+}
+
+// NewMergePlan returns a plan targeting the given set.
+func (s *Set) NewMergePlan() *MergePlan { return &MergePlan{s: s} }
+
+// Schedule records that the partitions of a and b must merge.
+func (m *MergePlan) Schedule(a, b ID) { m.pairs = append(m.pairs, edge{a, b}) }
+
+// Len returns the number of scheduled merges.
+func (m *MergePlan) Len() int { return len(m.pairs) }
+
+// Apply performs all scheduled unions and returns the number of partitions
+// eliminated.
+func (m *MergePlan) Apply() int {
+	merged := 0
+	for _, p := range m.pairs {
+		if m.s.Find(p.from) != m.s.Find(p.to) {
+			m.s.Union(p.from, p.to)
+			merged++
+		}
+	}
+	m.pairs = m.pairs[:0]
+	return merged
+}

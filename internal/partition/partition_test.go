@@ -1,0 +1,227 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"charmtrace/internal/trace"
+)
+
+func atom(c trace.ChareID) Atom { return Atom{Chare: c} }
+
+func TestUnionFindBasics(t *testing.T) {
+	s := NewSet()
+	a := s.AddAtom(atom(0))
+	b := s.AddAtom(atom(1))
+	c := s.AddAtom(atom(2))
+	if s.SamePartition(a, b) {
+		t.Fatal("fresh atoms should be separate")
+	}
+	s.Union(a, b)
+	if !s.SamePartition(a, b) || s.SamePartition(a, c) {
+		t.Fatal("union results wrong")
+	}
+	s.Union(b, c)
+	if !s.SamePartition(a, c) {
+		t.Fatal("transitive union failed")
+	}
+}
+
+func TestRuntimeFlagPropagates(t *testing.T) {
+	s := NewSet()
+	a := s.AddAtom(Atom{Chare: 0, Runtime: false})
+	b := s.AddAtom(Atom{Chare: 1, Runtime: true})
+	if s.IsRuntime(a) {
+		t.Fatal("app atom marked runtime")
+	}
+	s.Union(a, b)
+	if !s.IsRuntime(a) || !s.IsRuntime(b) {
+		t.Fatal("merged partition must be runtime if either side was")
+	}
+}
+
+func TestCycleMergeContractsCycle(t *testing.T) {
+	s := NewSet()
+	var ids []ID
+	for i := 0; i < 4; i++ {
+		ids = append(ids, s.AddAtom(atom(trace.ChareID(i))))
+	}
+	// 0 -> 1 -> 2 -> 0 cycle, 3 hangs off 2.
+	s.AddEdge(ids[0], ids[1])
+	s.AddEdge(ids[1], ids[2])
+	s.AddEdge(ids[2], ids[0])
+	s.AddEdge(ids[2], ids[3])
+	merged := s.CycleMerge()
+	if merged != 2 {
+		t.Fatalf("merged = %d, want 2", merged)
+	}
+	if !s.SamePartition(ids[0], ids[2]) {
+		t.Fatal("cycle not contracted")
+	}
+	if s.SamePartition(ids[0], ids[3]) {
+		t.Fatal("non-cycle atom absorbed")
+	}
+	v := s.View()
+	if !v.Acyclic() {
+		t.Fatal("graph cyclic after CycleMerge")
+	}
+}
+
+func TestCycleMergeNoOpOnDAG(t *testing.T) {
+	s := NewSet()
+	a := s.AddAtom(atom(0))
+	b := s.AddAtom(atom(1))
+	s.AddEdge(a, b)
+	if merged := s.CycleMerge(); merged != 0 {
+		t.Fatalf("merged = %d on a DAG, want 0", merged)
+	}
+}
+
+func TestViewCharesAndOverlap(t *testing.T) {
+	s := NewSet()
+	a := s.AddAtom(atom(5))
+	b := s.AddAtom(atom(3))
+	c := s.AddAtom(atom(7))
+	s.Union(a, b)
+	v := s.View()
+	pa := &v.Parts[v.PartOf[a]]
+	if len(pa.Chares) != 2 || pa.Chares[0] != 3 || pa.Chares[1] != 5 {
+		t.Fatalf("chares = %v, want [3 5] sorted", pa.Chares)
+	}
+	if !pa.HasChare(5) || pa.HasChare(4) {
+		t.Fatal("HasChare wrong")
+	}
+	pc := &v.Parts[v.PartOf[c]]
+	if pa.ChareOverlap(pc) {
+		t.Fatal("disjoint partitions reported overlapping")
+	}
+	d := s.AddAtom(atom(5))
+	v = s.View()
+	pd := &v.Parts[v.PartOf[d]]
+	pa = &v.Parts[v.PartOf[a]]
+	if !pa.ChareOverlap(pd) {
+		t.Fatal("partitions sharing chare 5 reported disjoint")
+	}
+}
+
+func TestViewEdgesDedupedAndSelfLoopsDropped(t *testing.T) {
+	s := NewSet()
+	a := s.AddAtom(atom(0))
+	b := s.AddAtom(atom(1))
+	c := s.AddAtom(atom(2))
+	s.AddEdge(a, c)
+	s.AddEdge(b, c)
+	s.AddEdge(a, b) // becomes self-loop after union below
+	s.Union(a, b)
+	v := s.View()
+	if got := v.G.NumEdges(); got != 1 {
+		t.Fatalf("view edges = %d, want 1 (dedup + self-loop drop)", got)
+	}
+}
+
+func TestLeapsAndPartsAtLeap(t *testing.T) {
+	s := NewSet()
+	a := s.AddAtom(atom(0))
+	b := s.AddAtom(atom(1))
+	c := s.AddAtom(atom(2))
+	d := s.AddAtom(atom(3))
+	s.AddEdge(a, b)
+	s.AddEdge(b, c)
+	s.AddEdge(a, d)
+	v := s.View()
+	leap, maxLeap := v.Leaps()
+	if maxLeap != 2 {
+		t.Fatalf("maxLeap = %d, want 2", maxLeap)
+	}
+	if leap[v.PartOf[d]] != 1 || leap[v.PartOf[c]] != 2 {
+		t.Fatalf("leaps wrong: %v", leap)
+	}
+	byLeap := v.PartsAtLeap()
+	if len(byLeap) != 3 || len(byLeap[0]) != 1 || len(byLeap[1]) != 2 || len(byLeap[2]) != 1 {
+		t.Fatalf("PartsAtLeap shape wrong: %v", byLeap)
+	}
+}
+
+func TestMergePlan(t *testing.T) {
+	s := NewSet()
+	a := s.AddAtom(atom(0))
+	b := s.AddAtom(atom(1))
+	c := s.AddAtom(atom(2))
+	plan := s.NewMergePlan()
+	plan.Schedule(a, b)
+	plan.Schedule(b, c)
+	plan.Schedule(a, c) // already merged by then: no extra count
+	if plan.Len() != 3 {
+		t.Fatalf("plan len = %d, want 3", plan.Len())
+	}
+	if got := plan.Apply(); got != 2 {
+		t.Fatalf("Apply merged %d, want 2", got)
+	}
+	if !s.SamePartition(a, c) {
+		t.Fatal("plan did not merge")
+	}
+	if plan.Len() != 0 {
+		t.Fatal("plan not reset after Apply")
+	}
+}
+
+// Property: after CycleMerge the view is always acyclic, regardless of the
+// random edge/union history.
+func TestCycleMergeAlwaysYieldsDAG(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSet()
+		n := 3 + rng.Intn(30)
+		ids := make([]ID, n)
+		for i := range ids {
+			ids[i] = s.AddAtom(atom(trace.ChareID(rng.Intn(6))))
+		}
+		for i := 0; i < 3*n; i++ {
+			s.AddEdge(ids[rng.Intn(n)], ids[rng.Intn(n)])
+		}
+		for i := 0; i < n/4; i++ {
+			s.Union(ids[rng.Intn(n)], ids[rng.Intn(n)])
+		}
+		s.CycleMerge()
+		return s.View().Acyclic()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every atom appears in exactly one partition of a view, and the
+// partition's chare list covers exactly its atoms' chares.
+func TestViewCoversAllAtoms(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSet()
+		n := 1 + rng.Intn(40)
+		ids := make([]ID, n)
+		for i := range ids {
+			ids[i] = s.AddAtom(atom(trace.ChareID(rng.Intn(8))))
+		}
+		for i := 0; i < n/3; i++ {
+			s.Union(ids[rng.Intn(n)], ids[rng.Intn(n)])
+		}
+		v := s.View()
+		count := 0
+		for pi := range v.Parts {
+			p := &v.Parts[pi]
+			count += len(p.Atoms)
+			for _, a := range p.Atoms {
+				if v.PartOf[a] != int32(pi) {
+					return false
+				}
+				if !p.HasChare(s.Atom(a).Chare) {
+					return false
+				}
+			}
+		}
+		return count == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

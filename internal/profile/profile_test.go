@@ -1,0 +1,89 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"charmtrace/internal/apps/jacobi"
+	"charmtrace/internal/trace"
+)
+
+func TestBuildOnJacobi(t *testing.T) {
+	tr := jacobi.MustTrace(jacobi.DefaultConfig())
+	r := Build(tr)
+	if len(r.Entries) == 0 {
+		t.Fatal("no entries profiled")
+	}
+	// Sorted by descending total time.
+	for i := 1; i < len(r.Entries); i++ {
+		if r.Entries[i].Total > r.Entries[i-1].Total {
+			t.Fatal("entries not sorted by total time")
+		}
+	}
+	// Totals reconcile with the raw trace.
+	var blockSum trace.Time
+	blocks := 0
+	for i := range tr.Blocks {
+		blockSum += tr.Blocks[i].Duration()
+		blocks++
+	}
+	var profSum trace.Time
+	profBlocks := 0
+	for i := range r.Entries {
+		profSum += r.Entries[i].Total
+		profBlocks += r.Entries[i].Count
+	}
+	if profSum != blockSum || profBlocks != blocks {
+		t.Fatalf("profile totals %d/%d, trace %d/%d", profSum, profBlocks, blockSum, blocks)
+	}
+	var busy trace.Time
+	for i := range r.PEs {
+		busy += r.PEs[i].Busy
+	}
+	if busy != blockSum {
+		t.Fatalf("PE busy sum %d != block sum %d", busy, blockSum)
+	}
+	if r.Messages != tr.CountKind(trace.Send) {
+		t.Fatalf("messages = %d, want %d", r.Messages, tr.CountKind(trace.Send))
+	}
+	if r.CrossPE == 0 || r.CrossPE > len(tr.Events) {
+		t.Fatalf("cross-PE deliveries = %d", r.CrossPE)
+	}
+}
+
+func TestMinMaxMean(t *testing.T) {
+	b := trace.NewBuilder(1)
+	e := b.AddEntry("work")
+	c := b.AddChare("c", trace.NoArray, -1, 0)
+	for i, d := range []trace.Time{10, 30, 20} {
+		begin := trace.Time(i * 100)
+		b.BeginBlock(c, 0, e, begin)
+		b.EndBlock(c, begin+d)
+	}
+	r := Build(b.MustFinish())
+	es := r.Entries[0]
+	if es.Count != 3 || es.Min != 10 || es.Max != 30 || es.Total != 60 || es.Mean() != 20 {
+		t.Fatalf("stats wrong: %+v", es)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tr := jacobi.MustTrace(jacobi.DefaultConfig())
+	out := Build(tr).String()
+	for _, want := range []string{"entry methods", "processors:", "messages:", "jacobi::ghost", "busy%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("profile output missing %q", want)
+		}
+	}
+}
+
+func TestEmptyTraceProfile(t *testing.T) {
+	b := trace.NewBuilder(2)
+	r := Build(b.MustFinish())
+	if len(r.Entries) != 0 || r.Messages != 0 || r.Span != 0 {
+		t.Fatal("empty trace produced a non-empty profile")
+	}
+	if out := r.String(); !strings.Contains(out, "processors") {
+		t.Fatal("empty profile render broken")
+	}
+}

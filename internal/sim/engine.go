@@ -1,0 +1,142 @@
+// Package sim is a deterministic discrete-event simulator of a Charm++
+// style asynchronous message-driven runtime: processors with message
+// queues, migratable chares grouped into indexed arrays, entry methods
+// scheduled by message delivery and executed without interruption,
+// broadcasts, and reductions performed by per-processor runtime chares
+// (CkReductionMgr) over a reduction tree.
+//
+// The simulator stands in for the real Charm++ runtime the paper
+// instruments: the logical-structure algorithm consumes only the trace
+// (entry begin/end, matched sends/receives, chare identities, idle spans),
+// and the simulator produces exactly that vocabulary with genuine
+// asynchrony — configurable network latency and jitter, per-processor FIFO
+// scheduling, and application-controlled compute imbalance.
+package sim
+
+import (
+	"container/heap"
+
+	"charmtrace/internal/trace"
+)
+
+// Time aliases the trace package's virtual nanoseconds.
+type Time = trace.Time
+
+// item is a scheduled engine event.
+type item struct {
+	at   Time
+	seq  int64
+	kind itemKind
+	pe   int
+	msg  *envelope
+}
+
+type itemKind uint8
+
+const (
+	itemArrival itemKind = iota // message reaches its destination PE
+	itemReady                   // PE may dispatch its next queued message
+)
+
+// eventHeap orders items by (time, insertion sequence) for determinism.
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*item)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// pe models one processor: a FIFO message queue and an execution cursor.
+type pe struct {
+	id        int
+	queue     []*envelope
+	busyUntil Time
+	scheduled bool // a Ready item is pending in the heap
+	everRan   bool
+}
+
+// engine drives the event loop.
+type engine struct {
+	heap eventHeap
+	seq  int64
+	pes  []*pe
+	now  Time
+}
+
+func newEngine(numPE int) *engine {
+	e := &engine{pes: make([]*pe, numPE)}
+	for i := range e.pes {
+		e.pes[i] = &pe{id: i}
+	}
+	return e
+}
+
+func (e *engine) push(at Time, kind itemKind, peID int, msg *envelope) {
+	e.seq++
+	heap.Push(&e.heap, &item{at: at, seq: e.seq, kind: kind, pe: peID, msg: msg})
+}
+
+// deliver schedules a message arrival.
+func (e *engine) deliver(at Time, peID int, msg *envelope) {
+	e.push(at, itemArrival, peID, msg)
+}
+
+// run drains the event loop, invoking exec for each dispatched message.
+// exec returns the virtual time at which the block finished.
+func (e *engine) run(exec func(peID int, start Time, msg *envelope) Time) {
+	for e.heap.Len() > 0 {
+		it := heap.Pop(&e.heap).(*item)
+		e.now = it.at
+		p := e.pes[it.pe]
+		switch it.kind {
+		case itemArrival:
+			p.queue = append(p.queue, it.msg)
+			if !p.scheduled {
+				at := it.at
+				if p.busyUntil > at {
+					at = p.busyUntil
+				}
+				p.scheduled = true
+				e.push(at, itemReady, it.pe, nil)
+			}
+		case itemReady:
+			p.scheduled = false
+			if len(p.queue) == 0 {
+				continue
+			}
+			// Dequeue the highest-priority message (lower value = more
+			// urgent, as in Charm++); FIFO among equal priorities.
+			best := 0
+			for i := 1; i < len(p.queue); i++ {
+				if p.queue[i].prio < p.queue[best].prio {
+					best = i
+				}
+			}
+			msg := p.queue[best]
+			p.queue = append(p.queue[:best], p.queue[best+1:]...)
+			end := exec(it.pe, it.at, msg)
+			if end < it.at {
+				end = it.at
+			}
+			p.busyUntil = end
+			p.everRan = true
+			if len(p.queue) > 0 {
+				p.scheduled = true
+				e.push(end, itemReady, it.pe, nil)
+			}
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"testing"
+
+	"charmtrace/internal/trace"
+)
+
+func TestReduceOps(t *testing.T) {
+	cases := []struct {
+		op   ReduceOp
+		want float64
+	}{{Sum, 0 + 1 + 2 + 3}, {Max, 3}, {Min, 0}}
+	for _, c := range cases {
+		cfg := DefaultConfig(2)
+		rt := New(cfg)
+		arr := rt.NewArray("o", 4, nil, nil)
+		var red *Reduction
+		var got float64
+		done := arr.Register("done", func(ctx *Ctx, m Message) {
+			got = m.Data.(*ReduceResult).Value
+		})
+		start := arr.Register("start", func(ctx *Ctx, m Message) {
+			ctx.Contribute(red, float64(ctx.Index()))
+		})
+		red = rt.NewReduction(arr, c.op, SendCallback(arr.At(0), done))
+		for i := 0; i < 4; i++ {
+			rt.Spawn(arr.At(i), start, nil)
+		}
+		if _, err := rt.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if got != c.want {
+			t.Fatalf("op %d = %v, want %v", c.op, got, c.want)
+		}
+	}
+}
+
+func TestSendCallbackTargetsSingleChare(t *testing.T) {
+	rt := New(DefaultConfig(2))
+	arr := rt.NewArray("cb", 3, nil, nil)
+	var red *Reduction
+	hits := make([]int, 3)
+	done := arr.Register("done", func(ctx *Ctx, m Message) {
+		hits[ctx.Index()]++
+	})
+	start := arr.Register("start", func(ctx *Ctx, m Message) {
+		ctx.Contribute(red, 1)
+	})
+	red = rt.NewReduction(arr, Sum, SendCallback(arr.At(2), done))
+	for i := 0; i < 3; i++ {
+		rt.Spawn(arr.At(i), start, nil)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if hits[0] != 0 || hits[1] != 0 || hits[2] != 1 {
+		t.Fatalf("callback hits = %v, want only element 2", hits)
+	}
+}
+
+func TestSpawnAfterRunPanics(t *testing.T) {
+	rt := New(DefaultConfig(1))
+	arr := rt.NewArray("p", 1, nil, nil)
+	e := arr.Register("e", func(ctx *Ctx, m Message) {})
+	rt.Spawn(arr.At(0), e, nil)
+	rt.MustRun()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rt.Spawn(arr.At(0), e, nil)
+}
+
+func TestRunTwicePanics(t *testing.T) {
+	rt := New(DefaultConfig(1))
+	rt.MustRun()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rt.MustRun()
+}
+
+func TestMismatchedEntryArrayPanics(t *testing.T) {
+	rt := New(DefaultConfig(1))
+	a := rt.NewArray("a", 1, nil, nil)
+	b := rt.NewArray("b", 1, nil, nil)
+	eb := b.Register("e", func(ctx *Ctx, m Message) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rt.Spawn(a.At(0), eb, nil)
+}
+
+func TestNegativeComputePanicsInHandler(t *testing.T) {
+	rt := New(DefaultConfig(1))
+	arr := rt.NewArray("n", 1, nil, nil)
+	e := arr.Register("e", func(ctx *Ctx, m Message) {
+		ctx.Compute(-5)
+	})
+	rt.Spawn(arr.At(0), e, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rt.MustRun()
+}
+
+func TestChareAccessors(t *testing.T) {
+	rt := New(DefaultConfig(2))
+	arr := rt.NewArray("acc", 4, nil, nil)
+	if arr.Len() != 4 {
+		t.Fatal("Len wrong")
+	}
+	// Mgr array occupies chare IDs 0..1; app chares follow.
+	if arr.ChareIDOf(0) != trace.ChareID(2) {
+		t.Fatalf("ChareIDOf(0) = %d, want 2", arr.ChareIDOf(0))
+	}
+	seen := false
+	e := arr.Register("e", func(ctx *Ctx, m Message) {
+		seen = true
+		if ctx.Chare() != arr.ChareIDOf(ctx.Index()) {
+			t.Error("Ctx.Chare mismatch")
+		}
+		if ctx.Now() < 0 {
+			t.Error("Now negative")
+		}
+		ctx.Compute(10)
+	})
+	rt.Spawn(arr.At(3), e, nil)
+	rt.MustRun()
+	if !seen {
+		t.Fatal("handler not run")
+	}
+}
+
+func TestBuilderAccessor(t *testing.T) {
+	rt := New(DefaultConfig(1))
+	if rt.Builder() == nil {
+		t.Fatal("Builder nil")
+	}
+}
+
+func TestMigrateOutOfRangePanics(t *testing.T) {
+	rt := New(DefaultConfig(1))
+	arr := rt.NewArray("m", 1, nil, nil)
+	e := arr.Register("e", func(ctx *Ctx, m Message) {
+		ctx.Migrate(5)
+	})
+	rt.Spawn(arr.At(0), e, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rt.MustRun()
+}

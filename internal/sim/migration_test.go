@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"testing"
+
+	"charmtrace/internal/core"
+	"charmtrace/internal/trace"
+)
+
+// migratingWorkload runs iterations of a 4-chare exchange + reduction, with
+// chare 0 migrating between PEs after each of its reduction callbacks when
+// migrate is true.
+func migratingWorkload(t *testing.T, migrate bool) *trace.Trace {
+	t.Helper()
+	cfg := DefaultConfig(4)
+	rt := New(cfg)
+	type st struct{ iter, got int }
+	arr := rt.NewArray("m", 4, func(i int) int { return i }, func(i int) any { return &st{} })
+	var ping, resume EntryRef
+	var red *Reduction
+	send := func(ctx *Ctx) {
+		ctx.Compute(50)
+		ctx.Send(arr.At((ctx.Index()+1)%4), ping, nil)
+	}
+	ping = arr.Register("ping", func(ctx *Ctx, m Message) {
+		ctx.Compute(30)
+		ctx.Contribute(red, 1)
+	})
+	resume = arr.Register("resume", func(ctx *Ctx, m Message) {
+		s := ctx.State().(*st)
+		s.iter++
+		if migrate && ctx.Index() == 0 {
+			ctx.Migrate(s.iter % 4)
+		}
+		if s.iter < 4 {
+			send(ctx)
+		}
+	})
+	red = rt.NewReduction(arr, Sum, BroadcastCallback(resume))
+	begin := arr.Register("begin", func(ctx *Ctx, m Message) { send(ctx) })
+	for i := 0; i < 4; i++ {
+		rt.Spawn(arr.At(i), begin, nil)
+	}
+	tr, err := rt.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return tr
+}
+
+func TestMigrationMovesBlocksAcrossPEs(t *testing.T) {
+	tr := migratingWorkload(t, true)
+	pes := map[trace.PE]bool{}
+	for _, b := range tr.Blocks {
+		if tr.Chares[b.Chare].Name == "m[0]" {
+			pes[b.PE] = true
+		}
+	}
+	if len(pes) < 2 {
+		t.Fatalf("migrating chare ran on %d PEs, want >= 2", len(pes))
+	}
+	still := migratingWorkload(t, false)
+	pes = map[trace.PE]bool{}
+	for _, b := range still.Blocks {
+		if still.Chares[b.Chare].Name == "m[0]" {
+			pes[b.PE] = true
+		}
+	}
+	if len(pes) != 1 {
+		t.Fatalf("non-migrating chare ran on %d PEs, want 1", len(pes))
+	}
+}
+
+// TestStructureInvariantUnderMigration is the paper's point about keying
+// timelines by chares: migration changes the physical record but not the
+// recovered logical structure.
+func TestStructureInvariantUnderMigration(t *testing.T) {
+	a := migratingWorkload(t, false)
+	b := migratingWorkload(t, true)
+	sa, err := core.Extract(a, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := core.Extract(b, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sa.NumPhases() != sb.NumPhases() {
+		t.Fatalf("phases differ under migration: %d vs %d", sa.NumPhases(), sb.NumPhases())
+	}
+	// Per-chare logical event counts match exactly.
+	for c := range a.Chares {
+		if got, want := len(sb.EventsOfChare(trace.ChareID(c))), len(sa.EventsOfChare(trace.ChareID(c))); got != want {
+			t.Fatalf("chare %d logical events = %d, want %d", c, got, want)
+		}
+	}
+	// Phase kind sequence (by offset) is identical.
+	kinds := func(s *core.Structure) []bool {
+		order := make([]int32, len(s.Phases))
+		for i := range order {
+			order[i] = int32(i)
+		}
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0 && s.Phases[order[j]].Offset < s.Phases[order[j-1]].Offset; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+		out := make([]bool, len(order))
+		for i, p := range order {
+			out[i] = s.Phases[p].Runtime
+		}
+		return out
+	}
+	ka, kb := kinds(sa), kinds(sb)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Fatalf("phase kind sequence differs at %d: %v vs %v", i, ka, kb)
+		}
+	}
+}
+
+// TestInFlightMessageForwardedAfterMigration: a message sent to a chare
+// that migrates while it is in flight still arrives (rerouted by the
+// runtime) and its receive is recorded on the new processor.
+func TestInFlightMessageForwardedAfterMigration(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.NetLatency = 5000 // long flight time so migration wins the race
+	rt := New(cfg)
+	arr := rt.NewArray("f", 2, func(i int) int { return i }, nil)
+	got := false
+	recv := arr.Register("recv", func(ctx *Ctx, m Message) {
+		got = true
+		if ctx.PE() != 2 {
+			t.Errorf("delivered on PE %d, want 2 (post-migration)", ctx.PE())
+		}
+		ctx.Compute(10)
+	})
+	hop := arr.Register("hop", func(ctx *Ctx, m Message) {
+		ctx.Compute(10)
+		ctx.Migrate(2)
+	})
+	start := arr.Register("start", func(ctx *Ctx, m Message) {
+		ctx.Send(arr.At(1), recv, nil) // long flight to PE 1
+	})
+	rt.Spawn(arr.At(1), hop, nil) // migrates quickly
+	rt.Spawn(arr.At(0), start, nil)
+	tr, err := rt.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !got {
+		t.Fatal("message lost after migration")
+	}
+	// The receive block must be recorded on PE 2.
+	for _, b := range tr.Blocks {
+		if tr.Entries[b.Entry].Name == "f::recv" && b.PE != 2 {
+			t.Fatalf("recv block on PE %d, want 2", b.PE)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"fmt"
+
+	"charmtrace/internal/trace"
+)
+
+// ReduceOp combines contribution values.
+type ReduceOp int
+
+// Supported reduction operators.
+const (
+	Sum ReduceOp = iota
+	Max
+	Min
+)
+
+func (op ReduceOp) combine(a, b float64) float64 {
+	switch op {
+	case Sum:
+		return a + b
+	case Max:
+		if a > b {
+			return a
+		}
+		return b
+	case Min:
+		if a < b {
+			return a
+		}
+		return b
+	default:
+		panic(fmt.Sprintf("sim: unknown ReduceOp %d", int(op)))
+	}
+}
+
+// Callback names where a completed reduction delivers its result.
+type Callback struct {
+	bcast bool
+	entry EntryRef
+	to    ChareRef
+}
+
+// BroadcastCallback delivers the result to every element of the entry's
+// array (like a Charm++ broadcast callback).
+func BroadcastCallback(entry EntryRef) Callback {
+	return Callback{bcast: true, entry: entry}
+}
+
+// SendCallback delivers the result to a single chare.
+func SendCallback(to ChareRef, entry EntryRef) Callback {
+	return Callback{to: to, entry: entry}
+}
+
+// Reduction is a reusable reduction over a chare array. Each element calls
+// Ctx.Contribute once per generation; when every contribution of a
+// generation has been combined across the per-PE CkReductionMgr tree, the
+// callback fires with the combined value.
+type Reduction struct {
+	rt  *Runtime
+	id  int
+	arr *Array
+	op  ReduceOp
+	cb  Callback
+	// genOf tracks each element's next contribution generation.
+	genOf []int
+	// member marks the contributing elements (all of them for a whole-array
+	// reduction).
+	member []bool
+	// localExpect is the number of contributing elements per PE;
+	// childExpect the number of tree children with non-empty subtrees.
+	localExpect []int
+	childExpect []int
+}
+
+// NewReduction registers a reduction over a whole array. The reduction
+// tree is a binary heap over PEs rooted at PE 0.
+func (rt *Runtime) NewReduction(arr *Array, op ReduceOp, cb Callback) *Reduction {
+	members := make([]int, arr.Len())
+	for i := range members {
+		members[i] = i
+	}
+	return rt.newReduction(arr, members, op, cb)
+}
+
+// NewSectionReduction registers a reduction over an array section: only the
+// section's members contribute, and the expected counts follow their
+// placement.
+func (rt *Runtime) NewSectionReduction(sec *Section, op ReduceOp, cb Callback) *Reduction {
+	return rt.newReduction(sec.arr, sec.members, op, cb)
+}
+
+func (rt *Runtime) newReduction(arr *Array, members []int, op ReduceOp, cb Callback) *Reduction {
+	if rt.ran {
+		panic("sim: NewReduction after Run")
+	}
+	if len(members) == 0 {
+		panic("sim: reduction over empty member set")
+	}
+	r := &Reduction{
+		rt: rt, id: len(rt.reds), arr: arr, op: op, cb: cb,
+		genOf:       make([]int, arr.Len()),
+		member:      make([]bool, arr.Len()),
+		localExpect: make([]int, rt.cfg.NumPE),
+		childExpect: make([]int, rt.cfg.NumPE),
+	}
+	for _, m := range members {
+		if r.member[m] {
+			panic("sim: duplicate section member")
+		}
+		r.member[m] = true
+		r.localExpect[arr.elems[m].home]++
+	}
+	subtree := make([]int, rt.cfg.NumPE)
+	for p := rt.cfg.NumPE - 1; p >= 0; p-- {
+		subtree[p] = r.localExpect[p]
+		for _, c := range []int{2*p + 1, 2*p + 2} {
+			if c < rt.cfg.NumPE && subtree[c] > 0 {
+				subtree[p] += subtree[c]
+				r.childExpect[p]++
+			}
+		}
+	}
+	rt.reds = append(rt.reds, r)
+	return r
+}
+
+// contribMsg is a local contribution from an application chare to its PE's
+// reduction manager.
+type contribMsg struct {
+	r   *Reduction
+	val float64
+	gen int
+}
+
+// upMsg carries a subtree's combined value up the reduction tree.
+type upMsg struct {
+	r   *Reduction
+	val float64
+	gen int
+}
+
+// Contribute performs this element's reduction contribution: a message to
+// the local CkReductionMgr runtime chare. The send and its delivery are
+// recorded only under the Section 5 tracing additions
+// (Config.TraceReductions); stock tracing records only the explicit
+// inter-processor reduction messages.
+func (c *Ctx) Contribute(r *Reduction, v float64) {
+	if c.elem.arr != r.arr {
+		panic("sim: Contribute from a chare outside the reduction's array")
+	}
+	if !r.member[c.elem.idx] {
+		panic("sim: Contribute from a chare outside the reduction's section")
+	}
+	gen := r.genOf[c.elem.idx]
+	r.genOf[c.elem.idx]++
+	// Contributions route to the manager of the chare's HOME processor so
+	// the reduction tree's expected counts stay valid under migration.
+	dst := c.rt.mgr.elems[c.elem.home]
+	m := c.rt.tb.NewMsg()
+	traced := c.rt.cfg.TraceReductions
+	if traced {
+		c.events = append(c.events, bufEvent{trace.Send, m, c.cursor})
+	}
+	env := &envelope{
+		msg: m, traced: traced, to: dst, entry: 0, /* contribute */
+		data: &contribMsg{r: r, val: v, gen: gen}, from: c.elem.chare,
+	}
+	c.sent = append(c.sent, env)
+	c.rt.eng.deliver(c.cursor+c.rt.latency(c.elem.pe, dst.pe), dst.pe, env)
+}
+
+// genKey identifies one generation of one reduction on one PE.
+type genKey struct {
+	red int
+	gen int
+}
+
+// genState accumulates one generation on one PE's manager.
+type genState struct {
+	val       float64
+	have      bool
+	localSeen int
+	childSeen int
+	chain     trace.MsgID // synthetic §5 dependency from the previous manager block
+	haveChain bool
+}
+
+// mgrOverhead is the virtual cost of one reduction-manager block.
+const mgrOverhead = 20
+
+// mgrHandle processes both local contributions and subtree messages on a
+// CkReductionMgr chare.
+func mgrHandle(ctx *Ctx, m Message) {
+	if ctx.elem.state == nil {
+		ctx.elem.state = make(map[genKey]*genState)
+	}
+	states := ctx.elem.state.(map[genKey]*genState)
+	var r *Reduction
+	var val float64
+	var gen int
+	local := false
+	switch p := m.Data.(type) {
+	case *contribMsg:
+		r, val, gen, local = p.r, p.val, p.gen, true
+	case *upMsg:
+		r, val, gen = p.r, p.val, p.gen
+		// Inter-processor reduction messages are always recorded, so their
+		// receiving blocks are traced even without the §5 additions.
+		ctx.force = true
+	default:
+		panic("sim: unexpected reduction manager payload")
+	}
+	key := genKey{r.id, gen}
+	gs := states[key]
+	if gs == nil {
+		gs = &genState{}
+		states[key] = gs
+	}
+	if gs.have {
+		gs.val = r.op.combine(gs.val, val)
+	} else {
+		gs.val, gs.have = val, true
+	}
+	if local {
+		gs.localSeen++
+	} else {
+		gs.childSeen++
+	}
+
+	traceRed := ctx.rt.cfg.TraceReductions
+	pe := ctx.elem.pe
+	if traceRed && gs.haveChain {
+		// Section 5: the synthetic internal dependency chaining this
+		// manager block to the previous one of the same generation.
+		ctx.events = append(ctx.events, bufEvent{trace.Recv, gs.chain, ctx.cursor})
+		gs.haveChain = false
+	}
+	ctx.Compute(mgrOverhead)
+
+	if gs.localSeen < r.localExpect[pe] || gs.childSeen < r.childExpect[pe] {
+		if traceRed {
+			gs.chain = ctx.rt.tb.NewMsg()
+			gs.haveChain = true
+			ctx.events = append(ctx.events, bufEvent{trace.Send, gs.chain, ctx.cursor})
+		}
+		return
+	}
+	// Subtree complete on this PE.
+	delete(states, key)
+	ctx.force = true
+	if pe == 0 {
+		result := &ReduceResult{Value: gs.val, Gen: gen}
+		if r.cb.bcast {
+			ctx.Broadcast(r.cb.entry, result)
+		} else {
+			ctx.Send(r.cb.to, r.cb.entry, result)
+		}
+		return
+	}
+	parent := ctx.rt.mgr.elems[(pe-1)/2]
+	msg := ctx.rt.tb.NewMsg()
+	ctx.events = append(ctx.events, bufEvent{trace.Send, msg, ctx.cursor})
+	env := &envelope{
+		msg: msg, traced: true, to: parent, entry: 1, /* reduceUp */
+		data: &upMsg{r: r, val: gs.val, gen: gen}, from: ctx.elem.chare,
+	}
+	ctx.sent = append(ctx.sent, env)
+	ctx.rt.eng.deliver(ctx.cursor+ctx.rt.latency(pe, parent.pe), parent.pe, env)
+}

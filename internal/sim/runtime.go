@@ -1,0 +1,486 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"charmtrace/internal/trace"
+)
+
+// Config parameterizes the simulated machine and the tracing framework.
+type Config struct {
+	NumPE int
+	Seed  int64
+	// NetLatency is the base delivery latency between distinct PEs.
+	NetLatency Time
+	// LocalLatency is the base delivery latency within a PE.
+	LocalLatency Time
+	// NetJitter adds a uniform random [0, NetJitter] to every delivery,
+	// making execution order genuinely non-deterministic across seeds.
+	NetJitter Time
+	// TraceReductions enables the Section 5 tracing additions: the local
+	// reduction events on each process (contribution deliveries to the
+	// per-PE CkReductionMgr and the synthetic internal dependencies chaining
+	// them) are recorded. Without it, only the explicit inter-processor
+	// reduction messages appear in the trace, as in stock Charm++.
+	TraceReductions bool
+}
+
+// DefaultConfig returns a small-cluster configuration with reduction
+// tracing enabled.
+func DefaultConfig(numPE int) Config {
+	return Config{
+		NumPE:           numPE,
+		Seed:            1,
+		NetLatency:      1000,
+		LocalLatency:    100,
+		NetJitter:       200,
+		TraceReductions: true,
+	}
+}
+
+// Runtime is one simulated Charm++ execution. Build arrays and reductions,
+// seed work with Spawn, then call Run once to obtain the trace.
+type Runtime struct {
+	cfg    Config
+	eng    *engine
+	rng    *rand.Rand
+	tb     *trace.Builder
+	arrays []*Array
+	mgr    *Array // per-PE CkReductionMgr runtime chares
+	reds   []*Reduction
+	qd     []*envelope // pending quiescence-detection callbacks
+	ran    bool
+
+	peLastEnd []Time
+	peEverRan []bool
+}
+
+// New creates a runtime from a config.
+func New(cfg Config) *Runtime {
+	if cfg.NumPE <= 0 {
+		panic("sim: NumPE must be positive")
+	}
+	rt := &Runtime{
+		cfg:       cfg,
+		eng:       newEngine(cfg.NumPE),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		tb:        trace.NewBuilder(cfg.NumPE),
+		peLastEnd: make([]Time, cfg.NumPE),
+		peEverRan: make([]bool, cfg.NumPE),
+	}
+	rt.mgr = rt.newArray("CkReductionMgr", cfg.NumPE, true, func(i int) int { return i }, nil)
+	// Without the §5 additions the manager's local reduction blocks are
+	// invisible to tracing; handlers force-trace the blocks that touch
+	// explicit inter-processor reduction messages.
+	rt.mgr.register("contribute", !cfg.TraceReductions, mgrHandle)
+	rt.mgr.register("reduceUp", !cfg.TraceReductions, mgrHandle)
+	return rt
+}
+
+// Builder exposes the underlying trace builder for advanced scenarios
+// (tests that need hand-placed records alongside simulation).
+func (rt *Runtime) Builder() *trace.Builder { return rt.tb }
+
+// EntryFn is an entry method body. The context is only valid during the
+// call.
+type EntryFn func(ctx *Ctx, msg Message)
+
+// Message is a delivered message.
+type Message struct {
+	// Data is the payload given to Send/Broadcast, or a *ReduceResult for
+	// reduction callbacks.
+	Data any
+	// From identifies the sending chare, or NoChare for Spawn seeds.
+	From trace.ChareID
+}
+
+// ReduceResult is delivered to reduction callbacks.
+type ReduceResult struct {
+	Value float64
+	Gen   int
+}
+
+// entryDef is one registered entry method.
+type entryDef struct {
+	name string
+	fn   EntryFn
+	tid  trace.EntryID
+	// untraced entries produce no block records unless the handler forces
+	// tracing (used by the reduction manager when Section 5 tracing is off).
+	untraced bool
+}
+
+// element is one chare (an element of an Array).
+type element struct {
+	arr   *Array
+	idx   int
+	pe    int // current processor (changes under migration)
+	home  int // initial placement
+	chare trace.ChareID
+	state any
+}
+
+// Array is an indexed collection of chares.
+type Array struct {
+	rt      *Runtime
+	id      trace.ArrayID
+	name    string
+	runtime bool
+	elems   []*element
+	entries []entryDef
+}
+
+// NewArray creates an application chare array of n elements. Placement maps
+// element index to PE; pass nil for the default block mapping. The state
+// factory (may be nil) builds per-element state.
+func (rt *Runtime) NewArray(name string, n int, placement func(i int) int, state func(i int) any) *Array {
+	return rt.newArray(name, n, false, placement, state)
+}
+
+func (rt *Runtime) newArray(name string, n int, runtimeChares bool, placement func(i int) int, state func(i int) any) *Array {
+	if rt.ran {
+		panic("sim: NewArray after Run")
+	}
+	if placement == nil {
+		placement = func(i int) int { return i * rt.cfg.NumPE / n }
+	}
+	arr := &Array{rt: rt, id: trace.ArrayID(len(rt.arrays)), name: name, runtime: runtimeChares}
+	for i := 0; i < n; i++ {
+		p := placement(i)
+		if p < 0 || p >= rt.cfg.NumPE {
+			panic(fmt.Sprintf("sim: placement of %s[%d] on PE %d out of range", name, i, p))
+		}
+		var cid trace.ChareID
+		label := fmt.Sprintf("%s[%d]", name, i)
+		if runtimeChares {
+			cid = rt.tb.AddRuntimeChare(label, trace.PE(p))
+		} else {
+			cid = rt.tb.AddChare(label, arr.id, i, trace.PE(p))
+		}
+		e := &element{arr: arr, idx: i, pe: p, home: p, chare: cid}
+		if state != nil {
+			e.state = state(i)
+		}
+		arr.elems = append(arr.elems, e)
+	}
+	rt.arrays = append(rt.arrays, arr)
+	return arr
+}
+
+// EntryRef names a registered entry method of an array.
+type EntryRef struct {
+	arr *Array
+	idx int
+}
+
+// Register adds an entry method and returns its reference.
+func (a *Array) Register(name string, fn EntryFn) EntryRef {
+	return a.register(name, false, fn)
+}
+
+// RegisterSDAG adds a Structured-Dagger generated serial entry method with
+// its parsing-order serial number and whether it directly follows a `when`
+// clause (§2.1). The logical-structure algorithm uses these numbers to
+// infer happened-before relationships.
+func (a *Array) RegisterSDAG(name string, serial int, afterWhen bool, fn EntryFn) EntryRef {
+	ref := EntryRef{a, len(a.entries)}
+	tid := a.rt.tb.AddSDAGEntry(fmt.Sprintf("%s::%s", a.name, name), serial, afterWhen)
+	a.entries = append(a.entries, entryDef{name: name, fn: fn, tid: tid})
+	return ref
+}
+
+// registerDeferred appends an entry whose trace metadata (name, SDAG
+// serial) is filled later, before Run; used by the SDAG builder.
+func (a *Array) registerDeferred(fn EntryFn) EntryRef {
+	ref := EntryRef{a, len(a.entries)}
+	a.entries = append(a.entries, entryDef{fn: fn, tid: -1})
+	return ref
+}
+
+func (a *Array) register(name string, untraced bool, fn EntryFn) EntryRef {
+	ref := EntryRef{a, len(a.entries)}
+	tid := a.rt.tb.AddEntry(fmt.Sprintf("%s::%s", a.name, name))
+	a.entries = append(a.entries, entryDef{name: name, fn: fn, tid: tid, untraced: untraced})
+	return ref
+}
+
+// ChareRef names one element of an array.
+type ChareRef struct {
+	arr  *Array
+	elem int
+}
+
+// At returns a reference to element i.
+func (a *Array) At(i int) ChareRef { return ChareRef{a, i} }
+
+// Len returns the number of elements.
+func (a *Array) Len() int { return len(a.elems) }
+
+// ChareIDOf returns the trace chare ID of element i.
+func (a *Array) ChareIDOf(i int) trace.ChareID { return a.elems[i].chare }
+
+// PEOf returns the processor element i lives on.
+func (a *Array) PEOf(i int) int { return a.elems[i].pe }
+
+// envelope is an in-flight message.
+type envelope struct {
+	msg    trace.MsgID
+	traced bool // the send was recorded; record the matching receive
+	to     *element
+	entry  int
+	data   any
+	from   trace.ChareID
+	spawn  bool  // seed execution: no receive event at all
+	prio   int32 // scheduler priority; lower runs first (0 = default)
+}
+
+// Spawn seeds an execution of an entry method at virtual time 0 (plus
+// scheduling), with no triggering message recorded — the analogue of a
+// mainchare kicking off the program. Only valid before Run.
+func (rt *Runtime) Spawn(to ChareRef, entry EntryRef, data any) {
+	if rt.ran {
+		panic("sim: Spawn after Run")
+	}
+	if to.arr != entry.arr {
+		panic("sim: Spawn entry belongs to a different array")
+	}
+	rt.eng.deliver(0, to.arr.elems[to.elem].pe, &envelope{
+		to: to.arr.elems[to.elem], entry: entry.idx, data: data,
+		from: trace.NoChare, spawn: true,
+	})
+}
+
+// OnQuiescence registers a quiescence-detection callback (Charm++'s
+// CkStartQD): when the system quiesces — no messages in flight, every
+// processor's queue empty — the entry is invoked on the target chare with
+// the given payload. Callbacks fire one per quiescence, in registration
+// order: work created by one callback drains before the next fires. The
+// delivery is a fresh source block; like real Charm++ completion
+// detection, the QD tree's bookkeeping leaves no recorded dependency (the
+// Figure 24 situation).
+func (rt *Runtime) OnQuiescence(to ChareRef, entry EntryRef, data any) {
+	if rt.ran {
+		panic("sim: OnQuiescence after Run")
+	}
+	if to.arr != entry.arr {
+		panic("sim: OnQuiescence entry belongs to a different array")
+	}
+	rt.qd = append(rt.qd, &envelope{
+		to: to.arr.elems[to.elem], entry: entry.idx, data: data,
+		from: trace.NoChare, spawn: true,
+	})
+}
+
+// Run drains the simulation and returns the finished, validated trace.
+func (rt *Runtime) Run() (*trace.Trace, error) {
+	if rt.ran {
+		panic("sim: Run called twice")
+	}
+	rt.ran = true
+	for {
+		rt.eng.run(rt.exec)
+		if len(rt.qd) == 0 {
+			break
+		}
+		// Quiescence reached: schedule the next registered callback at the
+		// latest completion time plus scheduling latency.
+		env := rt.qd[0]
+		rt.qd = rt.qd[1:]
+		var at Time
+		for _, end := range rt.peLastEnd {
+			if end > at {
+				at = end
+			}
+		}
+		rt.eng.deliver(at+rt.latency(env.to.pe, env.to.pe), env.to.pe, env)
+	}
+	return rt.tb.Finish()
+}
+
+// MustRun is Run that panics on error.
+func (rt *Runtime) MustRun() *trace.Trace {
+	t, err := rt.Run()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// bufEvent is a buffered trace event; blocks are recorded after the handler
+// returns so an untraced entry can still force tracing (reduction manager).
+type bufEvent struct {
+	kind trace.EventKind
+	msg  trace.MsgID
+	at   Time
+}
+
+// Ctx is the execution context of one entry-method invocation.
+type Ctx struct {
+	rt        *Runtime
+	elem      *element
+	cursor    Time
+	begin     Time
+	events    []bufEvent
+	sent      []*envelope
+	force     bool // record the block even if the entry is untraced
+	migrate   bool
+	migrateTo int
+}
+
+// Now returns the current virtual time within the block.
+func (c *Ctx) Now() Time { return c.cursor }
+
+// Index returns the element's index within its array.
+func (c *Ctx) Index() int { return c.elem.idx }
+
+// PE returns the processor executing the block.
+func (c *Ctx) PE() int { return c.elem.pe }
+
+// State returns the element's state (nil if no factory was given).
+func (c *Ctx) State() any { return c.elem.state }
+
+// Chare returns the element's trace chare ID.
+func (c *Ctx) Chare() trace.ChareID { return c.elem.chare }
+
+// Compute advances virtual time by d, modelling computation.
+func (c *Ctx) Compute(d Time) {
+	if d < 0 {
+		panic("sim: negative compute time")
+	}
+	c.cursor += d
+}
+
+// Migrate moves this chare to another processor once the current entry
+// method completes (Charm++ migration happens between entry method
+// executions). Messages already in flight are rerouted on dispatch:
+// delivery targets the element, not the processor. The logical structure
+// is keyed by chares, so a recovered structure is invariant to migration
+// even though the physical timeline changes.
+func (c *Ctx) Migrate(toPE int) {
+	if toPE < 0 || toPE >= c.rt.cfg.NumPE {
+		panic(fmt.Sprintf("sim: Migrate to PE %d out of range", toPE))
+	}
+	c.migrateTo = toPE
+	c.migrate = true
+}
+
+// Send invokes an entry method on another chare: the marshalled parameters
+// become a message routed to the destination chare's processor.
+func (c *Ctx) Send(to ChareRef, entry EntryRef, data any) {
+	c.sendPrio(to, entry, data, true, 0)
+}
+
+// SendPrio is Send with a Charm++-style scheduler priority: among the
+// messages queued on a processor, lower priority values are dequeued first
+// (FIFO within a priority). Priorities reorder execution without changing
+// dependencies, one of the non-deterministic factors the §3.2.1 reordering
+// is designed to see through.
+func (c *Ctx) SendPrio(to ChareRef, entry EntryRef, data any, prio int32) {
+	c.sendPrio(to, entry, data, true, prio)
+}
+
+// SendUntraced delivers like Send but records neither the send nor the
+// receive — a control dependency invisible to the tracing framework, like
+// the PDES completion-detector call of Section 7.1.
+func (c *Ctx) SendUntraced(to ChareRef, entry EntryRef, data any) {
+	c.sendPrio(to, entry, data, false, 0)
+}
+
+func (c *Ctx) sendPrio(to ChareRef, entry EntryRef, data any, traced bool, prio int32) {
+	if to.arr != entry.arr {
+		panic("sim: Send entry belongs to a different array")
+	}
+	dst := to.arr.elems[to.elem]
+	m := c.rt.tb.NewMsg()
+	if traced {
+		c.events = append(c.events, bufEvent{trace.Send, m, c.cursor})
+	}
+	env := &envelope{
+		msg: m, traced: traced, to: dst, entry: entry.idx, data: data,
+		from: c.elem.chare, prio: prio,
+	}
+	c.sent = append(c.sent, env)
+	c.rt.eng.deliver(c.cursor+c.rt.latency(c.elem.pe, dst.pe), dst.pe, env)
+}
+
+// Broadcast invokes an entry method on every element of an array through a
+// single call: one send event, one receive per element.
+func (c *Ctx) Broadcast(entry EntryRef, data any) {
+	arr := entry.arr
+	m := c.rt.tb.NewMsg()
+	c.events = append(c.events, bufEvent{trace.Send, m, c.cursor})
+	for _, dst := range arr.elems {
+		env := &envelope{
+			msg: m, traced: true, to: dst, entry: entry.idx, data: data, from: c.elem.chare,
+		}
+		c.sent = append(c.sent, env)
+		c.rt.eng.deliver(c.cursor+c.rt.latency(c.elem.pe, dst.pe), dst.pe, env)
+	}
+}
+
+// latency draws the delivery latency between two PEs.
+func (rt *Runtime) latency(from, to int) Time {
+	base := rt.cfg.NetLatency
+	if from == to {
+		base = rt.cfg.LocalLatency
+	}
+	if rt.cfg.NetJitter > 0 {
+		base += Time(rt.rng.Int63n(int64(rt.cfg.NetJitter) + 1))
+	}
+	if base < 1 {
+		base = 1
+	}
+	return base
+}
+
+// exec dispatches one envelope: it opens the serial block, runs the handler
+// with a buffering context, and records the block if its entry is traced.
+func (rt *Runtime) exec(peID int, start Time, env *envelope) Time {
+	elem := env.to
+	if elem.pe != peID {
+		// The chare migrated while the message was in flight: the runtime
+		// forwards it to the chare's current processor.
+		rt.eng.deliver(start+rt.latency(peID, elem.pe), elem.pe, env)
+		return start
+	}
+	entry := &elem.arr.entries[env.entry]
+	ctx := &Ctx{rt: rt, elem: elem, cursor: start, begin: start}
+	if env.traced && !env.spawn {
+		ctx.events = append(ctx.events, bufEvent{trace.Recv, env.msg, start})
+	}
+	entry.fn(ctx, Message{Data: env.data, From: env.from})
+	end := ctx.cursor
+	if end < start {
+		end = start
+	}
+	// Scheduler idle is recorded regardless of entry tracing: the tracing
+	// framework logs idle independently of which entries are instrumented.
+	if rt.peEverRan[peID] && start > rt.peLastEnd[peID] {
+		rt.tb.Idle(trace.PE(peID), rt.peLastEnd[peID], start)
+	}
+	if entry.untraced && !ctx.force {
+		// The block is invisible to the tracing framework; its sends must
+		// not leave matching receives dangling.
+		for _, env := range ctx.sent {
+			env.traced = false
+		}
+	} else {
+		rt.tb.BeginBlock(elem.chare, trace.PE(peID), entry.tid, start)
+		for _, be := range ctx.events {
+			switch be.kind {
+			case trace.Send:
+				rt.tb.Send(elem.chare, be.msg, be.at)
+			case trace.Recv:
+				rt.tb.Recv(elem.chare, be.msg, be.at)
+			}
+		}
+		rt.tb.EndBlock(elem.chare, end)
+	}
+	rt.peEverRan[peID] = true
+	rt.peLastEnd[peID] = end
+	if ctx.migrate {
+		elem.pe = ctx.migrateTo
+	}
+	return end
+}

@@ -1,0 +1,210 @@
+package sim
+
+import "fmt"
+
+// SDAG is a declarative Structured Dagger program (§2.1): a per-chare
+// control flow built from `serial` blocks and `when` clauses, optionally
+// wrapped in a loop. The runtime schedules each serial as its own entry
+// method execution; the control transfer between steps passes through the
+// runtime and is NOT recorded in the trace — exactly the situation the
+// paper's analysis must compensate for. A when clause's body executes
+// inside the entry-method execution of the message that satisfies it, the
+// behaviour behind the paper's absorb rule.
+//
+// Usage:
+//
+//	prog := sim.NewSDAG(arr)
+//	var ghost sim.EntryRef
+//	prog.Serial("begin", func(ctx *sim.Ctx) { ... ctx.Send(nb, ghost, nil) ... })
+//	prog.BeginLoop(func(idx int) int { return iters })
+//	prog.Serial("advance", func(ctx *sim.Ctx) { ... })
+//	ghost = prog.When("ghost", countFn, func(ctx *sim.Ctx, msgs []sim.Message) { ... })
+//	prog.EndLoop()
+//	prog.Install(rt) // registers entries and spawns every element
+type SDAG struct {
+	arr       *Array
+	steps     []sdagStep
+	installed bool
+	// loop bounds: loopStart/loopEnd delimit the repeated steps; loopCount
+	// gives the per-element iteration count.
+	loopStart, loopEnd int
+	loopCount          func(idx int) int
+	inLoop             bool
+	st                 []sdagElemState
+}
+
+// sdagStep is one program position.
+type sdagStep struct {
+	name   string
+	serial func(ctx *Ctx)                 // non-nil for serial steps
+	when   func(ctx *Ctx, msgs []Message) // non-nil for when steps
+	count  func(idx int) int
+	entry  EntryRef
+}
+
+// sdagElemState is one element's execution position.
+type sdagElemState struct {
+	step int
+	iter int
+	buf  [][]Message // per step: buffered early arrivals
+	done bool
+}
+
+// NewSDAG starts a program for an array.
+func NewSDAG(arr *Array) *SDAG {
+	return &SDAG{arr: arr, loopStart: -1, loopEnd: -1}
+}
+
+// Serial appends a serial block: code the runtime executes as one
+// uninterrupted entry method.
+func (p *SDAG) Serial(name string, fn func(ctx *Ctx)) {
+	p.checkMutable()
+	p.steps = append(p.steps, sdagStep{name: name, serial: fn})
+}
+
+// When appends a when clause: the program waits at this step until count
+// messages for the returned entry have arrived, then runs the body (inside
+// the block of the completing delivery) with all of them. Messages arriving
+// before the program reaches the step are buffered, as the generated
+// Charm++ entries do.
+func (p *SDAG) When(name string, count func(idx int) int, body func(ctx *Ctx, msgs []Message)) EntryRef {
+	p.checkMutable()
+	idx := len(p.steps)
+	step := sdagStep{name: name, when: body, count: count}
+	p.steps = append(p.steps, step)
+	// The when target entry: deliveries buffer and possibly complete the
+	// clause. The trace-level entry (with its parse-order serial number) is
+	// registered at Install, once program order is known.
+	ref := p.arr.registerDeferred(func(ctx *Ctx, m Message) {
+		p.arrive(ctx, idx, m)
+	})
+	p.steps[idx].entry = ref
+	return ref
+}
+
+// BeginLoop opens the repeated section; the count function gives each
+// element its iteration count (evaluated once, at first entry).
+func (p *SDAG) BeginLoop(count func(idx int) int) {
+	p.checkMutable()
+	if p.inLoop {
+		panic("sim: nested SDAG loops are not supported")
+	}
+	p.inLoop = true
+	p.loopStart = len(p.steps)
+	p.loopCount = count
+}
+
+// EndLoop closes the repeated section.
+func (p *SDAG) EndLoop() {
+	p.checkMutable()
+	if !p.inLoop {
+		panic("sim: EndLoop without BeginLoop")
+	}
+	p.inLoop = false
+	p.loopEnd = len(p.steps)
+}
+
+func (p *SDAG) checkMutable() {
+	if p.installed {
+		panic("sim: SDAG modified after Install")
+	}
+}
+
+// Install finalizes the program: serial steps get generated entries with
+// parse-order serial numbers (spaced apart, as distinct whens' generated
+// serials need not be adjacent), and every element is spawned at step 0.
+func (p *SDAG) Install(rt *Runtime) {
+	if p.installed {
+		panic("sim: Install called twice")
+	}
+	if p.inLoop {
+		panic("sim: Install inside an open loop")
+	}
+	p.installed = true
+	if len(p.steps) == 0 {
+		panic("sim: empty SDAG program")
+	}
+	for i := range p.steps {
+		s := &p.steps[i]
+		serialNo := 3 * i // spaced: closeness, not adjacency, of generated serials
+		if s.serial != nil {
+			i := i
+			s.entry = p.arr.RegisterSDAG(s.name, serialNo, i > 0 && p.steps[i-1].when != nil,
+				func(ctx *Ctx, m Message) {
+					p.steps[i].serial(ctx)
+					p.advance(ctx, i)
+				})
+		} else {
+			// Fill in the deferred when entry's trace metadata.
+			p.arr.entries[s.entry.idx].name = s.name
+			p.arr.entries[s.entry.idx].tid = p.arr.rt.tb.AddSDAGEntry(
+				fmt.Sprintf("%s::%s", p.arr.name, s.name), serialNo, true)
+		}
+	}
+	p.st = make([]sdagElemState, p.arr.Len())
+	for i := range p.st {
+		p.st[i].buf = make([][]Message, len(p.steps))
+		p.st[i].step = 0
+	}
+	if p.steps[0].serial != nil {
+		for i := 0; i < p.arr.Len(); i++ {
+			rt.Spawn(p.arr.At(i), p.steps[0].entry, nil)
+		}
+	}
+	// A program starting with a when simply waits for messages.
+}
+
+// arrive handles a delivery for the when clause at step idx.
+func (p *SDAG) arrive(ctx *Ctx, idx int, m Message) {
+	st := &p.st[ctx.Index()]
+	st.buf[idx] = append(st.buf[idx], m)
+	ctx.Compute(5) // buffering overhead of the generated entry
+	p.fire(ctx, idx)
+}
+
+// fire runs the when body at step idx if the element is positioned there
+// and enough messages are buffered, then advances.
+func (p *SDAG) fire(ctx *Ctx, idx int) {
+	st := &p.st[ctx.Index()]
+	if st.done || st.step != idx {
+		return
+	}
+	step := &p.steps[idx]
+	need := step.count(ctx.Index())
+	if len(st.buf[idx]) < need {
+		return
+	}
+	msgs := st.buf[idx][:need]
+	st.buf[idx] = append([]Message(nil), st.buf[idx][need:]...)
+	step.when(ctx, msgs)
+	p.advance(ctx, idx)
+}
+
+// advance moves the element past step idx: loop bookkeeping, then either
+// schedule the next serial through (unrecorded) runtime control or arm the
+// next when, firing it immediately if its messages already arrived.
+func (p *SDAG) advance(ctx *Ctx, idx int) {
+	st := &p.st[ctx.Index()]
+	next := idx + 1
+	if p.loopEnd >= 0 && next == p.loopEnd {
+		st.iter++
+		if st.iter < p.loopCount(ctx.Index()) {
+			next = p.loopStart
+		}
+	}
+	if next >= len(p.steps) {
+		st.done = true
+		return
+	}
+	st.step = next
+	if p.steps[next].serial != nil {
+		// SDAG control through the runtime: not recorded in the trace.
+		ctx.SendUntraced(p.arr.At(ctx.Index()), p.steps[next].entry, nil)
+		return
+	}
+	// Next step is a when; it may already be satisfied by early arrivals.
+	p.fire(ctx, next)
+}
+
+// Done reports whether an element finished the program (test helper).
+func (p *SDAG) Done(idx int) bool { return p.st[idx].done }

@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"testing"
+
+	"charmtrace/internal/core"
+	"charmtrace/internal/trace"
+)
+
+// sdagJacobi builds the Jacobi pattern declaratively: per iteration a
+// serial that sends halos, a when collecting them, and a reduction whose
+// broadcast feeds the loop's next when.
+func sdagJacobi(t *testing.T, grid, iters int) (*trace.Trace, *SDAG) {
+	t.Helper()
+	rt := New(DefaultConfig(4))
+	n := grid * grid
+	arr := rt.NewArray("sj", n, nil, nil)
+	neighbors := func(i int) []int {
+		x, y := i%grid, i/grid
+		var out []int
+		if x > 0 {
+			out = append(out, i-1)
+		}
+		if x < grid-1 {
+			out = append(out, i+1)
+		}
+		if y > 0 {
+			out = append(out, i-grid)
+		}
+		if y < grid-1 {
+			out = append(out, i+grid)
+		}
+		return out
+	}
+
+	prog := NewSDAG(arr)
+	var ghost, resume EntryRef
+	var red *Reduction
+	sendHalos := func(ctx *Ctx) {
+		ctx.Compute(50)
+		for _, nb := range neighbors(ctx.Index()) {
+			ctx.Send(arr.At(nb), ghost, nil)
+		}
+	}
+	prog.Serial("begin", sendHalos)
+	prog.BeginLoop(func(int) int { return iters })
+	ghost = prog.When("ghost", func(i int) int { return len(neighbors(i)) },
+		func(ctx *Ctx, msgs []Message) {
+			ctx.Compute(200)
+			ctx.Contribute(red, 1)
+		})
+	resume = prog.When("resume", func(int) int { return 1 },
+		func(ctx *Ctx, msgs []Message) {
+			if p := msgs[0].Data.(*ReduceResult); p.Gen < iters-1 {
+				sendHalos(ctx)
+			}
+		})
+	prog.EndLoop()
+	red = rt.NewReduction(arr, Sum, BroadcastCallback(resume))
+	prog.Install(rt)
+
+	tr, err := rt.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return tr, prog
+}
+
+func TestSDAGJacobiCompletes(t *testing.T) {
+	tr, prog := sdagJacobi(t, 3, 3)
+	for i := 0; i < 9; i++ {
+		if !prog.Done(i) {
+			t.Fatalf("element %d did not finish the program", i)
+		}
+	}
+	// Halo messages: 3 iterations x directed neighbour links (2*2*3*2=24).
+	halo := 0
+	for _, ev := range tr.Events {
+		if ev.Kind == trace.Recv && !tr.IsRuntimeChare(ev.Chare) {
+			send := tr.SendOf(ev.Msg)
+			if !tr.IsRuntimeChare(tr.Events[send].Chare) && tr.Events[send].Chare != ev.Chare {
+				halo++
+			}
+		}
+	}
+	if halo != 3*24 {
+		t.Fatalf("halo receives = %d, want %d", halo, 3*24)
+	}
+}
+
+func TestSDAGStructureAlternates(t *testing.T) {
+	tr, _ := sdagJacobi(t, 3, 3)
+	s, err := core.Extract(tr, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// One app + one runtime phase per iteration, alternating.
+	if s.NumPhases() != 6 {
+		t.Fatalf("phases = %d, want 6", s.NumPhases())
+	}
+	order := make([]int32, s.NumPhases())
+	for i := range order {
+		order[i] = int32(i)
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && s.Phases[order[j]].Offset < s.Phases[order[j-1]].Offset; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for i, pi := range order {
+		if s.Phases[pi].Runtime != (i%2 == 1) {
+			t.Fatalf("phase kinds do not alternate at %d", i)
+		}
+	}
+}
+
+func TestSDAGBuffersEarlyArrivals(t *testing.T) {
+	// Element 1 receives the when message long before it reaches the when
+	// step (it computes first); the message must be buffered, not lost.
+	rt := New(DefaultConfig(2))
+	arr := rt.NewArray("buf", 2, func(i int) int { return i }, nil)
+	prog := NewSDAG(arr)
+	var data EntryRef
+	fired := make([]bool, 2)
+	prog.Serial("begin", func(ctx *Ctx) {
+		if ctx.Index() == 0 {
+			ctx.Send(arr.At(1), data, "early")
+		} else {
+			ctx.Compute(100000) // long compute: the message arrives first
+		}
+	})
+	data = prog.When("data", func(i int) int {
+		if i == 0 {
+			return 0 // element 0 waits for nothing
+		}
+		return 1
+	}, func(ctx *Ctx, msgs []Message) {
+		fired[ctx.Index()] = true
+		if ctx.Index() == 1 && msgs[0].Data != "early" {
+			t.Error("buffered payload lost")
+		}
+	})
+	prog.Install(rt)
+	if _, err := rt.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !fired[1] {
+		t.Fatal("when never fired despite buffered early arrival")
+	}
+	if !prog.Done(0) || !prog.Done(1) {
+		t.Fatal("program incomplete")
+	}
+}
+
+func TestSDAGMisusePanics(t *testing.T) {
+	rt := New(DefaultConfig(1))
+	arr := rt.NewArray("mp", 1, nil, nil)
+	t.Run("empty program", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		NewSDAG(arr).Install(rt)
+	})
+	t.Run("open loop", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		p := NewSDAG(arr)
+		p.Serial("s", func(*Ctx) {})
+		p.BeginLoop(func(int) int { return 1 })
+		p.Install(rt)
+	})
+	t.Run("nested loop", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		p := NewSDAG(arr)
+		p.BeginLoop(func(int) int { return 1 })
+		p.BeginLoop(func(int) int { return 1 })
+	})
+	t.Run("modify after install", func(t *testing.T) {
+		rt2 := New(DefaultConfig(1))
+		arr2 := rt2.NewArray("mp2", 1, nil, nil)
+		p := NewSDAG(arr2)
+		p.Serial("s", func(*Ctx) {})
+		p.Install(rt2)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		p.Serial("late", func(*Ctx) {})
+	})
+}

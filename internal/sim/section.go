@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"charmtrace/internal/trace"
+)
+
+// Section is a subset of a chare array — the analogue of Charm++ array
+// sections, over which multicasts and section reductions operate.
+type Section struct {
+	arr     *Array
+	members []int
+}
+
+// NewSection creates a section of an array from element indices (order is
+// normalized; duplicates rejected).
+func (rt *Runtime) NewSection(arr *Array, members []int) *Section {
+	if rt.ran {
+		panic("sim: NewSection after Run")
+	}
+	if len(members) == 0 {
+		panic("sim: empty section")
+	}
+	sorted := append([]int(nil), members...)
+	sort.Ints(sorted)
+	for i, m := range sorted {
+		if m < 0 || m >= arr.Len() {
+			panic(fmt.Sprintf("sim: section member %d out of range", m))
+		}
+		if i > 0 && sorted[i-1] == m {
+			panic("sim: duplicate section member")
+		}
+	}
+	return &Section{arr: arr, members: sorted}
+}
+
+// Len returns the number of section members.
+func (s *Section) Len() int { return len(s.members) }
+
+// Members returns the member indices (do not modify).
+func (s *Section) Members() []int { return s.members }
+
+// Multicast invokes an entry method on every member of a section through a
+// single call: one send event, one receive per member (a section multicast).
+func (c *Ctx) Multicast(sec *Section, entry EntryRef, data any) {
+	if sec.arr != entry.arr {
+		panic("sim: Multicast entry belongs to a different array")
+	}
+	m := c.rt.tb.NewMsg()
+	c.events = append(c.events, bufEvent{trace.Send, m, c.cursor})
+	for _, idx := range sec.members {
+		dst := sec.arr.elems[idx]
+		env := &envelope{
+			msg: m, traced: true, to: dst, entry: entry.idx, data: data, from: c.elem.chare,
+		}
+		c.sent = append(c.sent, env)
+		c.rt.eng.deliver(c.cursor+c.rt.latency(c.elem.pe, dst.pe), dst.pe, env)
+	}
+}

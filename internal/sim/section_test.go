@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"testing"
+
+	"charmtrace/internal/core"
+	"charmtrace/internal/trace"
+)
+
+func TestMulticastReachesExactlyMembers(t *testing.T) {
+	rt := New(DefaultConfig(3))
+	arr := rt.NewArray("sec", 6, nil, nil)
+	sec := rt.NewSection(arr, []int{1, 3, 5})
+	hit := make([]bool, 6)
+	recv := arr.Register("recv", func(ctx *Ctx, m Message) {
+		hit[ctx.Index()] = true
+		ctx.Compute(10)
+	})
+	start := arr.Register("start", func(ctx *Ctx, m Message) {
+		ctx.Multicast(sec, recv, "payload")
+	})
+	rt.Spawn(arr.At(0), start, nil)
+	tr, err := rt.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, h := range hit {
+		want := i == 1 || i == 3 || i == 5
+		if h != want {
+			t.Fatalf("element %d hit=%v, want %v", i, h, want)
+		}
+	}
+	if got := tr.CountKind(trace.Send); got != 1 {
+		t.Fatalf("sends = %d, want 1 (single multicast send)", got)
+	}
+	var msg trace.MsgID = -2
+	for _, ev := range tr.Events {
+		if ev.Kind == trace.Send {
+			msg = ev.Msg
+		}
+	}
+	if got := len(tr.RecvsOf(msg)); got != 3 {
+		t.Fatalf("multicast recvs = %d, want 3", got)
+	}
+}
+
+func TestSectionReduction(t *testing.T) {
+	rt := New(DefaultConfig(4))
+	arr := rt.NewArray("sr", 8, nil, nil)
+	sec := rt.NewSection(arr, []int{0, 2, 4, 6})
+	var red *Reduction
+	var got float64
+	done := arr.Register("done", func(ctx *Ctx, m Message) {
+		got = m.Data.(*ReduceResult).Value
+	})
+	contribute := arr.Register("contribute", func(ctx *Ctx, m Message) {
+		ctx.Compute(20)
+		ctx.Contribute(red, float64(ctx.Index()))
+	})
+	red = rt.NewSectionReduction(sec, Sum, SendCallback(arr.At(0), done))
+	start := arr.Register("start", func(ctx *Ctx, m Message) {
+		ctx.Multicast(sec, contribute, nil)
+	})
+	rt.Spawn(arr.At(0), start, nil)
+	if _, err := rt.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got != 0+2+4+6 {
+		t.Fatalf("section reduction = %v, want 12", got)
+	}
+}
+
+func TestContributeOutsideSectionPanics(t *testing.T) {
+	rt := New(DefaultConfig(1))
+	arr := rt.NewArray("sp", 4, nil, nil)
+	sec := rt.NewSection(arr, []int{0, 1})
+	var red *Reduction
+	done := arr.Register("done", func(ctx *Ctx, m Message) {})
+	bad := arr.Register("bad", func(ctx *Ctx, m Message) {
+		ctx.Contribute(red, 1) // element 3 is not a member
+	})
+	red = rt.NewSectionReduction(sec, Sum, SendCallback(arr.At(0), done))
+	rt.Spawn(arr.At(3), bad, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rt.MustRun()
+}
+
+func TestSectionValidation(t *testing.T) {
+	rt := New(DefaultConfig(1))
+	arr := rt.NewArray("sv", 3, nil, nil)
+	for _, members := range [][]int{{}, {5}, {1, 1}} {
+		members := members
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("members %v accepted", members)
+				}
+			}()
+			rt.NewSection(arr, members)
+		}()
+	}
+}
+
+// TestSectionStructure: a multicast + section reduction extracts into a
+// valid structure with a runtime phase covering only the section's homes.
+func TestSectionStructure(t *testing.T) {
+	rt := New(DefaultConfig(4))
+	arr := rt.NewArray("ss", 8, nil, nil)
+	sec := rt.NewSection(arr, []int{1, 2, 5, 6})
+	var red *Reduction
+	done := arr.Register("done", func(ctx *Ctx, m Message) { ctx.Compute(5) })
+	contribute := arr.Register("contribute", func(ctx *Ctx, m Message) {
+		ctx.Compute(50)
+		ctx.Contribute(red, 1)
+	})
+	red = rt.NewSectionReduction(sec, Sum, SendCallback(arr.At(1), done))
+	start := arr.Register("start", func(ctx *Ctx, m Message) {
+		ctx.Multicast(sec, contribute, nil)
+	})
+	rt.Spawn(arr.At(0), start, nil)
+	tr := rt.MustRun()
+	s, err := core.Extract(tr, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	hasRuntime := false
+	for i := range s.Phases {
+		if s.Phases[i].Runtime {
+			hasRuntime = true
+		}
+	}
+	if !hasRuntime {
+		t.Fatal("section reduction produced no runtime phase")
+	}
+}

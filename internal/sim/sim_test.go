@@ -1,0 +1,323 @@
+package sim
+
+import (
+	"testing"
+
+	"charmtrace/internal/core"
+	"charmtrace/internal/trace"
+)
+
+// pingPong: element 0 sends to element 1, which replies.
+func pingPong(t *testing.T, cfg Config) *trace.Trace {
+	t.Helper()
+	rt := New(cfg)
+	arr := rt.NewArray("pp", 2, nil, nil)
+	var ping, pong EntryRef
+	ping = arr.Register("ping", func(ctx *Ctx, m Message) {
+		ctx.Compute(100)
+		ctx.Send(arr.At(0), pong, "reply")
+	})
+	pong = arr.Register("pong", func(ctx *Ctx, m Message) {
+		ctx.Compute(50)
+	})
+	start := arr.Register("start", func(ctx *Ctx, m Message) {
+		ctx.Compute(10)
+		ctx.Send(arr.At(1), ping, "hello")
+	})
+	rt.Spawn(arr.At(0), start, nil)
+	tr, err := rt.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return tr
+}
+
+func TestPingPongTrace(t *testing.T) {
+	tr := pingPong(t, DefaultConfig(2))
+	// Chares: 2 mgr (runtime) + 2 app.
+	if got := len(tr.ApplicationChares()); got != 2 {
+		t.Fatalf("app chares = %d, want 2", got)
+	}
+	if got := len(tr.Blocks); got != 3 {
+		t.Fatalf("blocks = %d, want 3 (start, ping, pong)", got)
+	}
+	if tr.CountKind(trace.Send) != 2 || tr.CountKind(trace.Recv) != 2 {
+		t.Fatalf("events = %d sends / %d recvs, want 2/2",
+			tr.CountKind(trace.Send), tr.CountKind(trace.Recv))
+	}
+	// Virtual time sanity: pong begins after ping's send plus latency.
+	var pingSend, pongBegin trace.Time
+	for _, ev := range tr.Events {
+		if ev.Kind == trace.Send && tr.Chares[ev.Chare].Index == 1 {
+			pingSend = ev.Time
+		}
+	}
+	for bi := range tr.Blocks {
+		if tr.Entries[tr.Blocks[bi].Entry].Name == "pp::pong" {
+			pongBegin = tr.Blocks[bi].Begin
+		}
+	}
+	if pongBegin <= pingSend {
+		t.Fatalf("pong began at %d, not after ping send at %d", pongBegin, pingSend)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	a := pingPong(t, DefaultConfig(2))
+	b := pingPong(t, DefaultConfig(2))
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+}
+
+func TestSeedChangesSchedule(t *testing.T) {
+	cfg := DefaultConfig(2)
+	a := pingPong(t, cfg)
+	cfg.Seed = 99
+	b := pingPong(t, cfg)
+	differ := false
+	for i := range a.Events {
+		if a.Events[i].Time != b.Events[i].Time {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Fatal("jitter with different seed produced identical timings")
+	}
+}
+
+func TestBroadcastDeliversToAll(t *testing.T) {
+	rt := New(DefaultConfig(3))
+	arr := rt.NewArray("a", 6, nil, nil)
+	got := make([]bool, 6)
+	recv := arr.Register("recv", func(ctx *Ctx, m Message) {
+		got[ctx.Index()] = true
+		ctx.Compute(10)
+	})
+	start := arr.Register("start", func(ctx *Ctx, m Message) {
+		ctx.Broadcast(recv, "hi")
+	})
+	rt.Spawn(arr.At(0), start, nil)
+	tr, err := rt.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, ok := range got {
+		if !ok {
+			t.Fatalf("element %d missed broadcast", i)
+		}
+	}
+	// Single send event, six receives of the same message.
+	sends := tr.CountKind(trace.Send)
+	if sends != 1 {
+		t.Fatalf("sends = %d, want 1", sends)
+	}
+	var m trace.MsgID = -2
+	for _, ev := range tr.Events {
+		if ev.Kind == trace.Send {
+			m = ev.Msg
+		}
+	}
+	if got := len(tr.RecvsOf(m)); got != 6 {
+		t.Fatalf("broadcast recvs = %d, want 6", got)
+	}
+}
+
+// reductionTrace runs one Sum reduction over 8 elements on 4 PEs.
+func reductionTrace(t *testing.T, traceRed bool) (*trace.Trace, float64) {
+	t.Helper()
+	cfg := DefaultConfig(4)
+	cfg.TraceReductions = traceRed
+	rt := New(cfg)
+	arr := rt.NewArray("r", 8, nil, nil)
+	var result float64
+	var red *Reduction
+	done := arr.Register("done", func(ctx *Ctx, m Message) {
+		if ctx.Index() == 0 {
+			result = m.Data.(*ReduceResult).Value
+		}
+		ctx.Compute(5)
+	})
+	contribute := arr.Register("contribute", func(ctx *Ctx, m Message) {
+		ctx.Compute(30)
+		ctx.Contribute(red, float64(ctx.Index()))
+	})
+	red = rt.NewReduction(arr, Sum, BroadcastCallback(done))
+	start := arr.Register("start", func(ctx *Ctx, m Message) {
+		ctx.Broadcast(contribute, nil)
+	})
+	rt.Spawn(arr.At(0), start, nil)
+	tr, err := rt.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return tr, result
+}
+
+func TestReductionValue(t *testing.T) {
+	_, sum := reductionTrace(t, true)
+	if sum != 0+1+2+3+4+5+6+7 {
+		t.Fatalf("reduction value = %v, want 28", sum)
+	}
+	_, sum = reductionTrace(t, false)
+	if sum != 28 {
+		t.Fatalf("untraced reduction value = %v, want 28 (tracing must not change semantics)", sum)
+	}
+}
+
+func TestReductionTracingAdditions(t *testing.T) {
+	with, _ := reductionTrace(t, true)
+	without, _ := reductionTrace(t, false)
+	if len(with.Events) <= len(without.Events) {
+		t.Fatalf("§5 tracing should add events: with=%d without=%d",
+			len(with.Events), len(without.Events))
+	}
+	// With §5: contribution sends from app chares to the local manager are
+	// visible. Without: no app→runtime contribute messages at all.
+	countContrib := func(tr *trace.Trace) int {
+		n := 0
+		for _, ev := range tr.Events {
+			if ev.Kind != trace.Send || tr.IsRuntimeChare(ev.Chare) {
+				continue
+			}
+			for _, r := range tr.RecvsOf(ev.Msg) {
+				if tr.IsRuntimeChare(tr.Events[r].Chare) {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if countContrib(with) != 8 {
+		t.Fatalf("with §5: contribute sends = %d, want 8", countContrib(with))
+	}
+	if countContrib(without) != 0 {
+		t.Fatalf("without §5: contribute sends = %d, want 0", countContrib(without))
+	}
+}
+
+func TestReductionRepeatedGenerations(t *testing.T) {
+	cfg := DefaultConfig(2)
+	rt := New(cfg)
+	arr := rt.NewArray("g", 4, nil, nil)
+	var red *Reduction
+	var results []float64
+	var step EntryRef
+	done := arr.Register("done", func(ctx *Ctx, m Message) {
+		r := m.Data.(*ReduceResult)
+		if ctx.Index() == 0 {
+			results = append(results, r.Value)
+			if r.Gen < 2 {
+				ctx.Broadcast(step, nil)
+			}
+		}
+	})
+	step = arr.Register("step", func(ctx *Ctx, m Message) {
+		ctx.Compute(10)
+		ctx.Contribute(red, 1)
+	})
+	red = rt.NewReduction(arr, Sum, SendCallback(arr.At(0), done))
+	start := arr.Register("start", func(ctx *Ctx, m Message) {
+		ctx.Broadcast(step, nil)
+	})
+	rt.Spawn(arr.At(0), start, nil)
+	if _, err := rt.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("reductions fired %d times, want 3", len(results))
+	}
+	for i, v := range results {
+		if v != 4 {
+			t.Fatalf("generation %d value = %v, want 4", i, v)
+		}
+	}
+}
+
+func TestIdleRecorded(t *testing.T) {
+	cfg := DefaultConfig(2)
+	rt := New(cfg)
+	arr := rt.NewArray("i", 2, func(i int) int { return i }, nil)
+	var poke EntryRef
+	poke = arr.Register("poke", func(ctx *Ctx, m Message) {
+		ctx.Compute(100)
+		if v, ok := m.Data.(int); ok && v < 2 {
+			ctx.Send(arr.At(1-ctx.Index()), poke, v+1)
+		}
+	})
+	rt.Spawn(arr.At(0), poke, 0)
+	tr, err := rt.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// PE0 idles while PE1 computes and replies.
+	found := false
+	for _, idle := range tr.Idles {
+		if idle.PE == 0 && idle.Duration() > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no idle recorded on PE 0; idles = %v", tr.Idles)
+	}
+}
+
+// TestStructureOnSimulatedReduction: full pipeline integration — the
+// simulator's reduction trace must extract into a valid structure where the
+// reduction appears as a runtime phase.
+func TestStructureOnSimulatedReduction(t *testing.T) {
+	tr, _ := reductionTrace(t, true)
+	s, err := core.Extract(tr, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	hasRuntime := false
+	for i := range s.Phases {
+		if s.Phases[i].Runtime {
+			hasRuntime = true
+		}
+	}
+	if !hasRuntime {
+		t.Fatal("no runtime phase recovered from reduction trace")
+	}
+}
+
+func TestUntracedSendLeavesNoDanglingRecv(t *testing.T) {
+	rt := New(DefaultConfig(2))
+	arr := rt.NewArray("u", 2, nil, nil)
+	tick := arr.Register("tick", func(ctx *Ctx, m Message) {
+		ctx.Compute(10)
+	})
+	start := arr.Register("start", func(ctx *Ctx, m Message) {
+		ctx.SendUntraced(arr.At(1), tick, nil)
+	})
+	rt.Spawn(arr.At(0), start, nil)
+	tr, err := rt.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := len(tr.Events); got != 0 {
+		t.Fatalf("events = %d, want 0 (untraced dependency)", got)
+	}
+	if got := len(tr.Blocks); got != 2 {
+		t.Fatalf("blocks = %d, want 2 (blocks still run)", got)
+	}
+}
+
+func TestPlacementBlockMapping(t *testing.T) {
+	rt := New(DefaultConfig(4))
+	arr := rt.NewArray("p", 8, nil, nil)
+	for i := 0; i < 8; i++ {
+		if want := i / 2; arr.PEOf(i) != want {
+			t.Fatalf("element %d on PE %d, want %d", i, arr.PEOf(i), want)
+		}
+	}
+}

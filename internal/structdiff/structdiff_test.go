@@ -1,0 +1,96 @@
+package structdiff
+
+import (
+	"strings"
+	"testing"
+
+	"charmtrace/internal/apps/jacobi"
+	"charmtrace/internal/core"
+)
+
+func structure(t *testing.T, cfg jacobi.Config, opt core.Options) *core.Structure {
+	t.Helper()
+	s, err := core.Extract(jacobi.MustTrace(cfg), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestIdenticalStructuresCompareEqual(t *testing.T) {
+	a := structure(t, jacobi.DefaultConfig(), core.DefaultOptions())
+	b := structure(t, jacobi.DefaultConfig(), core.DefaultOptions())
+	d, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() {
+		t.Fatalf("identical structures differ:\n%s", d)
+	}
+	if !strings.Contains(d.String(), "equivalent") {
+		t.Fatal("empty diff renders wrong")
+	}
+}
+
+// TestSeedInvariance is the headline use: different seeds permute the
+// physical schedule, but the recovered logical structure is equivalent.
+func TestSeedInvariance(t *testing.T) {
+	cfgA := jacobi.DefaultConfig()
+	cfgB := jacobi.DefaultConfig()
+	cfgB.Seed = 99
+	a := structure(t, cfgA, core.DefaultOptions())
+	b := structure(t, cfgB, core.DefaultOptions())
+	// The raw traces differ...
+	timesDiffer := false
+	for i := range a.Trace.Events {
+		if a.Trace.Events[i].Time != b.Trace.Events[i].Time {
+			timesDiffer = true
+			break
+		}
+	}
+	if !timesDiffer {
+		t.Fatal("seeds produced identical traces; test ineffective")
+	}
+	// ...but the logical structures are equivalent.
+	d, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() {
+		t.Fatalf("logical structure not seed-invariant:\n%s", d)
+	}
+}
+
+func TestDetectsOptionDivergence(t *testing.T) {
+	cfg := jacobi.DefaultConfig()
+	cfg.Grid = 8
+	cfg.Iterations = 2
+	a := structure(t, cfg, core.DefaultOptions())
+	opt := core.DefaultOptions()
+	opt.Reorder = false
+	b := structure(t, cfg, opt)
+	d, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Empty() {
+		t.Fatal("reordering ablation produced an equivalent structure; diff too weak")
+	}
+	if len(d.Chares) == 0 {
+		t.Fatal("diff did not localize any chare divergence")
+	}
+	if !strings.Contains(d.String(), "diverge") && !strings.Contains(d.String(), "phase") {
+		t.Fatalf("diff report uninformative:\n%s", d)
+	}
+}
+
+func TestRejectsDifferentPopulations(t *testing.T) {
+	small := jacobi.DefaultConfig()
+	big := jacobi.DefaultConfig()
+	big.Grid = 8
+	a := structure(t, small, core.DefaultOptions())
+	b := structure(t, big, core.DefaultOptions())
+	if _, err := Compare(a, b); err == nil {
+		t.Fatal("different populations accepted")
+	}
+}

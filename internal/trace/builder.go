@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder assembles a Trace incrementally. It hands out dense IDs, keeps a
+// current open block per chare, and finishes with an indexed, validated
+// Trace. Builders are not safe for concurrent use; the simulators in this
+// repository are single-goroutine discrete-event loops, so this is fine.
+type Builder struct {
+	t       Trace
+	nextMsg MsgID
+	open    map[ChareID]BlockID
+}
+
+// NewBuilder returns a Builder for a machine with numPE processors.
+func NewBuilder(numPE int) *Builder {
+	return &Builder{
+		t:    Trace{NumPE: numPE},
+		open: make(map[ChareID]BlockID),
+	}
+}
+
+// AddEntry registers an entry-method type and returns its ID.
+func (b *Builder) AddEntry(name string) EntryID {
+	id := EntryID(len(b.t.Entries))
+	b.t.Entries = append(b.t.Entries, Entry{ID: id, Name: name, SDAGSerial: -1})
+	return id
+}
+
+// AddSDAGEntry registers a generated SDAG serial entry method with its
+// parsing-order number, and whether it directly follows a `when` clause.
+func (b *Builder) AddSDAGEntry(name string, serial int, afterWhen bool) EntryID {
+	id := EntryID(len(b.t.Entries))
+	b.t.Entries = append(b.t.Entries, Entry{ID: id, Name: name, SDAGSerial: serial, AfterWhen: afterWhen})
+	return id
+}
+
+// AddChare registers an application chare and returns its ID.
+func (b *Builder) AddChare(name string, array ArrayID, index int, home PE) ChareID {
+	return b.addChare(name, array, index, home, false)
+}
+
+// AddRuntimeChare registers a runtime-system chare (for example a per-PE
+// reduction manager) and returns its ID.
+func (b *Builder) AddRuntimeChare(name string, home PE) ChareID {
+	return b.addChare(name, NoArray, -1, home, true)
+}
+
+func (b *Builder) addChare(name string, array ArrayID, index int, home PE, runtime bool) ChareID {
+	id := ChareID(len(b.t.Chares))
+	b.t.Chares = append(b.t.Chares, Chare{
+		ID: id, Name: name, Array: array, Index: index, Runtime: runtime, Home: home,
+	})
+	return id
+}
+
+// NewMsg allocates a fresh message identifier.
+func (b *Builder) NewMsg() MsgID {
+	id := b.nextMsg
+	b.nextMsg++
+	return id
+}
+
+// BeginBlock opens a serial block for a chare. The chare must not already
+// have an open block (entry methods execute without interruption).
+func (b *Builder) BeginBlock(chare ChareID, pe PE, entry EntryID, begin Time) BlockID {
+	if open, ok := b.open[chare]; ok {
+		panic(fmt.Sprintf("trace: BeginBlock on chare %d while block %d is open", chare, open))
+	}
+	id := BlockID(len(b.t.Blocks))
+	b.t.Blocks = append(b.t.Blocks, Block{
+		ID: id, Chare: chare, PE: pe, Entry: entry, Begin: begin, End: begin,
+	})
+	b.open[chare] = id
+	return id
+}
+
+// EndBlock closes the chare's open block at the given time.
+func (b *Builder) EndBlock(chare ChareID, end Time) {
+	id, ok := b.open[chare]
+	if !ok {
+		panic(fmt.Sprintf("trace: EndBlock on chare %d with no open block", chare))
+	}
+	blk := &b.t.Blocks[id]
+	if end < blk.Begin {
+		panic(fmt.Sprintf("trace: block %d would end (%d) before it begins (%d)", id, end, blk.Begin))
+	}
+	blk.End = end
+	delete(b.open, chare)
+}
+
+// Recv records the message delivery that started the chare's open block.
+func (b *Builder) Recv(chare ChareID, msg MsgID, tm Time) EventID {
+	return b.addEvent(chare, Recv, msg, tm)
+}
+
+// Send records an entry-method invocation call inside the chare's open block.
+func (b *Builder) Send(chare ChareID, msg MsgID, tm Time) EventID {
+	return b.addEvent(chare, Send, msg, tm)
+}
+
+func (b *Builder) addEvent(chare ChareID, kind EventKind, msg MsgID, tm Time) EventID {
+	blk, ok := b.open[chare]
+	if !ok {
+		panic(fmt.Sprintf("trace: %v event on chare %d with no open block", kind, chare))
+	}
+	id := EventID(len(b.t.Events))
+	b.t.Events = append(b.t.Events, Event{
+		ID: id, Kind: kind, Time: tm, Chare: chare,
+		PE: b.t.Blocks[blk].PE, Msg: msg, Block: blk,
+	})
+	b.t.Blocks[blk].Events = append(b.t.Blocks[blk].Events, id)
+	return id
+}
+
+// Idle records an idle span on a processor.
+func (b *Builder) Idle(pe PE, begin, end Time) {
+	if end <= begin {
+		return
+	}
+	b.t.Idles = append(b.t.Idles, Idle{PE: pe, Begin: begin, End: end})
+}
+
+// Finish closes the builder, indexes and validates the trace. No blocks may
+// remain open.
+func (b *Builder) Finish() (*Trace, error) {
+	if len(b.open) > 0 {
+		var ids []int
+		for c := range b.open {
+			ids = append(ids, int(c))
+		}
+		sort.Ints(ids)
+		return nil, fmt.Errorf("trace: Finish with open blocks on chares %v", ids)
+	}
+	sort.Slice(b.t.Idles, func(i, j int) bool {
+		if b.t.Idles[i].PE != b.t.Idles[j].PE {
+			return b.t.Idles[i].PE < b.t.Idles[j].PE
+		}
+		return b.t.Idles[i].Begin < b.t.Idles[j].Begin
+	})
+	if err := b.t.Index(); err != nil {
+		return nil, err
+	}
+	return &b.t, nil
+}
+
+// MustFinish is Finish that panics on error; intended for tests and
+// simulators whose construction logic guarantees validity.
+func (b *Builder) MustFinish() *Trace {
+	t, err := b.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

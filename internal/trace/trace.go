@@ -1,0 +1,249 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Trace is a complete recorded execution. Slices are indexed by the
+// corresponding ID types; Events, Blocks, Chares and Entries must therefore
+// be dense with IDs equal to positions. Call Index after construction (or
+// use a Builder, which does so) to populate the lookup structures and
+// validate the trace.
+type Trace struct {
+	NumPE   int
+	Chares  []Chare
+	Entries []Entry
+	Blocks  []Block
+	Events  []Event
+	Idles   []Idle
+
+	indexed bool
+	// sendOf maps a message to its send event.
+	sendOf map[MsgID]EventID
+	// recvsOf maps a message to its receive events (one for point-to-point,
+	// several for broadcasts).
+	recvsOf map[MsgID][]EventID
+	// blocksByChare lists each chare's blocks in begin-time order.
+	blocksByChare [][]BlockID
+	// blocksByPE lists each processor's blocks in begin-time order.
+	blocksByPE [][]BlockID
+}
+
+// Index builds the message and per-chare/per-PE lookup structures and
+// validates structural invariants. It is idempotent.
+func (t *Trace) Index() error {
+	if err := t.validateShape(); err != nil {
+		return err
+	}
+	t.sendOf = make(map[MsgID]EventID)
+	t.recvsOf = make(map[MsgID][]EventID)
+	for _, ev := range t.Events {
+		if ev.Msg == NoMsg {
+			continue
+		}
+		switch ev.Kind {
+		case Send:
+			if prev, dup := t.sendOf[ev.Msg]; dup {
+				return fmt.Errorf("trace: message %d sent twice (events %d and %d)", ev.Msg, prev, ev.ID)
+			}
+			t.sendOf[ev.Msg] = ev.ID
+		case Recv:
+			t.recvsOf[ev.Msg] = append(t.recvsOf[ev.Msg], ev.ID)
+		}
+	}
+	t.blocksByChare = make([][]BlockID, len(t.Chares))
+	t.blocksByPE = make([][]BlockID, t.NumPE)
+	for _, b := range t.Blocks {
+		t.blocksByChare[b.Chare] = append(t.blocksByChare[b.Chare], b.ID)
+		t.blocksByPE[b.PE] = append(t.blocksByPE[b.PE], b.ID)
+	}
+	byBegin := func(ids []BlockID) {
+		sort.Slice(ids, func(i, j int) bool {
+			bi, bj := &t.Blocks[ids[i]], &t.Blocks[ids[j]]
+			if bi.Begin != bj.Begin {
+				return bi.Begin < bj.Begin
+			}
+			return ids[i] < ids[j]
+		})
+	}
+	for _, ids := range t.blocksByChare {
+		byBegin(ids)
+	}
+	for _, ids := range t.blocksByPE {
+		byBegin(ids)
+	}
+	t.indexed = true
+	return t.validateSemantics()
+}
+
+// validateShape checks that IDs are dense and references are in range.
+func (t *Trace) validateShape() error {
+	if t.NumPE <= 0 {
+		return errors.New("trace: NumPE must be positive")
+	}
+	for i, c := range t.Chares {
+		if int(c.ID) != i {
+			return fmt.Errorf("trace: chare at position %d has ID %d", i, c.ID)
+		}
+		if c.Home < 0 || int(c.Home) >= t.NumPE {
+			return fmt.Errorf("trace: chare %d home PE %d out of range", c.ID, c.Home)
+		}
+	}
+	for i, e := range t.Entries {
+		if int(e.ID) != i {
+			return fmt.Errorf("trace: entry at position %d has ID %d", i, e.ID)
+		}
+	}
+	for i, b := range t.Blocks {
+		if int(b.ID) != i {
+			return fmt.Errorf("trace: block at position %d has ID %d", i, b.ID)
+		}
+		if b.Chare < 0 || int(b.Chare) >= len(t.Chares) {
+			return fmt.Errorf("trace: block %d references unknown chare %d", b.ID, b.Chare)
+		}
+		if b.Entry < 0 || int(b.Entry) >= len(t.Entries) {
+			return fmt.Errorf("trace: block %d references unknown entry %d", b.ID, b.Entry)
+		}
+		if b.PE < 0 || int(b.PE) >= t.NumPE {
+			return fmt.Errorf("trace: block %d PE %d out of range", b.ID, b.PE)
+		}
+		if b.End < b.Begin {
+			return fmt.Errorf("trace: block %d ends (%d) before it begins (%d)", b.ID, b.End, b.Begin)
+		}
+	}
+	for i, ev := range t.Events {
+		if int(ev.ID) != i {
+			return fmt.Errorf("trace: event at position %d has ID %d", i, ev.ID)
+		}
+		if ev.Block < 0 || int(ev.Block) >= len(t.Blocks) {
+			return fmt.Errorf("trace: event %d references unknown block %d", ev.ID, ev.Block)
+		}
+		if ev.Chare < 0 || int(ev.Chare) >= len(t.Chares) {
+			return fmt.Errorf("trace: event %d references unknown chare %d", ev.ID, ev.Chare)
+		}
+	}
+	return nil
+}
+
+// validateSemantics checks cross-structure invariants that need the index.
+func (t *Trace) validateSemantics() error {
+	for _, b := range t.Blocks {
+		var prev Time = -1 << 62
+		for _, eid := range b.Events {
+			if eid < 0 || int(eid) >= len(t.Events) {
+				return fmt.Errorf("trace: block %d lists unknown event %d", b.ID, eid)
+			}
+			ev := &t.Events[eid]
+			if ev.Block != b.ID {
+				return fmt.Errorf("trace: event %d listed in block %d but records block %d", eid, b.ID, ev.Block)
+			}
+			if ev.Chare != b.Chare {
+				return fmt.Errorf("trace: event %d chare %d differs from its block's chare %d", eid, ev.Chare, b.Chare)
+			}
+			if ev.Time < b.Begin || ev.Time > b.End {
+				return fmt.Errorf("trace: event %d at time %d outside block %d span [%d,%d]", eid, ev.Time, b.ID, b.Begin, b.End)
+			}
+			if ev.Time < prev {
+				return fmt.Errorf("trace: events of block %d are not time-ordered", b.ID)
+			}
+			prev = ev.Time
+		}
+	}
+	for msg, recvs := range t.recvsOf {
+		if _, ok := t.sendOf[msg]; !ok {
+			return fmt.Errorf("trace: message %d received (event %d) but never sent", msg, recvs[0])
+		}
+	}
+	for pe, ids := range t.blocksByPE {
+		var prevEnd Time = -1 << 62
+		for _, id := range ids {
+			b := &t.Blocks[id]
+			if b.Begin < prevEnd {
+				return fmt.Errorf("trace: blocks overlap on PE %d (block %d begins at %d before previous end %d)", pe, id, b.Begin, prevEnd)
+			}
+			prevEnd = b.End
+		}
+	}
+	return nil
+}
+
+// Indexed reports whether Index has completed successfully.
+func (t *Trace) Indexed() bool { return t.indexed }
+
+// SendOf returns the send event of a message, or NoEvent if the send was not
+// recorded.
+func (t *Trace) SendOf(m MsgID) EventID {
+	if id, ok := t.sendOf[m]; ok {
+		return id
+	}
+	return NoEvent
+}
+
+// RecvsOf returns the receive events of a message (nil if none recorded).
+// The returned slice must not be modified.
+func (t *Trace) RecvsOf(m MsgID) []EventID { return t.recvsOf[m] }
+
+// BlocksOfChare returns a chare's serial blocks in begin-time order.
+// The returned slice must not be modified.
+func (t *Trace) BlocksOfChare(c ChareID) []BlockID { return t.blocksByChare[c] }
+
+// BlocksOfPE returns a processor's serial blocks in begin-time order.
+// The returned slice must not be modified.
+func (t *Trace) BlocksOfPE(pe PE) []BlockID { return t.blocksByPE[pe] }
+
+// IsRuntimeChare reports whether a chare belongs to the runtime system.
+func (t *Trace) IsRuntimeChare(c ChareID) bool { return t.Chares[c].Runtime }
+
+// Span returns the earliest block begin and the latest block end in the
+// trace, or (0, 0) for an empty trace.
+func (t *Trace) Span() (Time, Time) {
+	if len(t.Blocks) == 0 {
+		return 0, 0
+	}
+	lo, hi := t.Blocks[0].Begin, t.Blocks[0].End
+	for _, b := range t.Blocks[1:] {
+		if b.Begin < lo {
+			lo = b.Begin
+		}
+		if b.End > hi {
+			hi = b.End
+		}
+	}
+	return lo, hi
+}
+
+// CountKind returns the number of events of the given kind.
+func (t *Trace) CountKind(k EventKind) int {
+	n := 0
+	for _, ev := range t.Events {
+		if ev.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// ApplicationChares returns the IDs of all non-runtime chares.
+func (t *Trace) ApplicationChares() []ChareID {
+	var out []ChareID
+	for _, c := range t.Chares {
+		if !c.Runtime {
+			out = append(out, c.ID)
+		}
+	}
+	return out
+}
+
+// IdleBefore returns the idle span on pe that ends exactly at time tm, or a
+// zero Idle and false if there is none. Simulators record an idle record
+// whenever a PE's scheduler had an empty queue.
+func (t *Trace) IdleBefore(pe PE, tm Time) (Idle, bool) {
+	for _, idle := range t.Idles {
+		if idle.PE == pe && idle.End == tm {
+			return idle, true
+		}
+	}
+	return Idle{}, false
+}

@@ -1,0 +1,72 @@
+package trace
+
+// Window extracts the sub-trace of blocks lying entirely within [from, to):
+// the standard way to analyze a few iterations out of a long run. Receives
+// whose matching send fell outside the window are dropped (the dependency
+// is unknowable from the window alone), broadcasts keep whichever receives
+// survive, and idle spans are clipped to the window. IDs are renumbered
+// densely; chares and entries are preserved as-is so indices remain
+// comparable with the full trace.
+func Window(t *Trace, from, to Time) (*Trace, error) {
+	out := &Trace{
+		NumPE:   t.NumPE,
+		Chares:  append([]Chare(nil), t.Chares...),
+		Entries: append([]Entry(nil), t.Entries...),
+	}
+	// Pass 1: select blocks and remember kept sends.
+	keepBlock := make([]bool, len(t.Blocks))
+	sendKept := make(map[MsgID]bool)
+	for i := range t.Blocks {
+		b := &t.Blocks[i]
+		if b.Begin >= from && b.End < to {
+			keepBlock[i] = true
+			for _, e := range b.Events {
+				ev := &t.Events[e]
+				if ev.Kind == Send && ev.Msg != NoMsg {
+					sendKept[ev.Msg] = true
+				}
+			}
+		}
+	}
+	// Pass 2: rebuild blocks and events with dense IDs.
+	newEvent := make(map[EventID]EventID)
+	for i := range t.Blocks {
+		if !keepBlock[i] {
+			continue
+		}
+		b := t.Blocks[i]
+		nb := Block{
+			ID: BlockID(len(out.Blocks)), Chare: b.Chare, PE: b.PE,
+			Entry: b.Entry, Begin: b.Begin, End: b.End,
+		}
+		for _, e := range b.Events {
+			ev := t.Events[e]
+			if ev.Kind == Recv && ev.Msg != NoMsg && !sendKept[ev.Msg] {
+				continue // sender outside the window
+			}
+			ne := ev
+			ne.ID = EventID(len(out.Events))
+			ne.Block = nb.ID
+			newEvent[ev.ID] = ne.ID
+			out.Events = append(out.Events, ne)
+			nb.Events = append(nb.Events, ne.ID)
+		}
+		out.Blocks = append(out.Blocks, nb)
+	}
+	for _, idle := range t.Idles {
+		if idle.End <= from || idle.Begin >= to {
+			continue
+		}
+		if idle.Begin < from {
+			idle.Begin = from
+		}
+		if idle.End > to {
+			idle.End = to
+		}
+		out.Idles = append(out.Idles, idle)
+	}
+	if err := out.Index(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"testing"
+)
+
+// windowFixture: three sequential exchanges at t≈0, 1000, 2000.
+func windowFixture(t *testing.T) *Trace {
+	t.Helper()
+	b := NewBuilder(2)
+	e := b.AddEntry("work")
+	c0 := b.AddChare("a", NoArray, -1, 0)
+	c1 := b.AddChare("b", NoArray, -1, 1)
+	for round := 0; round < 3; round++ {
+		base := Time(1000 * round)
+		m := b.NewMsg()
+		b.BeginBlock(c0, 0, e, base)
+		b.Send(c0, m, base+10)
+		b.EndBlock(c0, base+20)
+		b.BeginBlock(c1, 1, e, base+100)
+		b.Recv(c1, m, base+100)
+		b.EndBlock(c1, base+120)
+	}
+	b.Idle(0, 20, 1000)
+	return b.MustFinish()
+}
+
+func TestWindowKeepsInsideBlocks(t *testing.T) {
+	tr := windowFixture(t)
+	w, err := Window(tr, 900, 2100)
+	if err != nil {
+		t.Fatalf("Window: %v", err)
+	}
+	// Round 1 (t=1000..1120) and round 2's send block (2000..2020) fit;
+	// round 2's recv block ends at 2120 >= 2100 and is dropped.
+	if len(w.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(w.Blocks))
+	}
+	for _, b := range w.Blocks {
+		if b.Begin < 900 || b.End >= 2100 {
+			t.Fatalf("block outside window: [%d,%d]", b.Begin, b.End)
+		}
+	}
+}
+
+func TestWindowDropsOrphanReceives(t *testing.T) {
+	tr := windowFixture(t)
+	// Window starting after round 0's send block: its recv block (at 100)
+	// is inside but the send is not, so the receive event must be dropped
+	// while the block stays.
+	w, err := Window(tr, 50, 900)
+	if err != nil {
+		t.Fatalf("Window: %v", err)
+	}
+	if len(w.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1 (the recv block)", len(w.Blocks))
+	}
+	if got := len(w.Events); got != 0 {
+		t.Fatalf("events = %d, want 0 (orphan recv dropped)", got)
+	}
+}
+
+func TestWindowClipsIdle(t *testing.T) {
+	tr := windowFixture(t)
+	w, err := Window(tr, 500, 900)
+	if err != nil {
+		t.Fatalf("Window: %v", err)
+	}
+	if len(w.Idles) != 1 {
+		t.Fatalf("idles = %d, want 1", len(w.Idles))
+	}
+	if w.Idles[0].Begin != 500 || w.Idles[0].End != 900 {
+		t.Fatalf("idle = [%d,%d], want clipped to [500,900]", w.Idles[0].Begin, w.Idles[0].End)
+	}
+}
+
+func TestWindowDenseIDsAndValid(t *testing.T) {
+	tr := windowFixture(t)
+	w, err := Window(tr, 0, 3000)
+	if err != nil {
+		t.Fatalf("Window: %v", err)
+	}
+	if len(w.Blocks) != len(tr.Blocks) || len(w.Events) != len(tr.Events) {
+		t.Fatal("full window changed the trace size")
+	}
+	for i, b := range w.Blocks {
+		if int(b.ID) != i {
+			t.Fatal("block IDs not dense")
+		}
+	}
+	for i, ev := range w.Events {
+		if int(ev.ID) != i {
+			t.Fatal("event IDs not dense")
+		}
+	}
+	if !w.Indexed() {
+		t.Fatal("window not indexed")
+	}
+}
+
+func TestWindowEmpty(t *testing.T) {
+	tr := windowFixture(t)
+	w, err := Window(tr, 5000, 6000)
+	if err != nil {
+		t.Fatalf("Window: %v", err)
+	}
+	if len(w.Blocks) != 0 || len(w.Events) != 0 {
+		t.Fatal("out-of-range window not empty")
+	}
+}

@@ -1,0 +1,278 @@
+package tracefile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"charmtrace/internal/trace"
+)
+
+// Binary format: a compact varint encoding for large traces. The text
+// format stays the interchange default; ReadAuto detects either by magic.
+//
+//	magic "CTRB", uvarint version
+//	uvarint numPE
+//	uvarint nEntries { varint sdagSerial, u8 afterWhen, str name }
+//	uvarint nChares  { varint array, varint index, u8 runtime, varint home, str name }
+//	uvarint nBlocks  { varint chare, varint pe, varint entry, varint begin, varint end }
+//	uvarint nEvents  { u8 kind, varint time, varint chare, varint pe, varint msg, varint block }
+//	uvarint nIdles   { varint pe, varint begin, varint end }
+//
+// Signed fields use zig-zag varints (encoding/binary's signed varint);
+// strings are uvarint length + bytes. Block event lists are reconstructed
+// from the events section (events appear in ID order, and each block's
+// events are listed in that order).
+
+// binaryMagic opens every binary trace file.
+var binaryMagic = [4]byte{'C', 'T', 'R', 'B'}
+
+// binaryVersion is the current binary format version.
+const binaryVersion = 1
+
+type bwriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (b *bwriter) u8(v uint8) {
+	if b.err == nil {
+		b.err = b.w.WriteByte(v)
+	}
+}
+func (b *bwriter) u32(v uint32) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(v))
+	if b.err == nil {
+		_, b.err = b.w.Write(buf[:n])
+	}
+}
+func (b *bwriter) i32(v int32) { b.i64(int64(v)) }
+func (b *bwriter) i64(v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	if b.err == nil {
+		_, b.err = b.w.Write(buf[:n])
+	}
+}
+func (b *bwriter) str(s string) {
+	b.u32(uint32(len(s)))
+	if b.err == nil {
+		_, b.err = b.w.WriteString(s)
+	}
+}
+func (b *bwriter) bool(v bool) {
+	if v {
+		b.u8(1)
+	} else {
+		b.u8(0)
+	}
+}
+
+// WriteBinary serializes a trace in the binary format.
+func WriteBinary(w io.Writer, t *trace.Trace) error {
+	b := &bwriter{w: bufio.NewWriter(w)}
+	if _, err := b.w.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	b.u32(binaryVersion)
+	b.u32(uint32(t.NumPE))
+	b.u32(uint32(len(t.Entries)))
+	for _, e := range t.Entries {
+		b.i32(int32(e.SDAGSerial))
+		b.bool(e.AfterWhen)
+		b.str(e.Name)
+	}
+	b.u32(uint32(len(t.Chares)))
+	for _, c := range t.Chares {
+		b.i32(int32(c.Array))
+		b.i32(int32(c.Index))
+		b.bool(c.Runtime)
+		b.i32(int32(c.Home))
+		b.str(c.Name)
+	}
+	b.u32(uint32(len(t.Blocks)))
+	for i := range t.Blocks {
+		blk := &t.Blocks[i]
+		b.i32(int32(blk.Chare))
+		b.i32(int32(blk.PE))
+		b.i32(int32(blk.Entry))
+		b.i64(int64(blk.Begin))
+		b.i64(int64(blk.End))
+	}
+	b.u32(uint32(len(t.Events)))
+	for i := range t.Events {
+		ev := &t.Events[i]
+		b.u8(uint8(ev.Kind))
+		b.i64(int64(ev.Time))
+		b.i32(int32(ev.Chare))
+		b.i32(int32(ev.PE))
+		b.i64(int64(ev.Msg))
+		b.i32(int32(ev.Block))
+	}
+	b.u32(uint32(len(t.Idles)))
+	for _, idle := range t.Idles {
+		b.i32(int32(idle.PE))
+		b.i64(int64(idle.Begin))
+		b.i64(int64(idle.End))
+	}
+	if b.err != nil {
+		return b.err
+	}
+	return b.w.Flush()
+}
+
+type breader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (b *breader) u8() uint8 {
+	if b.err != nil {
+		return 0
+	}
+	v, err := b.r.ReadByte()
+	b.err = err
+	return v
+}
+func (b *breader) u32() uint32 {
+	if b.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(b.r)
+	b.err = err
+	if err == nil && v > math.MaxUint32 {
+		b.err = fmt.Errorf("tracefile: uvarint %d exceeds uint32", v)
+	}
+	return uint32(v)
+}
+func (b *breader) i32() int32 {
+	v := b.i64()
+	if b.err == nil && (v > math.MaxInt32 || v < math.MinInt32) {
+		b.err = fmt.Errorf("tracefile: varint %d exceeds int32", v)
+	}
+	return int32(v)
+}
+func (b *breader) i64() int64 {
+	if b.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(b.r)
+	b.err = err
+	return v
+}
+func (b *breader) str() string {
+	n := b.u32()
+	if b.err != nil {
+		return ""
+	}
+	if n > 1<<24 {
+		b.err = fmt.Errorf("tracefile: string length %d too large", n)
+		return ""
+	}
+	buf := make([]byte, n)
+	_, b.err = io.ReadFull(b.r, buf)
+	return string(buf)
+}
+func (b *breader) bool() bool { return b.u8() != 0 }
+
+// count validates a section length against a sanity cap.
+func (b *breader) count(what string) int {
+	n := b.u32()
+	if b.err == nil && n > math.MaxInt32 {
+		b.err = fmt.Errorf("tracefile: %s count %d too large", what, n)
+	}
+	return int(n)
+}
+
+// ReadBinary parses a binary trace and indexes it.
+func ReadBinary(r io.Reader) (*trace.Trace, error) {
+	b := &breader{r: bufio.NewReader(r)}
+	var magic [4]byte
+	if _, err := io.ReadFull(b.r, magic[:]); err != nil {
+		return nil, fmt.Errorf("tracefile: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("tracefile: bad binary magic %q", magic[:])
+	}
+	if v := b.u32(); v != binaryVersion {
+		if b.err == nil {
+			return nil, fmt.Errorf("tracefile: unsupported binary version %d", v)
+		}
+	}
+	t := &trace.Trace{NumPE: int(b.u32())}
+	for i, n := 0, b.count("entry"); i < n && b.err == nil; i++ {
+		e := trace.Entry{ID: trace.EntryID(i)}
+		e.SDAGSerial = int(b.i32())
+		e.AfterWhen = b.bool()
+		e.Name = b.str()
+		t.Entries = append(t.Entries, e)
+	}
+	for i, n := 0, b.count("chare"); i < n && b.err == nil; i++ {
+		c := trace.Chare{ID: trace.ChareID(i)}
+		c.Array = trace.ArrayID(b.i32())
+		c.Index = int(b.i32())
+		c.Runtime = b.bool()
+		c.Home = trace.PE(b.i32())
+		c.Name = b.str()
+		t.Chares = append(t.Chares, c)
+	}
+	for i, n := 0, b.count("block"); i < n && b.err == nil; i++ {
+		blk := trace.Block{ID: trace.BlockID(i)}
+		blk.Chare = trace.ChareID(b.i32())
+		blk.PE = trace.PE(b.i32())
+		blk.Entry = trace.EntryID(b.i32())
+		blk.Begin = trace.Time(b.i64())
+		blk.End = trace.Time(b.i64())
+		t.Blocks = append(t.Blocks, blk)
+	}
+	for i, n := 0, b.count("event"); i < n && b.err == nil; i++ {
+		ev := trace.Event{ID: trace.EventID(i)}
+		ev.Kind = trace.EventKind(b.u8())
+		ev.Time = trace.Time(b.i64())
+		ev.Chare = trace.ChareID(b.i32())
+		ev.PE = trace.PE(b.i32())
+		ev.Msg = trace.MsgID(b.i64())
+		ev.Block = trace.BlockID(b.i32())
+		if b.err == nil {
+			if ev.Kind != trace.Send && ev.Kind != trace.Recv {
+				return nil, fmt.Errorf("tracefile: event %d has unknown kind %d", i, ev.Kind)
+			}
+			if ev.Block < 0 || int(ev.Block) >= len(t.Blocks) {
+				return nil, fmt.Errorf("tracefile: event %d references unknown block %d", i, ev.Block)
+			}
+			t.Events = append(t.Events, ev)
+			t.Blocks[ev.Block].Events = append(t.Blocks[ev.Block].Events, ev.ID)
+		}
+	}
+	for i, n := 0, b.count("idle"); i < n && b.err == nil; i++ {
+		idle := trace.Idle{}
+		idle.PE = trace.PE(b.i32())
+		idle.Begin = trace.Time(b.i64())
+		idle.End = trace.Time(b.i64())
+		t.Idles = append(t.Idles, idle)
+	}
+	if b.err != nil {
+		return nil, fmt.Errorf("tracefile: %w", b.err)
+	}
+	if err := t.Index(); err != nil {
+		return nil, fmt.Errorf("tracefile: %w", err)
+	}
+	return t, nil
+}
+
+// ReadAuto detects the format (text header or binary magic) and parses
+// accordingly.
+func ReadAuto(r io.Reader) (*trace.Trace, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err != nil {
+		return nil, fmt.Errorf("tracefile: %w", err)
+	}
+	if [4]byte(head) == binaryMagic {
+		return ReadBinary(br)
+	}
+	return Read(br)
+}

@@ -1,0 +1,125 @@
+package tracefile
+
+import (
+	"bufio"
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"charmtrace/internal/apps/jacobi"
+	"charmtrace/internal/apps/lulesh"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	orig := jacobi.MustTrace(jacobi.DefaultConfig())
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, orig); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if !reflect.DeepEqual(got.Entries, orig.Entries) ||
+		!reflect.DeepEqual(got.Chares, orig.Chares) ||
+		!reflect.DeepEqual(got.Blocks, orig.Blocks) ||
+		!reflect.DeepEqual(got.Events, orig.Events) ||
+		!reflect.DeepEqual(got.Idles, orig.Idles) ||
+		got.NumPE != orig.NumPE {
+		t.Fatal("binary round trip changed the trace")
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	orig := lulesh.MustCharmTrace(lulesh.DefaultConfig())
+	var text, bin bytes.Buffer
+	if err := Write(&text, orig); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bin, orig); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= text.Len() {
+		t.Fatalf("binary %d bytes not smaller than text %d", bin.Len(), text.Len())
+	}
+}
+
+func TestReadAutoDetects(t *testing.T) {
+	orig := jacobi.MustTrace(jacobi.DefaultConfig())
+	var text, bin bytes.Buffer
+	if err := Write(&text, orig); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bin, orig); err != nil {
+		t.Fatal(err)
+	}
+	for name, buf := range map[string]*bytes.Buffer{"text": &text, "binary": &bin} {
+		got, err := ReadAuto(buf)
+		if err != nil {
+			t.Fatalf("%s: ReadAuto: %v", name, err)
+		}
+		if len(got.Events) != len(orig.Events) {
+			t.Fatalf("%s: events = %d, want %d", name, len(got.Events), len(orig.Events))
+		}
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"CTR",                      // short magic
+		"XXXX\x01\x00\x00\x00",     // wrong magic
+		"CTRB\x09\x00\x00\x00",     // future version
+		"CTRB\x01\x00\x00\x00\x01", // truncated body
+	}
+	for _, c := range cases {
+		if _, err := ReadBinary(strings.NewReader(c)); err == nil {
+			t.Fatalf("garbage accepted: %q", c)
+		}
+	}
+}
+
+func TestBinaryRejectsBadEventKind(t *testing.T) {
+	var buf bytes.Buffer
+	b := &bwriter{w: newTestBufWriter(&buf)}
+	buf.Write(binaryMagic[:])
+	b.u32(binaryVersion)
+	b.u32(1) // numPE
+	b.u32(1) // entries
+	b.i32(-1)
+	b.bool(false)
+	b.str("e")
+	b.u32(1) // chares
+	b.i32(-1)
+	b.i32(-1)
+	b.bool(false)
+	b.i32(0)
+	b.str("c")
+	b.u32(1) // blocks
+	b.i32(0)
+	b.i32(0)
+	b.i32(0)
+	b.i64(0)
+	b.i64(10)
+	b.u32(1) // events
+	b.u8(99) // invalid kind
+	b.i64(5)
+	b.i32(0)
+	b.i32(0)
+	b.i64(0)
+	b.i32(0)
+	b.u32(0) // idles
+	if b.err != nil {
+		t.Fatal(b.err)
+	}
+	if err := b.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBinary(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("corrupt event kind accepted")
+	}
+}
+
+// newTestBufWriter adapts a bytes.Buffer for the internal bwriter.
+func newTestBufWriter(buf *bytes.Buffer) *bufio.Writer { return bufio.NewWriter(buf) }

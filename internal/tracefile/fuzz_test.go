@@ -1,0 +1,44 @@
+package tracefile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"charmtrace/internal/apps/jacobi"
+)
+
+// FuzzRead ensures the parser never panics and that anything it accepts is
+// a valid, indexed trace that round-trips.
+func FuzzRead(f *testing.F) {
+	f.Add("charmtrace 1\npe 1\n")
+	f.Add("charmtrace 1\npe 2\nchare 0 -1 -1 false 0 solo\n")
+	f.Add("charmtrace 1\npe 1\nentry 0 -1 false e\nchare 0 -1 -1 false 0 c\nblock 0 0 0 0 0 10\nev 0 send 5 0 0 3 0\n")
+	f.Add("charmtrace 1\npe 1\nidle 0 5 10\n")
+	var buf bytes.Buffer
+	if err := Write(&buf, jacobi.MustTrace(jacobi.DefaultConfig())); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if !tr.Indexed() {
+			t.Fatal("accepted trace not indexed")
+		}
+		var out bytes.Buffer
+		if err := Write(&out, tr); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		tr2, err := Read(&out)
+		if err != nil {
+			t.Fatalf("round trip of accepted trace failed: %v", err)
+		}
+		if len(tr2.Events) != len(tr.Events) || len(tr2.Blocks) != len(tr.Blocks) {
+			t.Fatal("round trip changed the trace")
+		}
+	})
+}

@@ -1,0 +1,58 @@
+package tracefile
+
+import (
+	"flag"
+	"testing"
+
+	"charmtrace/internal/apps/jacobi"
+	"charmtrace/internal/core"
+)
+
+var update = flag.Bool("update", false, "regenerate golden trace files")
+
+// goldenConfig is the fixed workload behind the checked-in golden files.
+func goldenConfig() jacobi.Config {
+	cfg := jacobi.DefaultConfig()
+	cfg.Grid = 2
+	cfg.NumPE = 2
+	cfg.Iterations = 2
+	return cfg
+}
+
+// TestGoldenFilesStayParseable locks both on-disk formats: the checked-in
+// files must keep parsing (and keep their analyzed structure) across any
+// future format or algorithm change. Regenerate deliberately with
+// `go test ./internal/tracefile -run Golden -update`.
+func TestGoldenFilesStayParseable(t *testing.T) {
+	if *update {
+		tr := jacobi.MustTrace(goldenConfig())
+		if err := WriteFile("testdata/jacobi-2x2.trace", tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteFileBinary("testdata/jacobi-2x2.trace.bin", tr); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("golden files regenerated")
+	}
+	for _, path := range []string{"testdata/jacobi-2x2.trace", "testdata/jacobi-2x2.trace.bin"} {
+		path := path
+		t.Run(path, func(t *testing.T) {
+			tr, err := ReadFile(path)
+			if err != nil {
+				t.Fatalf("ReadFile: %v", err)
+			}
+			want := jacobi.MustTrace(goldenConfig())
+			if len(tr.Events) != len(want.Events) || len(tr.Blocks) != len(want.Blocks) {
+				t.Fatalf("golden trace shape drifted: %d/%d events, %d/%d blocks",
+					len(tr.Events), len(want.Events), len(tr.Blocks), len(want.Blocks))
+			}
+			s, err := core.Extract(tr, core.DefaultOptions())
+			if err != nil {
+				t.Fatalf("Extract: %v", err)
+			}
+			if s.NumPhases() != 4 {
+				t.Fatalf("golden structure phases = %d, want 4", s.NumPhases())
+			}
+		})
+	}
+}

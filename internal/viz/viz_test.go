@@ -1,0 +1,129 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"charmtrace/internal/apps/jacobi"
+	"charmtrace/internal/core"
+	"charmtrace/internal/metrics"
+)
+
+func structure(t *testing.T) *core.Structure {
+	t.Helper()
+	tr := jacobi.MustTrace(jacobi.DefaultConfig())
+	s, err := core.Extract(tr, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	return s
+}
+
+func TestLogicalGrid(t *testing.T) {
+	s := structure(t)
+	out := Logical(s)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + ruler + one row per chare.
+	if len(lines) != 2+len(s.Trace.Chares) {
+		t.Fatalf("lines = %d, want %d", len(lines), 2+len(s.Trace.Chares))
+	}
+	if !strings.Contains(lines[1], "|") {
+		t.Fatal("ruler missing")
+	}
+	lines = lines[1:]
+	// Application rows come before runtime rows.
+	sawRuntime := false
+	for _, l := range lines[1:] {
+		isRT := strings.HasPrefix(l, "CkReductionMgr")
+		if isRT {
+			sawRuntime = true
+		} else if sawRuntime {
+			t.Fatal("application chare below runtime chares")
+		}
+	}
+	if !sawRuntime {
+		t.Fatal("no runtime rows rendered")
+	}
+	// Every non-empty cell is a phase symbol.
+	body := strings.Join(lines[1:], "")
+	if !strings.ContainsAny(body, phaseSymbols) {
+		t.Fatal("no phase symbols rendered")
+	}
+}
+
+func TestLogicalMetricShades(t *testing.T) {
+	s := structure(t)
+	r := metrics.Compute(s)
+	out := LogicalMetric(s, r.DifferentialDuration)
+	if !strings.ContainsAny(out, "123456789") && !strings.Contains(out, "0") {
+		t.Fatal("no metric shading rendered")
+	}
+}
+
+func TestPhysicalGrid(t *testing.T) {
+	s := structure(t)
+	out := Physical(s.Trace, s, 80)
+	if !strings.Contains(out, "time ") {
+		t.Fatal("missing header")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+len(s.Trace.Chares) {
+		t.Fatalf("lines = %d, want %d", len(lines), 1+len(s.Trace.Chares))
+	}
+	// Idle must appear somewhere (Jacobi waits on reductions).
+	if !strings.Contains(out, "-") {
+		t.Fatal("no idle rendered")
+	}
+}
+
+func TestPhysicalWithoutStructure(t *testing.T) {
+	s := structure(t)
+	out := Physical(s.Trace, nil, 40)
+	if !strings.Contains(out, "#") {
+		t.Fatal("blocks not rendered without structure")
+	}
+}
+
+func TestLogicalSVGWellFormed(t *testing.T) {
+	s := structure(t)
+	svg := LogicalSVG(s)
+	for _, want := range []string{"<svg", "</svg>", "<rect", "<line", "<text"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<svg") != 1 {
+		t.Fatal("multiple svg roots")
+	}
+}
+
+func TestLogicalClustered(t *testing.T) {
+	s := structure(t)
+	rows := []ClusterRow{
+		{Representative: 0, Label: "jacobi[0] x4"},
+		{Representative: 5, Label: "jacobi[5] x12"},
+	}
+	out := LogicalClustered(s, rows)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3 (header + 2 rows)", len(lines))
+	}
+	if !strings.Contains(out, "x12") {
+		t.Fatal("multiplicity label missing")
+	}
+	if !strings.Contains(lines[0], "2 rows for") {
+		t.Fatalf("header missing compression note: %q", lines[0])
+	}
+}
+
+func TestPhaseSummary(t *testing.T) {
+	s := structure(t)
+	out := PhaseSummary(s)
+	if !strings.Contains(out, "runtime") || !strings.Contains(out, "app") {
+		t.Fatal("summary missing phase kinds")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+s.NumPhases() {
+		t.Fatalf("summary lines = %d, want %d", len(lines), 1+s.NumPhases())
+	}
+}
