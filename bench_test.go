@@ -12,6 +12,7 @@ package charmtrace
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"charmtrace/internal/apps/jacobi"
@@ -59,7 +60,10 @@ func BenchmarkFig08JacobiReordering(b *testing.B) {
 }
 
 // BenchmarkFig10MergeTree: the 1,024-process MPI merge tree with
-// data-dependent imbalance, stepped with and without reordering.
+// data-dependent imbalance, stepped with and without reordering, then the
+// same extraction across worker counts (output is byte-identical across
+// par=N; the series measures the wall-clock effect of Options.Parallelism
+// on the paper's largest workload).
 func BenchmarkFig10MergeTree(b *testing.B) {
 	cfg := mergetree.DefaultConfig()
 	tr := mergetree.MustTrace(cfg)
@@ -68,6 +72,44 @@ func BenchmarkFig10MergeTree(b *testing.B) {
 		opt := core.MessagePassingOptions()
 		opt.Reorder = false
 		benchExtract(b, tr, opt)
+	})
+	for _, par := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		par := par
+		b.Run(fmt.Sprintf("reordered-par=%d", par), func(b *testing.B) {
+			opt := core.MessagePassingOptions()
+			opt.Parallelism = par
+			benchExtract(b, tr, opt)
+		})
+	}
+}
+
+// BenchmarkExtractBatch: the concurrent batch API against the equivalent
+// serial loop, over eight seed variations of the Jacobi workload (the
+// multi-run comparison shape of cmd/experiments and examples/lulesh-compare).
+func BenchmarkExtractBatch(b *testing.B) {
+	traces := make([]*trace.Trace, 8)
+	for i := range traces {
+		cfg := jacobi.DefaultConfig()
+		cfg.Grid = 8
+		cfg.Seed = int64(i + 1)
+		traces[i] = jacobi.MustTrace(cfg)
+	}
+	opt := core.DefaultOptions()
+	b.Run("serial-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, tr := range traces {
+				if _, err := core.Extract(tr, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ExtractBatch(traces, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
 	})
 }
 

@@ -74,8 +74,19 @@ func DefaultOptions() Options { return core.DefaultOptions() }
 func MessagePassingOptions() Options { return core.MessagePassingOptions() }
 
 // Extract recovers the logical structure of a trace (the paper's Section 3
-// algorithm: phase-finding followed by step assignment).
+// algorithm: phase-finding followed by step assignment). The pipeline's
+// parallel stages use Options.Parallelism workers (0 = all cores); the
+// result is byte-identical for every worker count.
 func Extract(tr *Trace, opt Options) (*Structure, error) { return core.Extract(tr, opt) }
+
+// ExtractBatch analyzes many traces concurrently over a worker pool of
+// Options.Parallelism goroutines, returning one structure per trace in
+// input order. Each result is identical to a lone Extract of that trace; if
+// any trace fails, the error of the lowest-indexed failure is returned,
+// annotated with its position.
+func ExtractBatch(traces []*Trace, opt Options) ([]*Structure, error) {
+	return core.ExtractBatch(traces, opt)
+}
 
 // ComputeMetrics derives idle experienced, differential duration and
 // imbalance (Section 4) over a structure.

@@ -31,6 +31,8 @@ func main() {
 	iters := flag.Int("iters", 0, "iteration override for -app")
 	scale := flag.Int("scale", 0, "size override for -app")
 	seed := flag.Int64("seed", 0, "seed override for -app")
+	timing := flag.Bool("timing", false, "print per-stage extraction wall times")
+	parallelism := flag.Int("parallelism", 0, "extraction worker count (0 = all cores, 1 = sequential; output is identical)")
 	flag.Parse()
 
 	var tr *trace.Trace
@@ -52,10 +54,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "chmetrics:", err)
 		os.Exit(1)
 	}
+	opt.Parallelism = *parallelism
 	s, err := core.Extract(tr, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chmetrics:", err)
 		os.Exit(1)
+	}
+	if *timing {
+		fmt.Print(s.Stats.TimingReport())
+		fmt.Println()
 	}
 	r := metrics.Compute(s)
 

@@ -6,6 +6,7 @@ import (
 	"charmtrace/internal/apps/jacobi"
 	"charmtrace/internal/core"
 	"charmtrace/internal/structdiff"
+	"charmtrace/internal/trace"
 )
 
 func init() {
@@ -13,18 +14,29 @@ func init() {
 }
 
 func invSeeds(bool) {
-	base := extract(must(jacobi.Trace(jacobi.DefaultConfig())), core.DefaultOptions())
-	equivalent := 0
+	// All seed runs are analyzed in one concurrent batch; results come back
+	// in input order, identical to per-trace Extract calls.
 	const seeds = 8
+	traces := []*trace.Trace{must(jacobi.Trace(jacobi.DefaultConfig()))}
 	for seed := int64(2); seed < 2+seeds; seed++ {
 		cfg := jacobi.DefaultConfig()
 		cfg.Seed = seed
-		other := extract(must(jacobi.Trace(cfg)), core.DefaultOptions())
+		traces = append(traces, must(jacobi.Trace(cfg)))
+	}
+	structs := must(core.ExtractBatch(traces, core.DefaultOptions()))
+	for _, s := range structs {
+		if err := s.Validate(); err != nil {
+			panic(err)
+		}
+	}
+	base := structs[0]
+	equivalent := 0
+	for i, other := range structs[1:] {
 		d := must(structdiff.Compare(base, other))
 		if d.Empty() {
 			equivalent++
 		} else {
-			fmt.Printf("  seed %d diverges:\n%s", seed, d)
+			fmt.Printf("  seed %d diverges:\n%s", int64(2)+int64(i), d)
 		}
 	}
 	fmt.Printf("  %d/%d alternative-seed runs recover an equivalent logical structure\n",

@@ -52,6 +52,8 @@ func main() {
 	seed := flag.Int64("seed", 0, "seed override for -app")
 	from := flag.Int64("from", -1, "analyze only blocks within [from, to) virtual ns")
 	to := flag.Int64("to", -1, "window end (see -from)")
+	timing := flag.Bool("timing", false, "print per-stage extraction wall times")
+	parallelism := flag.Int("parallelism", 0, "extraction worker count (0 = all cores, 1 = sequential; output is identical)")
 	flag.Parse()
 
 	var tr *trace.Trace
@@ -80,6 +82,7 @@ func main() {
 	if *noInfer {
 		opt.InferDependencies = false
 	}
+	opt.Parallelism = *parallelism
 	if *from >= 0 || *to >= 0 {
 		lo, hi := tr.Span()
 		f, tt := lo, hi+1
@@ -111,6 +114,10 @@ func main() {
 		len(tr.Events), s.NumPhases(), s.MaxStep())
 	fmt.Printf("initial partitions: %d   enforce rounds: %d\n\n",
 		s.Stats.InitialPartitions, s.Stats.EnforceRounds)
+	if *timing {
+		fmt.Print(s.Stats.TimingReport())
+		fmt.Println()
+	}
 	switch *render {
 	case "summary":
 		fmt.Print(viz.PhaseSummary(s))

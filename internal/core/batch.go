@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+
+	"charmtrace/internal/trace"
+)
+
+// ExtractBatch recovers the logical structure of many traces concurrently,
+// fanning the extractions over opt.Workers() goroutines. Results are
+// returned in input order and each is byte-identical to what a lone
+// Extract(traces[i], opt) returns, so multi-run comparison workflows
+// (seed-invariance studies, MPI-vs-Charm++ correspondence) can batch their
+// analyses without changing their output.
+//
+// Unindexed traces are indexed sequentially up front, so a batch may safely
+// contain the same *Trace more than once; after indexing, extraction only
+// reads the trace. If any trace fails, ExtractBatch returns nil and the
+// error of the lowest-indexed failure, annotated with its position.
+//
+// The worker budget applies at both levels: the batch fan-out and each
+// extraction's internal stages each use opt.Workers(), so a batch may
+// transiently run more goroutines than workers; the Go scheduler multiplexes
+// them onto GOMAXPROCS threads, and CPU-bound work stays bounded by that.
+func ExtractBatch(traces []*trace.Trace, opt Options) ([]*Structure, error) {
+	out := make([]*Structure, len(traces))
+	if len(traces) == 0 {
+		return out, nil
+	}
+	for i, tr := range traces {
+		if tr == nil {
+			return nil, fmt.Errorf("core: trace %d: nil trace", i)
+		}
+		if !tr.Indexed() {
+			if err := tr.Index(); err != nil {
+				return nil, fmt.Errorf("core: trace %d: %w", i, err)
+			}
+		}
+	}
+	errs := make([]error, len(traces))
+	parallelFor(len(traces), opt.Workers(), func(i int) {
+		out[i], errs[i] = Extract(traces[i], opt)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: trace %d: %w", i, err)
+		}
+	}
+	return out, nil
+}

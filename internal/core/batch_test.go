@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"charmtrace/internal/trace"
+)
+
+// sameStructure reports whether two structures place every event of tr
+// identically and agree on phase count.
+func sameStructure(t *testing.T, tr *trace.Trace, a, b *Structure) {
+	t.Helper()
+	if a.NumPhases() != b.NumPhases() {
+		t.Fatalf("phase counts differ: %d vs %d", a.NumPhases(), b.NumPhases())
+	}
+	for e := range tr.Events {
+		if a.PhaseOf[e] != b.PhaseOf[e] || a.LocalStep[e] != b.LocalStep[e] || a.Step[e] != b.Step[e] {
+			t.Fatalf("event %d placed differently", e)
+		}
+	}
+}
+
+// TestExtractBatch: table-driven coverage of the batch API against the
+// equivalent sequential Extract loop.
+func TestExtractBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	trA := randomTrace(rng)
+	trB := randomTrace(rng)
+	trC := randomTrace(rng)
+
+	cases := []struct {
+		name    string
+		traces  []*trace.Trace
+		opt     Options
+		wantErr string // substring of the expected error; empty means success
+	}{
+		{"empty-slice", []*trace.Trace{}, DefaultOptions(), ""},
+		{"nil-slice", nil, DefaultOptions(), ""},
+		{"single-trace", []*trace.Trace{trA}, DefaultOptions(), ""},
+		{"multiple-traces", []*trace.Trace{trA, trB, trC}, DefaultOptions(), ""},
+		{"message-passing", []*trace.Trace{trA, trB}, MessagePassingOptions(), ""},
+		{"same-trace-twice", []*trace.Trace{trA, trA}, DefaultOptions(), ""},
+		{"sequential-workers", []*trace.Trace{trA, trB, trC}, Options{Reorder: true, InferDependencies: true, NeighborSerialMerge: true, Parallelism: 1}, ""},
+		{"more-workers-than-traces", []*trace.Trace{trA, trB}, Options{Reorder: true, InferDependencies: true, NeighborSerialMerge: true, Parallelism: 16}, ""},
+		{"nil-trace", []*trace.Trace{trA, nil}, DefaultOptions(), "trace 1"},
+		{"malformed-trace", []*trace.Trace{trA, &trace.Trace{}, trB}, DefaultOptions(), "trace 1"},
+		{"malformed-first-wins", []*trace.Trace{&trace.Trace{}, nil}, DefaultOptions(), "trace 0"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ExtractBatch(tc.traces, tc.opt)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("expected error containing %q, got nil", tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tc.traces) {
+				t.Fatalf("got %d structures for %d traces", len(got), len(tc.traces))
+			}
+			// Results must be in input order and identical to per-trace calls.
+			for i, tr := range tc.traces {
+				want, err := Extract(tr, tc.opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameStructure(t, tr, want, got[i])
+			}
+		})
+	}
+}
+
+// TestExtractBatchConcurrentCallers: several goroutines run overlapping
+// batches over shared traces; exercised for data races by the tier-1 -race
+// run. The batch members deliberately alias each other so the concurrent
+// extractions share indexed traces.
+func TestExtractBatchConcurrentCallers(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	traces := []*trace.Trace{randomTrace(rng), randomTrace(rng), randomTrace(rng)}
+	batch := []*trace.Trace{traces[0], traces[1], traces[2], traces[0], traces[1]}
+	opt := DefaultOptions()
+	opt.Parallelism = 4
+
+	want, err := ExtractBatch(batch, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const callers = 4
+	results := make([][]*Structure, callers)
+	errs := make([]error, callers)
+	done := make(chan struct{})
+	for c := 0; c < callers; c++ {
+		go func(c int) {
+			defer func() { done <- struct{}{} }()
+			results[c], errs[c] = ExtractBatch(batch, opt)
+		}(c)
+	}
+	for c := 0; c < callers; c++ {
+		<-done
+	}
+	for c := 0; c < callers; c++ {
+		if errs[c] != nil {
+			t.Fatalf("caller %d: %v", c, errs[c])
+		}
+		for i := range batch {
+			sameStructure(t, batch[i], want[i], results[c][i])
+		}
+	}
+}

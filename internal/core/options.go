@@ -16,7 +16,16 @@
 //     per chare by an idealized-replay clock w, events receive local logical
 //     steps (a receive at least one step after its matching send), and local
 //     steps are offset by phase-DAG predecessors into global steps.
+//
+// The pipeline is deterministic and, where profitable, parallel: the
+// per-partition scans, the dependency-merge event sweep, the per-leap
+// overlap detection and the per-phase ordering stage run on a worker pool
+// sized by Options.Parallelism, with worker results merged in index order,
+// so the recovered Structure is byte-identical for every worker count
+// (Parallelism 1 reproduces the fully sequential pipeline exactly).
 package core
+
+import "runtime"
 
 // Options configures Extract.
 type Options struct {
@@ -53,17 +62,39 @@ type Options struct {
 	// non-deterministic.
 	ProcessOrderDeps bool
 
-	// Parallel runs the per-phase ordering stage concurrently (one phase
-	// per goroutine, bounded by GOMAXPROCS). The paper notes the stage is
-	// phase-independent and "could be parallelized" (§3.3); the result is
-	// identical either way.
+	// Parallel forces the per-phase ordering stage to run concurrently
+	// (one phase per goroutine, bounded by GOMAXPROCS) even when
+	// Parallelism is 1. The paper notes the stage is phase-independent and
+	// "could be parallelized" (§3.3); the result is identical either way.
+	//
+	// Deprecated: set Parallelism instead, which parallelizes every
+	// worker-pool stage of the pipeline. Parallel is retained so existing
+	// callers keep their behaviour.
 	Parallel bool
+
+	// Parallelism is the worker count for the parallel stages of the
+	// pipeline (the per-partition scans, the dependency-merge sweep, the
+	// per-leap overlap detection, the per-phase ordering stage) and for
+	// ExtractBatch. Zero or negative selects runtime.GOMAXPROCS(0); 1 runs
+	// the fully sequential pipeline. The recovered Structure is
+	// byte-identical for every value: workers process contiguous index
+	// ranges and their results are merged in index order.
+	Parallelism int
 
 	// ChareRank, when non-nil, supplies a display rank per chare used for
 	// the Figure 7 tie-break instead of the raw chare ID — the paper's
 	// suggestion that orderings aware of the data topology (e.g. neighbours
 	// in 3D space) are more intuitive than tie-breaking by chare ID.
 	ChareRank []int32
+}
+
+// Workers returns the effective worker count: Parallelism when positive,
+// otherwise runtime.GOMAXPROCS(0).
+func (o Options) Workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DefaultOptions returns the configuration used for Charm++ traces in the

@@ -1,0 +1,69 @@
+package core
+
+import "sync"
+
+// span is one contiguous index range [Lo, Hi) of a parallel loop.
+type span struct{ Lo, Hi int }
+
+// splitRange cuts [0, n) into at most k contiguous, non-empty spans of
+// near-equal size. The split depends only on (n, k), so a loop whose workers
+// publish per-span results and concatenate them in span order produces the
+// same output as the sequential loop.
+func splitRange(n, k int) []span {
+	if n <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	spans := make([]span, 0, k)
+	chunk := (n + k - 1) / k
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		spans = append(spans, span{lo, hi})
+	}
+	return spans
+}
+
+// parallelSpans runs f once per span of [0, n), concurrently on up to
+// `workers` goroutines, and returns after every span completes. With one
+// span (workers <= 1 or n <= 1) f runs inline on the calling goroutine, so
+// Parallelism 1 reproduces the sequential pipeline exactly — no goroutines,
+// no synchronization. f receives the span index (for ordering per-span
+// results deterministically) and the range bounds; it must only write state
+// owned by its span or its span index.
+func parallelSpans(n, workers int, f func(idx, lo, hi int)) {
+	spans := splitRange(n, workers)
+	if len(spans) == 0 {
+		return
+	}
+	if len(spans) == 1 {
+		f(0, spans[0].Lo, spans[0].Hi)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(spans))
+	for i, sp := range spans {
+		go func(idx, lo, hi int) {
+			defer wg.Done()
+			f(idx, lo, hi)
+		}(i, sp.Lo, sp.Hi)
+	}
+	wg.Wait()
+}
+
+// parallelFor runs f(i) for every i in [0, n) using parallelSpans. Use when
+// iterations write disjoint, index-owned state (e.g. results[i]).
+func parallelFor(n, workers int, f func(i int)) {
+	parallelSpans(n, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f(i)
+		}
+	})
+}

@@ -18,9 +18,11 @@ func Extract(tr *trace.Trace, opt Options) (*Structure, error) {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 	}
+	workers := opt.Workers()
 	st := Stats{
-		MergedBy:  make(map[string]int),
-		StageTime: make(map[string]time.Duration),
+		MergedBy:    make(map[string]int),
+		StageTime:   make(map[string]time.Duration),
+		Parallelism: workers,
 	}
 	stage := func(name string, f func() int) {
 		start := time.Now()
@@ -34,18 +36,18 @@ func Extract(tr *trace.Trace, opt Options) (*Structure, error) {
 		st.InitialPartitions = a.set.NumAtoms()
 		return 0
 	})
-	stage("dependency-merge", func() int { return dependencyMerge(tr, a) })
+	stage("dependency-merge", func() int { return dependencyMerge(tr, a, workers) })
 	stage("cycle-merge", func() int { return a.set.CycleMerge() })
 	stage("repair-merge", func() int { return repairMerge(tr, a, opt) })
 	stage("cycle-merge", func() int { return a.set.CycleMerge() })
 	if opt.InferDependencies {
-		stage("infer-dependencies", func() int { return inferDependencies(tr, a) })
+		stage("infer-dependencies", func() int { return inferDependencies(tr, a, workers) })
 		stage("cycle-merge", func() int { return a.set.CycleMerge() })
 		stage("leap-merge", func() int { return leapMerge(a) })
 		stage("cycle-merge", func() int { return a.set.CycleMerge() })
 	}
 	stage("enforce-orderability", func() int {
-		merged, rounds := enforceOrderability(tr, a, opt)
+		merged, rounds := enforceOrderability(tr, a, opt, workers)
 		st.EnforceRounds = rounds
 		return merged
 	})
@@ -62,17 +64,38 @@ func Extract(tr *trace.Trace, opt Options) (*Structure, error) {
 
 // dependencyMerge is Algorithm 1: partitions containing the matching
 // endpoints of a remote method invocation belong in the same phase.
-func dependencyMerge(tr *trace.Trace, a *atoms) int {
-	plan := a.set.NewMergePlan()
-	for _, ev := range tr.Events {
-		if ev.Kind != trace.Send || ev.Msg == trace.NoMsg {
-			continue
-		}
-		send := a.of[ev.ID]
-		for _, r := range tr.RecvsOf(ev.Msg) {
-			if recv := a.of[r]; !a.set.SamePartition(send, recv) {
-				plan.Schedule(send, recv)
+//
+// The event sweep is embarrassingly parallel: workers scan contiguous event
+// ranges of a frozen partition set (read-only Root lookups, no path
+// compression) and collect candidate pairs per span. The spans are then
+// scheduled in span order — which concatenates to exactly the sequential
+// sweep order — and applied on the calling goroutine, so the union sequence
+// (and hence the union-find tree and merge count) is identical for every
+// worker count.
+func dependencyMerge(tr *trace.Trace, a *atoms, workers int) int {
+	type pair struct{ send, recv partition.ID }
+	spans := splitRange(len(tr.Events), workers)
+	found := make([][]pair, len(spans))
+	parallelSpans(len(tr.Events), workers, func(idx, lo, hi int) {
+		var local []pair
+		for i := lo; i < hi; i++ {
+			ev := &tr.Events[i]
+			if ev.Kind != trace.Send || ev.Msg == trace.NoMsg {
+				continue
 			}
+			send := a.of[ev.ID]
+			for _, r := range tr.RecvsOf(ev.Msg) {
+				if recv := a.of[r]; a.set.Root(send) != a.set.Root(recv) {
+					local = append(local, pair{send, recv})
+				}
+			}
+		}
+		found[idx] = local
+	})
+	plan := a.set.NewMergePlan()
+	for _, local := range found {
+		for _, p := range local {
+			plan.Schedule(p.send, p.recv)
 		}
 	}
 	return plan.Apply()
@@ -160,9 +183,13 @@ type partInfo struct {
 	minTime     trace.Time
 }
 
-func buildPartInfo(tr *trace.Trace, a *atoms, v *partition.View) []partInfo {
+// buildPartInfo scans every partition independently; with workers > 1 the
+// scans run on the pool. Each iteration only reads the frozen view and
+// writes its own infos slot, so the result is identical for any worker
+// count.
+func buildPartInfo(tr *trace.Trace, a *atoms, v *partition.View, workers int) []partInfo {
 	infos := make([]partInfo, len(v.Parts))
-	for pi := range v.Parts {
+	parallelFor(len(v.Parts), workers, func(pi int) {
 		info := partInfo{
 			initByChare: make(map[trace.ChareID]trace.EventID),
 			srcTimeByPE: make(map[trace.PE]trace.Time),
@@ -190,7 +217,7 @@ func buildPartInfo(tr *trace.Trace, a *atoms, v *partition.View) []partInfo {
 			}
 		}
 		infos[pi] = info
-	}
+	})
 	return infos
 }
 
@@ -207,9 +234,9 @@ func less(tr *trace.Trace, a, b trace.EventID) bool {
 // sources; the physical-time order between partition-starting sources on the
 // same chare is inferred as a happened-before relationship between their
 // partitions (Figure 5).
-func inferDependencies(tr *trace.Trace, a *atoms) int {
+func inferDependencies(tr *trace.Trace, a *atoms, workers int) int {
 	v := a.set.View()
-	infos := buildPartInfo(tr, a, v)
+	infos := buildPartInfo(tr, a, v, workers)
 	type src struct {
 		e    trace.EventID
 		part int32
@@ -281,19 +308,24 @@ func leapMerge(a *atoms) int {
 // dependency inference is enabled; application/runtime overlaps — and all
 // overlaps when inference is disabled (the Figure 17 ablation) — are instead
 // forced into sequence by the physical time of their initial sources.
-func enforceOrderability(tr *trace.Trace, a *atoms, opt Options) (merged, rounds int) {
+func enforceOrderability(tr *trace.Trace, a *atoms, opt Options, workers int) (merged, rounds int) {
 	const maxRounds = 64
 	for rounds = 0; rounds < maxRounds; rounds++ {
 		a.set.CycleMerge()
 		v := a.set.View()
-		infos := buildPartInfo(tr, a, v)
+		infos := buildPartInfo(tr, a, v, workers)
 		byLeap := v.PartsAtLeap()
 
+		// Overlap detection is independent per leap (each leap has its own
+		// chare-occupancy map), so leaps are scanned on the pool; per-leap
+		// results concatenated in leap order reproduce the sequential scan.
 		type pair struct{ p, q int32 }
-		var overlaps []pair
-		for _, parts := range byLeap {
+		perLeap := make([][]pair, len(byLeap))
+		parallelFor(len(byLeap), workers, func(li int) {
+			parts := byLeap[li]
 			seen := make(map[trace.ChareID]int32)
 			dedup := make(map[int64]struct{})
+			var found []pair
 			for _, pi := range parts {
 				for _, c := range v.Parts[pi].Chares {
 					if other, ok := seen[c]; ok && other != pi {
@@ -304,13 +336,18 @@ func enforceOrderability(tr *trace.Trace, a *atoms, opt Options) (merged, rounds
 						key := int64(lo)<<32 | int64(uint32(hi))
 						if _, dup := dedup[key]; !dup {
 							dedup[key] = struct{}{}
-							overlaps = append(overlaps, pair{lo, hi})
+							found = append(found, pair{lo, hi})
 						}
 					} else {
 						seen[c] = pi
 					}
 				}
 			}
+			perLeap[li] = found
+		})
+		var overlaps []pair
+		for _, found := range perLeap {
+			overlaps = append(overlaps, found...)
 		}
 		if len(overlaps) == 0 {
 			return merged, rounds + 1

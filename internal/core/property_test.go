@@ -138,6 +138,60 @@ func TestExtractInvariantsOnRandomTraces(t *testing.T) {
 	}
 }
 
+// TestExtractParallelismInvariantOnRandomTraces: a quick-check property for
+// the parallel engine — extraction output is invariant under
+// Options.Parallelism on randomized small traces, for both the task-based
+// and message-passing configurations.
+func TestExtractParallelismInvariantOnRandomTraces(t *testing.T) {
+	opts := []Options{DefaultOptions(), MessagePassingOptions()}
+	same := func(a, b *Structure, tr *trace.Trace) bool {
+		if a.NumPhases() != b.NumPhases() {
+			return false
+		}
+		for e := range tr.Events {
+			if a.PhaseOf[e] != b.PhaseOf[e] || a.LocalStep[e] != b.LocalStep[e] || a.Step[e] != b.Step[e] {
+				return false
+			}
+		}
+		for stage, n := range a.Stats.MergedBy {
+			if b.Stats.MergedBy[stage] != n {
+				return false
+			}
+		}
+		return len(a.Stats.MergedBy) == len(b.Stats.MergedBy)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng)
+		for _, opt := range opts {
+			seq := opt
+			seq.Parallelism = 1
+			base, err := Extract(tr, seq)
+			if err != nil {
+				t.Logf("seed %d: sequential Extract error: %v", seed, err)
+				return false
+			}
+			for _, workers := range []int{2, 3, 8} {
+				par := opt
+				par.Parallelism = workers
+				got, err := Extract(tr, par)
+				if err != nil {
+					t.Logf("seed %d parallelism %d: Extract error: %v", seed, workers, err)
+					return false
+				}
+				if !same(base, got, tr) {
+					t.Logf("seed %d opts %+v: output differs at parallelism %d", seed, opt, workers)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestExtractDeterministic: the same trace and options always produce the
 // same structure.
 func TestExtractDeterministic(t *testing.T) {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"strings"
 	"time"
 
 	"charmtrace/internal/graph"
@@ -65,6 +67,47 @@ type Stats struct {
 	StageTime map[string]time.Duration
 	// EnforceRounds is the number of iterations the orderability loop took.
 	EnforceRounds int
+	// Parallelism is the effective worker count the extraction ran with
+	// (Options.Workers() at Extract time).
+	Parallelism int
+}
+
+// StageOrder lists the pipeline stages in execution order, for reporting.
+// Repeated cycle merges are accumulated under the single "cycle-merge" key.
+var StageOrder = []string{
+	"initial",
+	"dependency-merge",
+	"cycle-merge",
+	"repair-merge",
+	"infer-dependencies",
+	"leap-merge",
+	"enforce-orderability",
+	"enforce-chare-paths",
+	"step-assignment",
+}
+
+// TimingReport formats the per-stage wall times (and merge counts) in
+// pipeline order — the observable behind the -timing flag of cmd/structure
+// and cmd/chmetrics. Stages that did not run are omitted.
+func (st *Stats) TimingReport() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stage timings (parallelism %d):\n", st.Parallelism)
+	var total time.Duration
+	for _, name := range StageOrder {
+		d, timed := st.StageTime[name]
+		merged, didMerge := st.MergedBy[name]
+		if !timed && !didMerge {
+			continue
+		}
+		total += d
+		fmt.Fprintf(&b, "  %-22s %12v", name, d)
+		if merged > 0 {
+			fmt.Fprintf(&b, "   merged %d", merged)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  %-22s %12v\n", "total", total)
+	return b.String()
 }
 
 // NumPhases returns the number of phases.

@@ -118,9 +118,16 @@ func assignSteps(tr *trace.Trace, opt Options, a *atoms) *Structure {
 			return ei < ej
 		})
 	}
-	if opt.Parallel && len(v.Parts) > 1 {
+	// Pool size: Options.Parallelism, with the deprecated Parallel flag
+	// keeping its historical meaning (GOMAXPROCS workers) when Parallelism
+	// selects a sequential run.
+	workers := opt.Workers()
+	if workers == 1 && opt.Parallel {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 && len(v.Parts) > 1 {
 		var wg sync.WaitGroup
-		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		sem := make(chan struct{}, workers)
 		for pi := range v.Parts {
 			pi := pi
 			wg.Add(1)

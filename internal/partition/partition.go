@@ -13,6 +13,7 @@ package partition
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"charmtrace/internal/graph"
 	"charmtrace/internal/trace"
@@ -87,6 +88,19 @@ func (s *Set) Find(a ID) ID {
 
 // SamePartition reports whether two atoms are currently merged.
 func (s *Set) SamePartition(a, b ID) bool { return s.Find(a) == s.Find(b) }
+
+// Root returns the current partition (root atom) of an atom without path
+// compression. Unlike Find it performs no writes, so any number of
+// goroutines may call it concurrently — provided no merge (Union,
+// CycleMerge) or Find runs at the same time. The phase-finding pipeline
+// relies on this for its parallel scan stages, which read a frozen set and
+// schedule merges for later sequential application.
+func (s *Set) Root(a ID) ID {
+	for s.parent[a] != a {
+		a = s.parent[a]
+	}
+	return a
+}
 
 // Union merges the partitions of a and b and returns the new root. The
 // merged partition is a runtime partition if either operand was.
@@ -200,14 +214,19 @@ func (p *Part) ChareOverlap(q *Part) bool {
 // View is an immutable snapshot of the partition set: the current
 // partitions, the condensed partition graph over them, and (lazily) its
 // leaps. Mutating the underlying Set invalidates the view.
+//
+// A View is safe for concurrent readers: its exported fields are never
+// mutated after Set.View returns, every method is read-only, and the one
+// lazy computation (Leaps) is synchronized. Concurrent readers must not
+// mutate Parts, PartOf or G themselves.
 type View struct {
 	Parts  []Part
 	PartOf []int32 // atom -> dense partition index
 	G      *graph.Graph
 
-	leap    []int32
-	maxLeap int32
-	haveLp  bool
+	leapOnce sync.Once
+	leap     []int32
+	maxLeap  int32
 }
 
 // View snapshots the current partitions and the deduplicated partition
@@ -263,11 +282,11 @@ func (v *View) Acyclic() bool {
 
 // Leaps returns the leap of every partition and the maximum leap. The view's
 // graph must be acyclic (run CycleMerge on the set before snapshotting).
+// Safe for concurrent callers: the lazy computation runs exactly once.
 func (v *View) Leaps() ([]int32, int32) {
-	if !v.haveLp {
+	v.leapOnce.Do(func() {
 		v.leap, v.maxLeap = v.G.Leaps()
-		v.haveLp = true
-	}
+	})
 	return v.leap, v.maxLeap
 }
 

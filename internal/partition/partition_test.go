@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -223,5 +224,83 @@ func TestViewCoversAllAtoms(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestViewConcurrentReaders: a View is safe for concurrent readers — the
+// parallel extraction engine hands one snapshot to many workers. The lazy
+// Leaps computation is the only mutable state; every reader must observe
+// the same result. Run under -race in the tier-1 verify recipe.
+func TestViewConcurrentReaders(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	s := NewSet()
+	const n = 60
+	ids := make([]ID, n)
+	for i := range ids {
+		ids[i] = s.AddAtom(atom(trace.ChareID(rng.Intn(8))))
+	}
+	// Forward-only edges keep the partition graph acyclic so Leaps is defined.
+	for i := 0; i < 2*n; i++ {
+		a, b := rng.Intn(n-1), 0
+		b = a + 1 + rng.Intn(n-1-a)
+		s.AddEdge(ids[a], ids[b])
+	}
+	for i := 0; i < n/4; i++ {
+		a := rng.Intn(n - 1)
+		s.Union(ids[a], ids[a+1])
+	}
+	s.CycleMerge()
+	v := s.View()
+
+	wantLeap, wantMax := func() ([]int32, int32) {
+		// Compute the expected answer on a second snapshot of the same set,
+		// untouched by the concurrent readers.
+		return s.View().Leaps()
+	}()
+
+	const readers = 8
+	errc := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		go func() {
+			leap, max := v.Leaps()
+			if max != wantMax {
+				errc <- fmt.Errorf("max leap %d, want %d", max, wantMax)
+				return
+			}
+			for p := range leap {
+				if leap[p] != wantLeap[p] {
+					errc <- fmt.Errorf("partition %d leap %d, want %d", p, leap[p], wantLeap[p])
+					return
+				}
+			}
+			if !v.Acyclic() {
+				errc <- fmt.Errorf("view not acyclic")
+				return
+			}
+			byLeap := v.PartsAtLeap()
+			total := 0
+			for _, ps := range byLeap {
+				total += len(ps)
+			}
+			if total != len(v.Parts) {
+				errc <- fmt.Errorf("PartsAtLeap covers %d of %d parts", total, len(v.Parts))
+				return
+			}
+			for pi := range v.Parts {
+				p := &v.Parts[pi]
+				for _, c := range p.Chares {
+					if !p.HasChare(c) {
+						errc <- fmt.Errorf("partition %d missing own chare %d", pi, c)
+						return
+					}
+				}
+			}
+			errc <- nil
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
 	}
 }
