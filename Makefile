@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test verify bench bench-overhead fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the tier-1 recipe (see README "Testing" and
+# .claude/skills/verify/SKILL.md).
+verify: build test
+	$(GO) vet ./...
+	$(GO) test -race ./internal/core ./internal/partition ./internal/tracefile
+
+# bench regenerates BENCH_extract.json, the machine-readable perf
+# trajectory (merge-tree extraction + ExtractBatch at parallelism 1/2/4).
+bench:
+	$(GO) run ./cmd/experiments -bench-json BENCH_extract.json
+
+# bench-overhead checks the telemetry off/nop/recording cost (DESIGN.md §3b).
+bench-overhead:
+	$(GO) test -bench 'BenchmarkTelemetryOverhead' -run '^$$' -benchtime 30x .
+
+fmt:
+	gofmt -l -w .

@@ -33,7 +33,12 @@ func main() {
 	seed := flag.Int64("seed", 0, "seed override for -app")
 	timing := flag.Bool("timing", false, "print per-stage extraction wall times")
 	parallelism := flag.Int("parallelism", 0, "extraction worker count (0 = all cores, 1 = sequential; output is identical)")
+	tele := cli.NewTelemetry("chmetrics", flag.CommandLine)
 	flag.Parse()
+	if err := tele.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "chmetrics:", err)
+		os.Exit(1)
+	}
 
 	var tr *trace.Trace
 	var opt core.Options
@@ -55,6 +60,13 @@ func main() {
 		os.Exit(1)
 	}
 	opt.Parallelism = *parallelism
+	if *app != "" {
+		tele.Label("workload", *app)
+	} else {
+		tele.Label("input", *in)
+	}
+	tele.Label("metric", *metric)
+	tele.Apply(&opt)
 	s, err := core.Extract(tr, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chmetrics:", err)
@@ -118,5 +130,9 @@ func main() {
 	if *render {
 		fmt.Println()
 		fmt.Print(viz.LogicalMetric(s, values))
+	}
+	if err := tele.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "chmetrics:", err)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"charmtrace/internal/apps/jacobi"
+	"charmtrace/internal/apps/mergetree"
+	"charmtrace/internal/core"
+	"charmtrace/internal/telemetry"
+	"charmtrace/internal/trace"
+)
+
+// runBenchJSON runs the extraction benchmark suite behind -bench-json and
+// writes the results in the versioned BenchExport schema. It covers the two
+// parallelism-sensitive benchmarks of the repo's bench_test.go — the Figure
+// 10 merge-tree extraction and the ExtractBatch multi-run shape — each at
+// worker counts 1, 2 and 4, so successive runs can be compared
+// machine-readably (the BENCH_extract.json artifact).
+func runBenchJSON(path string) error {
+	mt := mergetree.MustTrace(mergetree.DefaultConfig())
+	batch := make([]*trace.Trace, 8)
+	for i := range batch {
+		cfg := jacobi.DefaultConfig()
+		cfg.Grid = 8
+		cfg.Seed = int64(i + 1)
+		batch[i] = jacobi.MustTrace(cfg)
+	}
+
+	e := telemetry.NewBenchExport("experiments")
+	for _, par := range []int{1, 2, 4} {
+		opt := core.MessagePassingOptions()
+		opt.Parallelism = par
+		name := fmt.Sprintf("Fig10MergeTree/par=%d", par)
+		fmt.Printf("  %-28s", name)
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Extract(mt, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		e.Add(name, r.N, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+		fmt.Printf(" %12d ns/op  (%d iterations)\n", r.NsPerOp(), r.N)
+	}
+	for _, par := range []int{1, 2, 4} {
+		opt := core.DefaultOptions()
+		opt.Parallelism = par
+		name := fmt.Sprintf("ExtractBatch/par=%d", par)
+		fmt.Printf("  %-28s", name)
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ExtractBatch(batch, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		e.Add(name, r.N, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+		fmt.Printf(" %12d ns/op  (%d iterations)\n", r.NsPerOp(), r.N)
+	}
+	if err := e.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Printf("benchmark results written to %s\n", path)
+	return nil
+}

@@ -20,6 +20,7 @@ func must[T any](v T, err error) T {
 
 // extract runs the algorithm and validates the result.
 func extract(tr *trace.Trace, opt core.Options) *core.Structure {
+	tele.Apply(&opt)
 	s := must(core.Extract(tr, opt))
 	if err := s.Validate(); err != nil {
 		panic(err)

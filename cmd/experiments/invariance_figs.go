@@ -23,7 +23,9 @@ func invSeeds(bool) {
 		cfg.Seed = seed
 		traces = append(traces, must(jacobi.Trace(cfg)))
 	}
-	structs := must(core.ExtractBatch(traces, core.DefaultOptions()))
+	opt := core.DefaultOptions()
+	tele.Apply(&opt)
+	structs := must(core.ExtractBatch(traces, opt))
 	for _, s := range structs {
 		if err := s.Validate(); err != nil {
 			panic(err)

@@ -18,8 +18,10 @@ func init() {
 // share spent in the §3.1.4 orderability machinery (which Figure 19
 // identifies as the dominant cost at high chare counts).
 func timeExtract(tr *trace.Trace) (time.Duration, time.Duration, *core.Structure) {
+	opt := core.DefaultOptions()
+	tele.Apply(&opt)
 	start := time.Now()
-	s := must(core.Extract(tr, core.DefaultOptions()))
+	s := must(core.Extract(tr, opt))
 	total := time.Since(start)
 	sec314 := s.Stats.StageTime["infer-dependencies"] +
 		s.Stats.StageTime["leap-merge"] +

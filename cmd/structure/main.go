@@ -54,7 +54,12 @@ func main() {
 	to := flag.Int64("to", -1, "window end (see -from)")
 	timing := flag.Bool("timing", false, "print per-stage extraction wall times")
 	parallelism := flag.Int("parallelism", 0, "extraction worker count (0 = all cores, 1 = sequential; output is identical)")
+	tele := cli.NewTelemetry("structure", flag.CommandLine)
 	flag.Parse()
+	if err := tele.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "structure:", err)
+		os.Exit(1)
+	}
 
 	var tr *trace.Trace
 	var opt core.Options
@@ -83,6 +88,12 @@ func main() {
 		opt.InferDependencies = false
 	}
 	opt.Parallelism = *parallelism
+	if *app != "" {
+		tele.Label("workload", *app)
+	} else {
+		tele.Label("input", *in)
+	}
+	tele.Apply(&opt)
 	if *from >= 0 || *to >= 0 {
 		lo, hi := tr.Span()
 		f, tt := lo, hi+1
@@ -149,5 +160,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nSVG written to %s\n", *svg)
+	}
+	if err := tele.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "structure:", err)
+		os.Exit(1)
 	}
 }

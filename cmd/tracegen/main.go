@@ -25,7 +25,12 @@ func main() {
 	noRed := flag.Bool("no-reduction-tracing", false, "disable the §5 reduction tracing additions")
 	bin := flag.Bool("binary", false, "write the compact binary format instead of text")
 	list := flag.Bool("list", false, "list available workloads")
+	tele := cli.NewProfiling("tracegen", flag.CommandLine)
 	flag.Parse()
+	if err := tele.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
 
 	if *list {
 		fmt.Print(cli.Describe())
@@ -52,4 +57,8 @@ func main() {
 	}
 	fmt.Printf("%s: %d chares, %d blocks, %d events -> %s\n",
 		*app, len(tr.Chares), len(tr.Blocks), len(tr.Events), path)
+	if err := tele.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
 }

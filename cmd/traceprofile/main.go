@@ -27,7 +27,12 @@ func main() {
 	iters := flag.Int("iters", 0, "iteration override for -app")
 	scale := flag.Int("scale", 0, "size override for -app")
 	seed := flag.Int64("seed", 0, "seed override for -app")
+	tele := cli.NewProfiling("traceprofile", flag.CommandLine)
 	flag.Parse()
+	if err := tele.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "traceprofile:", err)
+		os.Exit(1)
+	}
 
 	var tr *trace.Trace
 	var err error
@@ -60,4 +65,8 @@ func main() {
 		fmt.Printf("window [%d, %d): %d blocks, %d events\n\n", f, t, len(tr.Blocks), len(tr.Events))
 	}
 	fmt.Print(profile.Build(tr).String())
+	if err := tele.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "traceprofile:", err)
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,117 @@
+package cli
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"charmtrace/internal/core"
+	"charmtrace/internal/telemetry"
+)
+
+// TestTelemetryFlagRegistration: NewTelemetry binds the full observability
+// flag set, NewProfiling only the pprof pair.
+func TestTelemetryFlagRegistration(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	NewTelemetry("x", fs)
+	for _, name := range []string{"stats-json", "self-trace", "cpuprofile", "memprofile"} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("NewTelemetry did not register -%s", name)
+		}
+	}
+	fs = flag.NewFlagSet("y", flag.ContinueOnError)
+	NewProfiling("y", fs)
+	if fs.Lookup("stats-json") != nil || fs.Lookup("self-trace") != nil {
+		t.Error("NewProfiling registered extraction-only flags")
+	}
+	if fs.Lookup("cpuprofile") == nil || fs.Lookup("memprofile") == nil {
+		t.Error("NewProfiling did not register the pprof flags")
+	}
+}
+
+// TestTelemetryLifecycle runs the full Apply/Close cycle the commands use
+// and validates both sinks through their schema readers.
+func TestTelemetryLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	tele := &Telemetry{
+		Tool:      "cli-test",
+		StatsJSON: filepath.Join(dir, "stats.json"),
+		SelfTrace: filepath.Join(dir, "trace.json"),
+	}
+	tele.labels = map[string]string{"workload": "jacobi"}
+
+	tr, opt, err := Generate("jacobi", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tele.Start(); err != nil {
+		t.Fatal(err)
+	}
+	tele.Apply(&opt)
+	if opt.Telemetry == nil || opt.Metrics == nil {
+		t.Fatal("Apply did not attach the sinks")
+	}
+	if _, err := core.Extract(tr, opt); err != nil {
+		t.Fatal(err)
+	}
+	if err := tele.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := telemetry.ReadStatsFile(tele.StatsJSON)
+	if err != nil {
+		t.Fatalf("stats export does not round-trip: %v", err)
+	}
+	if stats.Tool != "cli-test" || stats.Labels["workload"] != "jacobi" {
+		t.Errorf("stats header = %q/%v", stats.Tool, stats.Labels)
+	}
+	if len(stats.Stages) == 0 || stats.SpanCount == 0 {
+		t.Errorf("stats missing pipeline data: %d stages, %d spans", len(stats.Stages), stats.SpanCount)
+	}
+
+	f, err := os.Open(tele.SelfTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := telemetry.ReadChromeTrace(f)
+	if err != nil {
+		t.Fatalf("self-trace is not valid Chrome trace-event JSON: %v", err)
+	}
+	sawExtract := false
+	for _, e := range events {
+		if e.Ph == "X" && e.Name == "extract" {
+			sawExtract = true
+		}
+	}
+	if !sawExtract {
+		t.Error("self-trace has no extract root span")
+	}
+}
+
+// TestTelemetryInactive: with no sinks requested, Apply leaves Options
+// untouched (the zero-overhead path) and Close is a no-op.
+func TestTelemetryInactive(t *testing.T) {
+	tele := &Telemetry{Tool: "cli-test", labels: map[string]string{}}
+	var opt core.Options
+	tele.Apply(&opt)
+	if opt.Telemetry != nil || opt.Metrics != nil {
+		t.Error("inactive Apply attached sinks")
+	}
+	if err := tele.Close(); err != nil {
+		t.Errorf("inactive Close: %v", err)
+	}
+}
+
+// TestTelemetrySinkWithoutRun: requesting -stats-json but never extracting
+// is reported as an error, not an empty file.
+func TestTelemetrySinkWithoutRun(t *testing.T) {
+	dir := t.TempDir()
+	tele := &Telemetry{Tool: "cli-test", StatsJSON: filepath.Join(dir, "s.json"), labels: map[string]string{}}
+	err := tele.Close()
+	if err == nil || !strings.Contains(err.Error(), "no extraction ran") {
+		t.Errorf("Close = %v, want no-extraction error", err)
+	}
+}

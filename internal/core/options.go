@@ -25,7 +25,11 @@
 // (Parallelism 1 reproduces the fully sequential pipeline exactly).
 package core
 
-import "runtime"
+import (
+	"runtime"
+
+	"charmtrace/internal/telemetry"
+)
 
 // Options configures Extract.
 type Options struct {
@@ -80,6 +84,22 @@ type Options struct {
 	// byte-identical for every value: workers process contiguous index
 	// ranges and their results are merged in index order.
 	Parallelism int
+
+	// Telemetry, when non-nil, receives a span for every pipeline stage,
+	// every enforce-orderability round, every worker chunk of the parallel
+	// sweeps, and every ordered phase (the self-tracing behind -self-trace).
+	// When a recorder is attached, each stage additionally records
+	// runtime.MemStats deltas into the metrics registry. nil disables span
+	// recording (telemetry.Disabled is substituted); the per-stage metrics
+	// backing Stats are collected either way. Recorders only observe — the
+	// recovered Structure is byte-identical with telemetry on or off.
+	Telemetry telemetry.Recorder
+
+	// Metrics, when non-nil, additionally accumulates the extraction's
+	// metric registry into this shared registry when the pipeline finishes.
+	// CLIs use it to aggregate every extraction of a run into one
+	// -stats-json report; batch extractions merge concurrently and safely.
+	Metrics *telemetry.Registry
 
 	// ChareRank, when non-nil, supplies a display rank per chare used for
 	// the Figure 7 tie-break instead of the raw chare ID — the paper's

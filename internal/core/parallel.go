@@ -1,6 +1,10 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"charmtrace/internal/telemetry"
+)
 
 // span is one contiguous index range [Lo, Hi) of a parallel loop.
 type span struct{ Lo, Hi int }
@@ -62,6 +66,35 @@ func parallelSpans(n, workers int, f func(idx, lo, hi int)) {
 // iterations write disjoint, index-owned state (e.g. results[i]).
 func parallelFor(n, workers int, f func(i int)) {
 	parallelSpans(n, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f(i)
+		}
+	})
+}
+
+// parallelSpans is the instrumented variant: when a recorder is attached it
+// opens one span per worker chunk, on worker lane idx+1 under the current
+// stage span, annotated with the chunk bounds — which is what makes fan-out
+// imbalance visible in a self-trace. Disabled recording takes the plain
+// path with no per-chunk work at all.
+func (t *tel) parallelSpans(name string, n, workers int, f func(idx, lo, hi int)) {
+	if !t.rec.Enabled() {
+		parallelSpans(n, workers, f)
+		return
+	}
+	parent := t.cur
+	parallelSpans(n, workers, func(idx, lo, hi int) {
+		sp := t.rec.StartSpan(name, parent, telemetry.Lane(idx+1),
+			telemetry.Int("lo", int64(lo)), telemetry.Int("hi", int64(hi)))
+		f(idx, lo, hi)
+		t.rec.EndSpan(sp)
+	})
+}
+
+// parallelFor is the instrumented variant of the package-level parallelFor:
+// one span per worker chunk when recording.
+func (t *tel) parallelFor(name string, n, workers int, f func(i int)) {
+	t.parallelSpans(name, n, workers, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			f(i)
 		}

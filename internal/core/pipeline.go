@@ -2,12 +2,24 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
 	"charmtrace/internal/partition"
+	"charmtrace/internal/telemetry"
 	"charmtrace/internal/trace"
 )
+
+// tel carries the telemetry context through the pipeline: the span sink,
+// the metrics registry backing Stats, and the span of the currently running
+// stage (the parent for worker and round spans). cur is only written
+// between parallel sections, so worker goroutines read it race-free.
+type tel struct {
+	rec telemetry.Recorder
+	reg *telemetry.Registry
+	cur telemetry.SpanID
+}
 
 // Extract recovers the logical structure of a trace (Section 3). The trace
 // must be indexed (Builder.Finish and tracefile.Read both index); Extract
@@ -19,46 +31,79 @@ func Extract(tr *trace.Trace, opt Options) (*Structure, error) {
 		}
 	}
 	workers := opt.Workers()
-	st := Stats{
-		MergedBy:    make(map[string]int),
-		StageTime:   make(map[string]time.Duration),
-		Parallelism: workers,
+	rec := opt.Telemetry
+	if rec == nil {
+		rec = telemetry.Disabled
 	}
+	t := &tel{rec: rec, reg: telemetry.NewRegistry()}
+	root := rec.StartSpan("extract", telemetry.NoSpan,
+		telemetry.Int("events", int64(len(tr.Events))),
+		telemetry.Int("workers", int64(workers)))
+	t.reg.Gauge("trace.events").Set(float64(len(tr.Events)))
+	t.reg.Gauge("trace.blocks").Set(float64(len(tr.Blocks)))
+	t.reg.Gauge("trace.chares").Set(float64(len(tr.Chares)))
+	t.reg.Gauge("pipeline.workers").Set(float64(workers))
+
+	// stage wraps one pipeline stage: a span under the extract root, wall
+	// time and merge count into the registry (the single bookkeeping path —
+	// Stats is materialized from the registry below), and, when a recorder
+	// is attached, runtime.MemStats deltas (gated because ReadMemStats
+	// stops the world).
+	memOn := rec.Enabled()
+	var m0, m1 runtime.MemStats
 	stage := func(name string, f func() int) {
+		t.cur = rec.StartSpan(name, root)
+		if memOn {
+			runtime.ReadMemStats(&m0)
+		}
 		start := time.Now()
-		st.MergedBy[name] += f()
-		st.StageTime[name] += time.Since(start)
+		merged := f()
+		d := time.Since(start)
+		t.reg.Counter(telemetry.StageNSPrefix + name).Add(d.Nanoseconds())
+		t.reg.Counter(telemetry.StageMergedPrefix + name).Add(int64(merged))
+		if memOn {
+			runtime.ReadMemStats(&m1)
+			t.reg.Counter(telemetry.StageAllocPrefix + name).Add(int64(m1.TotalAlloc - m0.TotalAlloc))
+			t.reg.Counter(telemetry.StageMallocPrefix + name).Add(int64(m1.Mallocs - m0.Mallocs))
+			t.reg.Gauge(telemetry.StageHeapPrefix + name).Set(float64(m1.HeapAlloc))
+		}
+		rec.EndSpan(t.cur)
+		t.cur = root
 	}
 
 	var a *atoms
 	stage("initial", func() int {
 		a = buildAtoms(tr, opt)
-		st.InitialPartitions = a.set.NumAtoms()
+		t.reg.Gauge("pipeline.initial_partitions").Set(float64(a.set.NumAtoms()))
 		return 0
 	})
-	stage("dependency-merge", func() int { return dependencyMerge(tr, a, workers) })
+	stage("dependency-merge", func() int { return dependencyMerge(tr, a, workers, t) })
 	stage("cycle-merge", func() int { return a.set.CycleMerge() })
 	stage("repair-merge", func() int { return repairMerge(tr, a, opt) })
 	stage("cycle-merge", func() int { return a.set.CycleMerge() })
 	if opt.InferDependencies {
-		stage("infer-dependencies", func() int { return inferDependencies(tr, a, workers) })
+		stage("infer-dependencies", func() int { return inferDependencies(tr, a, workers, t) })
 		stage("cycle-merge", func() int { return a.set.CycleMerge() })
 		stage("leap-merge", func() int { return leapMerge(a) })
 		stage("cycle-merge", func() int { return a.set.CycleMerge() })
 	}
 	stage("enforce-orderability", func() int {
-		merged, rounds := enforceOrderability(tr, a, opt, workers)
-		st.EnforceRounds = rounds
+		merged, rounds := enforceOrderability(tr, a, opt, workers, t)
+		t.reg.Gauge("pipeline.enforce_rounds").Set(float64(rounds))
 		return merged
 	})
 	stage("enforce-chare-paths", func() int { return enforceCharePaths(tr, a) })
 
 	var s *Structure
 	stage("step-assignment", func() int {
-		s = assignSteps(tr, opt, a)
+		s = assignSteps(tr, opt, a, t)
 		return 0
 	})
-	s.Stats = st
+	rec.EndSpan(root)
+	s.Stats = statsFromRegistry(t.reg, workers)
+	if opt.Metrics != nil {
+		t.reg.MergeInto(opt.Metrics)
+	}
 	return s, nil
 }
 
@@ -72,11 +117,12 @@ func Extract(tr *trace.Trace, opt Options) (*Structure, error) {
 // sweep order — and applied on the calling goroutine, so the union sequence
 // (and hence the union-find tree and merge count) is identical for every
 // worker count.
-func dependencyMerge(tr *trace.Trace, a *atoms, workers int) int {
+func dependencyMerge(tr *trace.Trace, a *atoms, workers int, t *tel) int {
 	type pair struct{ send, recv partition.ID }
 	spans := splitRange(len(tr.Events), workers)
 	found := make([][]pair, len(spans))
-	parallelSpans(len(tr.Events), workers, func(idx, lo, hi int) {
+	t.reg.Counter("pipeline.events_scanned").Add(int64(len(tr.Events)))
+	t.parallelSpans("dependency-sweep", len(tr.Events), workers, func(idx, lo, hi int) {
 		var local []pair
 		for i := lo; i < hi; i++ {
 			ev := &tr.Events[i]
@@ -187,9 +233,9 @@ type partInfo struct {
 // scans run on the pool. Each iteration only reads the frozen view and
 // writes its own infos slot, so the result is identical for any worker
 // count.
-func buildPartInfo(tr *trace.Trace, a *atoms, v *partition.View, workers int) []partInfo {
+func buildPartInfo(tr *trace.Trace, a *atoms, v *partition.View, workers int, t *tel) []partInfo {
 	infos := make([]partInfo, len(v.Parts))
-	parallelFor(len(v.Parts), workers, func(pi int) {
+	t.parallelFor("part-scan", len(v.Parts), workers, func(pi int) {
 		info := partInfo{
 			initByChare: make(map[trace.ChareID]trace.EventID),
 			srcTimeByPE: make(map[trace.PE]trace.Time),
@@ -234,9 +280,9 @@ func less(tr *trace.Trace, a, b trace.EventID) bool {
 // sources; the physical-time order between partition-starting sources on the
 // same chare is inferred as a happened-before relationship between their
 // partitions (Figure 5).
-func inferDependencies(tr *trace.Trace, a *atoms, workers int) int {
+func inferDependencies(tr *trace.Trace, a *atoms, workers int, t *tel) int {
 	v := a.set.View()
-	infos := buildPartInfo(tr, a, v, workers)
+	infos := buildPartInfo(tr, a, v, workers, t)
 	type src struct {
 		e    trace.EventID
 		part int32
@@ -308,68 +354,92 @@ func leapMerge(a *atoms) int {
 // dependency inference is enabled; application/runtime overlaps — and all
 // overlaps when inference is disabled (the Figure 17 ablation) — are instead
 // forced into sequence by the physical time of their initial sources.
-func enforceOrderability(tr *trace.Trace, a *atoms, opt Options, workers int) (merged, rounds int) {
+// Each round's latency lands in the pipeline.enforce_round_ns histogram,
+// and under a recorder each round gets its own span, so slow convergence
+// (the §3.1.4 cost the scaling figures attribute) is directly visible.
+func enforceOrderability(tr *trace.Trace, a *atoms, opt Options, workers int, t *tel) (merged, rounds int) {
 	const maxRounds = 64
+	hist := t.reg.Histogram("pipeline.enforce_round_ns")
+	stage := t.cur
 	for rounds = 0; rounds < maxRounds; rounds++ {
-		a.set.CycleMerge()
-		v := a.set.View()
-		infos := buildPartInfo(tr, a, v, workers)
-		byLeap := v.PartsAtLeap()
-
-		// Overlap detection is independent per leap (each leap has its own
-		// chare-occupancy map), so leaps are scanned on the pool; per-leap
-		// results concatenated in leap order reproduce the sequential scan.
-		type pair struct{ p, q int32 }
-		perLeap := make([][]pair, len(byLeap))
-		parallelFor(len(byLeap), workers, func(li int) {
-			parts := byLeap[li]
-			seen := make(map[trace.ChareID]int32)
-			dedup := make(map[int64]struct{})
-			var found []pair
-			for _, pi := range parts {
-				for _, c := range v.Parts[pi].Chares {
-					if other, ok := seen[c]; ok && other != pi {
-						lo, hi := other, pi
-						if lo > hi {
-							lo, hi = hi, lo
-						}
-						key := int64(lo)<<32 | int64(uint32(hi))
-						if _, dup := dedup[key]; !dup {
-							dedup[key] = struct{}{}
-							found = append(found, pair{lo, hi})
-						}
-					} else {
-						seen[c] = pi
-					}
-				}
-			}
-			perLeap[li] = found
-		})
-		var overlaps []pair
-		for _, found := range perLeap {
-			overlaps = append(overlaps, found...)
+		start := time.Now()
+		if t.rec.Enabled() {
+			t.cur = t.rec.StartSpan("enforce-round", stage, telemetry.Int("round", int64(rounds)))
 		}
-		if len(overlaps) == 0 {
+		m, done := enforceRound(tr, a, opt, workers, t)
+		merged += m
+		if t.rec.Enabled() {
+			t.rec.EndSpan(t.cur)
+			t.cur = stage
+		}
+		hist.Observe(float64(time.Since(start).Nanoseconds()))
+		if done {
 			return merged, rounds + 1
 		}
-		plan := a.set.NewMergePlan()
-		for _, ov := range overlaps {
-			p, q := &v.Parts[ov.p], &v.Parts[ov.q]
-			if p.Runtime == q.Runtime && opt.InferDependencies {
-				plan.Schedule(p.Atoms[0], q.Atoms[0])
-				continue
-			}
-			first, second := ov.p, ov.q
-			if partLater(tr, v, infos, ov.p, ov.q) {
-				first, second = ov.q, ov.p
-			}
-			a.set.AddEdge(v.Parts[first].Atoms[0], v.Parts[second].Atoms[0])
-		}
-		merged += plan.Apply()
 	}
 	// Safety valve: merge any remaining overlaps so the pipeline terminates.
 	a.set.CycleMerge()
 	return merged, maxRounds
+}
+
+// enforceRound runs one orderability round: detect same-leap chare
+// overlaps, merge or sequence them. done reports that no overlaps remain.
+func enforceRound(tr *trace.Trace, a *atoms, opt Options, workers int, t *tel) (merged int, done bool) {
+	a.set.CycleMerge()
+	v := a.set.View()
+	infos := buildPartInfo(tr, a, v, workers, t)
+	byLeap := v.PartsAtLeap()
+
+	// Overlap detection is independent per leap (each leap has its own
+	// chare-occupancy map), so leaps are scanned on the pool; per-leap
+	// results concatenated in leap order reproduce the sequential scan.
+	type pair struct{ p, q int32 }
+	perLeap := make([][]pair, len(byLeap))
+	t.parallelFor("overlap-scan", len(byLeap), workers, func(li int) {
+		parts := byLeap[li]
+		seen := make(map[trace.ChareID]int32)
+		dedup := make(map[int64]struct{})
+		var found []pair
+		for _, pi := range parts {
+			for _, c := range v.Parts[pi].Chares {
+				if other, ok := seen[c]; ok && other != pi {
+					lo, hi := other, pi
+					if lo > hi {
+						lo, hi = hi, lo
+					}
+					key := int64(lo)<<32 | int64(uint32(hi))
+					if _, dup := dedup[key]; !dup {
+						dedup[key] = struct{}{}
+						found = append(found, pair{lo, hi})
+					}
+				} else {
+					seen[c] = pi
+				}
+			}
+		}
+		perLeap[li] = found
+	})
+	var overlaps []pair
+	for _, found := range perLeap {
+		overlaps = append(overlaps, found...)
+	}
+	if len(overlaps) == 0 {
+		return 0, true
+	}
+	plan := a.set.NewMergePlan()
+	for _, ov := range overlaps {
+		p, q := &v.Parts[ov.p], &v.Parts[ov.q]
+		if p.Runtime == q.Runtime && opt.InferDependencies {
+			plan.Schedule(p.Atoms[0], q.Atoms[0])
+			continue
+		}
+		first, second := ov.p, ov.q
+		if partLater(tr, v, infos, ov.p, ov.q) {
+			first, second = ov.q, ov.p
+		}
+		a.set.AddEdge(v.Parts[first].Atoms[0], v.Parts[second].Atoms[0])
+	}
+	return plan.Apply(), false
 }
 
 // partLater reports whether partition p starts later than q, comparing the

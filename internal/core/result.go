@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"charmtrace/internal/graph"
+	"charmtrace/internal/telemetry"
 	"charmtrace/internal/trace"
 )
 
@@ -58,7 +59,10 @@ type Structure struct {
 
 // Stats instruments the extraction pipeline for the scaling experiments
 // (Figures 18 and 19, which attribute the extra cost at high chare counts to
-// the §3.1.4 merge).
+// the §3.1.4 merge). It is a view over the pipeline's telemetry registry:
+// the stage loop records every measurement into Telemetry (the single
+// bookkeeping path), and the named fields are materialized from it when
+// extraction finishes.
 type Stats struct {
 	InitialPartitions int
 	// MergedBy counts partitions eliminated per pipeline stage.
@@ -70,6 +74,42 @@ type Stats struct {
 	// Parallelism is the effective worker count the extraction ran with
 	// (Options.Workers() at Extract time).
 	Parallelism int
+	// Telemetry is the pipeline's metrics registry: everything above plus
+	// the enforce-round latency histogram, events-scanned counters, and —
+	// when a span recorder was attached — per-stage runtime.MemStats
+	// deltas. Export renders it as the versioned -stats-json schema.
+	Telemetry *telemetry.Registry
+}
+
+// statsFromRegistry materializes the Stats view from the registry the
+// pipeline recorded into.
+func statsFromRegistry(reg *telemetry.Registry, workers int) Stats {
+	snap := reg.Snapshot()
+	st := Stats{
+		MergedBy:          make(map[string]int),
+		StageTime:         make(map[string]time.Duration),
+		InitialPartitions: int(snap.Gauges["pipeline.initial_partitions"]),
+		EnforceRounds:     int(snap.Gauges["pipeline.enforce_rounds"]),
+		Parallelism:       workers,
+		Telemetry:         reg,
+	}
+	for k, v := range snap.Counters {
+		if name, ok := strings.CutPrefix(k, telemetry.StageMergedPrefix); ok {
+			st.MergedBy[name] = int(v)
+		}
+		if name, ok := strings.CutPrefix(k, telemetry.StageNSPrefix); ok {
+			st.StageTime[name] = time.Duration(v)
+		}
+	}
+	return st
+}
+
+// Export renders the pipeline telemetry as the versioned machine-readable
+// stats schema (the -stats-json payload for a single extraction).
+func (st *Stats) Export(tool string) *telemetry.StatsExport {
+	e := telemetry.ExportRegistry(st.Telemetry, tool, StageOrder)
+	e.Parallelism = st.Parallelism
+	return e
 }
 
 // StageOrder lists the pipeline stages in execution order, for reporting.
@@ -88,25 +128,41 @@ var StageOrder = []string{
 
 // TimingReport formats the per-stage wall times (and merge counts) in
 // pipeline order — the observable behind the -timing flag of cmd/structure
-// and cmd/chmetrics. Stages that did not run are omitted.
+// and cmd/chmetrics. Stages that did not run are omitted; stages that ran
+// but were not timed (partial maps, e.g. Stats assembled outside Extract)
+// are listed but excluded from the total, with an explicit note so the
+// total is never silently short. The enforce-orderability line reports its
+// round count alongside the merge count.
 func (st *Stats) TimingReport() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "stage timings (parallelism %d):\n", st.Parallelism)
 	var total time.Duration
+	untimed := 0
 	for _, name := range StageOrder {
 		d, timed := st.StageTime[name]
 		merged, didMerge := st.MergedBy[name]
 		if !timed && !didMerge {
 			continue
 		}
-		total += d
+		if timed {
+			total += d
+		} else {
+			untimed++
+		}
 		fmt.Fprintf(&b, "  %-22s %12v", name, d)
 		if merged > 0 {
 			fmt.Fprintf(&b, "   merged %d", merged)
 		}
+		if name == "enforce-orderability" && st.EnforceRounds > 0 {
+			fmt.Fprintf(&b, "   rounds %d", st.EnforceRounds)
+		}
 		b.WriteByte('\n')
 	}
-	fmt.Fprintf(&b, "  %-22s %12v\n", "total", total)
+	fmt.Fprintf(&b, "  %-22s %12v", "total", total)
+	if untimed > 0 {
+		fmt.Fprintf(&b, "   (%d untimed stage(s) omitted)", untimed)
+	}
+	b.WriteByte('\n')
 	return b.String()
 }
 

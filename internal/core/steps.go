@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"charmtrace/internal/partition"
+	"charmtrace/internal/telemetry"
 	"charmtrace/internal/trace"
 )
 
@@ -48,7 +49,7 @@ func newScratch(n int) *scratch {
 // assignSteps runs the ordering stage (§3.2): per-phase w-clock computation,
 // per-chare fragment reordering, local step assignment, and global offsets
 // from the phase DAG.
-func assignSteps(tr *trace.Trace, opt Options, a *atoms) *Structure {
+func assignSteps(tr *trace.Trace, opt Options, a *atoms, t *tel) *Structure {
 	v := a.set.View()
 	if !v.Acyclic() {
 		a.set.CycleMerge()
@@ -125,25 +126,44 @@ func assignSteps(tr *trace.Trace, opt Options, a *atoms) *Structure {
 	if workers == 1 && opt.Parallel {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	recording := t.rec.Enabled()
+	parent := t.cur
+	// tracedOrderPhase wraps one phase with a span on the given worker
+	// lane: per-phase spans are what expose ordering-stage imbalance (one
+	// huge phase pinning a lane while the others drain) in a self-trace.
+	tracedOrderPhase := func(pi, lane int) {
+		if recording {
+			sp := t.rec.StartSpan("order-phase", parent, telemetry.Lane(lane),
+				telemetry.Int("phase", int64(pi)),
+				telemetry.Int("atoms", int64(len(v.Parts[pi].Atoms))))
+			defer t.rec.EndSpan(sp)
+		}
+		orderPhase(pi)
+	}
 	if workers > 1 && len(v.Parts) > 1 {
 		var wg sync.WaitGroup
-		sem := make(chan struct{}, workers)
+		// The semaphore slots double as worker-lane numbers, so each
+		// phase's span lands on the lane of the worker that ran it.
+		sem := make(chan int, workers)
+		for lane := 1; lane <= workers; lane++ {
+			sem <- lane
+		}
 		for pi := range v.Parts {
 			pi := pi
 			wg.Add(1)
-			sem <- struct{}{}
+			lane := <-sem
 			go func() {
 				defer func() {
-					<-sem
+					sem <- lane
 					wg.Done()
 				}()
-				orderPhase(pi)
+				tracedOrderPhase(pi, lane)
 			}()
 		}
 		wg.Wait()
 	} else {
 		for pi := range v.Parts {
-			orderPhase(pi)
+			tracedOrderPhase(pi, 1)
 		}
 	}
 

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"charmtrace/internal/telemetry"
+	"charmtrace/internal/tracefile"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the telemetry golden files")
+
+// goldenStats extracts the fixed jacobi-2x2 fixture at parallelism 1 and
+// masks the nondeterministic measurements (wall times, latency histograms)
+// so what remains — stage set, merge counts, gauges, schema shape — is
+// exact.
+func goldenStats(t *testing.T) *Structure {
+	t.Helper()
+	tr, err := tracefile.ReadFile(filepath.Join("..", "tracefile", "testdata", "jacobi-2x2.trace.bin"))
+	if err != nil {
+		t.Fatalf("read fixture: %v", err)
+	}
+	opt := DefaultOptions()
+	opt.Parallelism = 1
+	s, err := Extract(tr, opt)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	return s
+}
+
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch (run with -update after intended changes)\n--- got ---\n%s--- want ---\n%s",
+			filepath.Base(path), got, want)
+	}
+}
+
+// TestTimingReportGolden locks the rendered TimingReport shape: stage names,
+// order, merge counts, round counts and the total line, with every duration
+// masked to zero.
+func TestTimingReportGolden(t *testing.T) {
+	s := goldenStats(t)
+	for k := range s.Stats.StageTime {
+		s.Stats.StageTime[k] = 0
+	}
+	checkGolden(t, filepath.Join("testdata", "timing_report.golden"), []byte(s.Stats.TimingReport()))
+}
+
+// TestStatsExportGolden locks the versioned -stats-json schema over the same
+// fixture: field names, stage table, counters and gauges, with durations
+// zeroed, histogram latencies reduced to their (deterministic) counts, and
+// the host's GOMAXPROCS masked. The export must also round-trip through the
+// schema reader.
+func TestStatsExportGolden(t *testing.T) {
+	s := goldenStats(t)
+	e := s.Stats.Export("core-test")
+	e.GoMaxProcs = 1
+	for i := range e.Stages {
+		e.Stages[i].DurationNS = 0
+	}
+	for k, h := range e.Histograms {
+		h.Sum, h.Min, h.Max, h.Buckets = 0, 0, 0, nil
+		e.Histograms[k] = h
+	}
+	var buf bytes.Buffer
+	if err := e.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := telemetry.ReadStats(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("export does not round-trip: %v", err)
+	}
+	checkGolden(t, filepath.Join("testdata", "stats_export.golden.json"), buf.Bytes())
+}

@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// ChromeEvent is one entry of the Chrome trace-event format (the JSON-array
+// flavour), loadable by Perfetto (ui.perfetto.dev) and chrome://tracing.
+// Span exports use complete events (Ph "X", with Dur); metadata events
+// (Ph "M") name the process and threads.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromePID is the single process id used by self-trace exports.
+const chromePID = 1
+
+// ChromeEvents renders the collector's spans as trace events: one complete
+// ("X") event per span with microsecond timestamps, plus thread-name
+// metadata so Perfetto labels the root row with its span name and worker
+// rows as "worker N".
+func (c *Collector) ChromeEvents() []ChromeEvent {
+	spans := c.Spans()
+	events := make([]ChromeEvent, 0, len(spans)+8)
+
+	// Thread names: the first span seen on a lane base names the row after
+	// itself (the run's root); worker lanes are named by offset.
+	names := map[int64]string{}
+	for _, sp := range spans {
+		if _, ok := names[sp.TID]; ok {
+			continue
+		}
+		if off := sp.TID % laneStride; off != 0 {
+			names[sp.TID] = fmt.Sprintf("worker %d", off)
+		} else {
+			names[sp.TID] = sp.Name
+		}
+	}
+	events = append(events, ChromeEvent{
+		Name: "process_name", Ph: "M", PID: chromePID,
+		Args: map[string]any{"name": "charmtrace"},
+	})
+	tids := make([]int64, 0, len(names))
+	for tid := range names {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, tid := range tids {
+		events = append(events, ChromeEvent{
+			Name: "thread_name", Ph: "M", PID: chromePID, TID: tid,
+			Args: map[string]any{"name": names[tid]},
+		})
+	}
+
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	for _, sp := range spans {
+		ev := ChromeEvent{
+			Name: sp.Name, Cat: "pipeline", Ph: "X",
+			TS:  float64(sp.Start.Nanoseconds()) / 1e3,
+			Dur: float64(sp.Dur.Nanoseconds()) / 1e3,
+			PID: chromePID, TID: sp.TID,
+		}
+		if len(sp.Attrs) > 0 {
+			ev.Args = make(map[string]any, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				if a.isInt {
+					ev.Args[a.Key] = a.Int
+				} else {
+					ev.Args[a.Key] = a.Str
+				}
+			}
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// WriteChromeTrace writes the spans as a Chrome trace-event JSON array.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(c.ChromeEvents())
+}
+
+// WriteChromeTraceFile writes the trace-event JSON to a file.
+func (c *Collector) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	if err := c.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	return nil
+}
+
+// ReadChromeTrace parses a trace-event JSON array (the format this package
+// writes). Used by tests and available for tooling that post-processes
+// self-traces.
+func ReadChromeTrace(r io.Reader) ([]ChromeEvent, error) {
+	var events []ChromeEvent
+	if err := json.NewDecoder(r).Decode(&events); err != nil {
+		return nil, fmt.Errorf("telemetry: chrome trace: %w", err)
+	}
+	for i, ev := range events {
+		switch ev.Ph {
+		case "X", "B", "E", "M", "i", "C":
+		default:
+			return nil, fmt.Errorf("telemetry: chrome trace: event %d has unsupported phase %q", i, ev.Ph)
+		}
+	}
+	return events, nil
+}

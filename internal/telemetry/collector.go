@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// laneStride separates the thread-id ranges of concurrent runs: root span k
+// gets Chrome-trace tid base k*laneStride, and its worker lanes occupy
+// base+1..base+laneStride-1. A batch of concurrent extractions therefore
+// renders as disjoint groups of timeline rows.
+const laneStride = 1024
+
+// Span is one recorded interval: a pipeline stage, an
+// enforce-orderability round, a worker's chunk of a parallel sweep, or an
+// ordered phase.
+type Span struct {
+	ID     SpanID
+	Parent SpanID
+	Name   string
+	// Start is the offset from the collector's epoch; Dur is negative while
+	// the span is open.
+	Start time.Duration
+	Dur   time.Duration
+	// TID is the Chrome-trace thread id: the root's lane base plus the
+	// span's worker lane (spans without an explicit lane inherit the
+	// parent's TID).
+	TID   int64
+	Attrs []Attr
+}
+
+// Collector is the recording Recorder: it retains every span (with
+// monotonic timestamps relative to its creation) for export as a Chrome
+// trace-event file. Safe for concurrent use.
+type Collector struct {
+	t0    time.Time
+	mu    sync.Mutex
+	spans []Span
+	roots int64
+}
+
+// NewCollector returns a Collector whose epoch is now.
+func NewCollector() *Collector { return &Collector{t0: time.Now()} }
+
+// Enabled reports true: the collector records.
+func (c *Collector) Enabled() bool { return true }
+
+// StartSpan records a span opening. The reserved Lane attribute, if
+// present, selects the worker lane; other attributes are retained verbatim.
+func (c *Collector) StartSpan(name string, parent SpanID, attrs ...Attr) SpanID {
+	start := time.Since(c.t0)
+	lane := int64(-1)
+	kept := attrs
+	for i, a := range attrs {
+		if a.Key == laneKey {
+			lane = a.Int
+			// attrs has a fresh backing array per variadic call site, so
+			// dropping the lane in place is safe.
+			kept = append(attrs[:i], attrs[i+1:]...)
+			break
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var base int64
+	switch {
+	case parent >= 0 && int(parent) < len(c.spans):
+		base = c.spans[parent].TID - c.spans[parent].TID%laneStride
+	default:
+		parent = NoSpan
+		base = c.roots * laneStride
+		c.roots++
+	}
+	tid := base
+	switch {
+	case lane >= 0:
+		if lane >= laneStride {
+			lane = laneStride - 1
+		}
+		tid = base + lane
+	case parent != NoSpan:
+		tid = c.spans[parent].TID
+	}
+	id := SpanID(len(c.spans))
+	c.spans = append(c.spans, Span{
+		ID: id, Parent: parent, Name: name,
+		Start: start, Dur: -1, TID: tid, Attrs: kept,
+	})
+	return id
+}
+
+// EndSpan records a span closing. Unknown and NoSpan ids are ignored.
+func (c *Collector) EndSpan(id SpanID) {
+	end := time.Since(c.t0)
+	c.mu.Lock()
+	if id >= 0 && int(id) < len(c.spans) && c.spans[id].Dur < 0 {
+		c.spans[id].Dur = end - c.spans[id].Start
+	}
+	c.mu.Unlock()
+}
+
+// Spans returns a copy of every recorded span. Spans still open are
+// reported as ending now, so an export mid-run stays well-formed.
+func (c *Collector) Spans() []Span {
+	now := time.Since(c.t0)
+	c.mu.Lock()
+	out := make([]Span, len(c.spans))
+	copy(out, c.spans)
+	c.mu.Unlock()
+	for i := range out {
+		if out[i].Dur < 0 {
+			out[i].Dur = now - out[i].Start
+		}
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// StatsSchemaVersion is the current -stats-json schema. Bump it on any
+// incompatible change so BENCH trajectories and run-diffing tools can tell
+// which fields to trust.
+const StatsSchemaVersion = 1
+
+// StatsExport is the machine-readable run report behind -stats-json: the
+// registry's metrics plus a per-stage table assembled from the pipeline's
+// reserved metric names. The schema is versioned and round-trips through
+// ReadStatsFile.
+type StatsExport struct {
+	SchemaVersion int               `json:"schema_version"`
+	Tool          string            `json:"tool"`
+	Labels        map[string]string `json:"labels,omitempty"`
+	GoMaxProcs    int               `json:"go_max_procs"`
+	// Parallelism is the extraction worker count, when a single extraction
+	// is being reported (0 for aggregate, multi-run exports).
+	Parallelism int `json:"parallelism,omitempty"`
+	// Stages is the pipeline-stage table in execution order.
+	Stages []StageStats `json:"stages,omitempty"`
+	// Counters/Gauges/Histograms hold every metric not folded into Stages.
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	// SpanCount is the number of spans the run recorded (0 when only
+	// metrics were collected).
+	SpanCount int `json:"span_count,omitempty"`
+}
+
+// StageStats is one pipeline stage's row in the export.
+type StageStats struct {
+	Name       string `json:"name"`
+	DurationNS int64  `json:"duration_ns"`
+	Merged     int64  `json:"merged"`
+	// AllocBytes/Mallocs are runtime.MemStats deltas across the stage and
+	// HeapBytes the live heap after it — recorded only when a span recorder
+	// was attached (MemStats reads are not free).
+	AllocBytes int64 `json:"alloc_bytes,omitempty"`
+	Mallocs    int64 `json:"mallocs,omitempty"`
+	HeapBytes  int64 `json:"heap_bytes,omitempty"`
+}
+
+// Reserved metric-name prefixes the pipeline records per stage; the
+// exporter folds them into the Stages table.
+const (
+	StageNSPrefix     = "pipeline.stage_ns."
+	StageMergedPrefix = "pipeline.merged."
+	StageAllocPrefix  = "mem.alloc_bytes."
+	StageMallocPrefix = "mem.mallocs."
+	StageHeapPrefix   = "mem.heap_alloc."
+)
+
+// ExportRegistry builds the versioned export from a registry snapshot.
+// stageOrder lists pipeline stages in execution order; stages with no
+// recorded metrics are omitted. Metrics matching the reserved per-stage
+// prefixes become Stages rows; everything else lands in the generic maps.
+func ExportRegistry(reg *Registry, tool string, stageOrder []string) *StatsExport {
+	snap := reg.Snapshot()
+	e := &StatsExport{
+		SchemaVersion: StatsSchemaVersion,
+		Tool:          tool,
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+	}
+	for _, name := range stageOrder {
+		ns, timed := snap.Counters[StageNSPrefix+name]
+		merged, didMerge := snap.Counters[StageMergedPrefix+name]
+		if !timed && !didMerge {
+			continue
+		}
+		st := StageStats{Name: name, DurationNS: ns, Merged: merged}
+		st.AllocBytes = snap.Counters[StageAllocPrefix+name]
+		st.Mallocs = snap.Counters[StageMallocPrefix+name]
+		st.HeapBytes = int64(snap.Gauges[StageHeapPrefix+name])
+		e.Stages = append(e.Stages, st)
+	}
+	stageMetric := func(k string) bool {
+		for _, p := range []string{StageNSPrefix, StageMergedPrefix, StageAllocPrefix, StageMallocPrefix} {
+			if strings.HasPrefix(k, p) {
+				return true
+			}
+		}
+		return false
+	}
+	for k, v := range snap.Counters {
+		if stageMetric(k) {
+			continue
+		}
+		if e.Counters == nil {
+			e.Counters = make(map[string]int64)
+		}
+		e.Counters[k] = v
+	}
+	for k, v := range snap.Gauges {
+		if strings.HasPrefix(k, StageHeapPrefix) {
+			continue
+		}
+		if e.Gauges == nil {
+			e.Gauges = make(map[string]float64)
+		}
+		e.Gauges[k] = v
+	}
+	if len(snap.Histograms) > 0 {
+		e.Histograms = snap.Histograms
+	}
+	return e
+}
+
+// Write encodes the export as indented JSON.
+func (e *StatsExport) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}
+
+// WriteFile writes the export to a file.
+func (e *StatsExport) WriteFile(path string) error {
+	return writeJSONFile(path, e.Write)
+}
+
+// ReadStats decodes and validates a stats export.
+func ReadStats(r io.Reader) (*StatsExport, error) {
+	var e StatsExport
+	if err := json.NewDecoder(r).Decode(&e); err != nil {
+		return nil, fmt.Errorf("telemetry: stats: %w", err)
+	}
+	if e.SchemaVersion != StatsSchemaVersion {
+		return nil, fmt.Errorf("telemetry: stats: schema version %d, want %d", e.SchemaVersion, StatsSchemaVersion)
+	}
+	return &e, nil
+}
+
+// ReadStatsFile reads a -stats-json file back through the schema type.
+func ReadStatsFile(path string) (*StatsExport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	defer f.Close()
+	return ReadStats(f)
+}
+
+// BenchSchemaVersion versions the BENCH_extract.json format.
+const BenchSchemaVersion = 1
+
+// BenchExport is the machine-readable benchmark report written by
+// `go run ./cmd/experiments -bench-json`: the repo's perf trajectory in a
+// diffable form.
+type BenchExport struct {
+	SchemaVersion int           `json:"schema_version"`
+	Tool          string        `json:"tool"`
+	GoMaxProcs    int           `json:"go_max_procs"`
+	Benchmarks    []BenchResult `json:"benchmarks"`
+}
+
+// BenchResult is one benchmark's measurement.
+type BenchResult struct {
+	Name        string `json:"name"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64  `json:"allocs_per_op,omitempty"`
+}
+
+// NewBenchExport returns an empty export for the named tool at the current
+// schema version.
+func NewBenchExport(tool string) *BenchExport {
+	return &BenchExport{
+		SchemaVersion: BenchSchemaVersion,
+		Tool:          tool,
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+	}
+}
+
+// Add appends one measurement. It takes plain numbers rather than a
+// *testing.BenchmarkResult so this package stays clear of the testing
+// import; callers pass r.N, r.NsPerOp(), r.AllocedBytesPerOp(),
+// r.AllocsPerOp().
+func (e *BenchExport) Add(name string, iterations int, nsPerOp, bytesPerOp, allocsPerOp int64) {
+	e.Benchmarks = append(e.Benchmarks, BenchResult{
+		Name:        name,
+		Iterations:  iterations,
+		NsPerOp:     nsPerOp,
+		BytesPerOp:  bytesPerOp,
+		AllocsPerOp: allocsPerOp,
+	})
+}
+
+// Write encodes the export as indented JSON.
+func (e *BenchExport) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}
+
+// WriteFile writes the export to a file.
+func (e *BenchExport) WriteFile(path string) error {
+	return writeJSONFile(path, e.Write)
+}
+
+// ReadBenchFile reads a -bench-json file back through the schema type.
+func ReadBenchFile(path string) (*BenchExport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	defer f.Close()
+	var e BenchExport
+	if err := json.NewDecoder(f).Decode(&e); err != nil {
+		return nil, fmt.Errorf("telemetry: bench: %w", err)
+	}
+	if e.SchemaVersion != BenchSchemaVersion {
+		return nil, fmt.Errorf("telemetry: bench: schema version %d, want %d", e.SchemaVersion, BenchSchemaVersion)
+	}
+	return &e, nil
+}
+
+// writeJSONFile creates path and streams write into it.
+func writeJSONFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	return nil
+}
