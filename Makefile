@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-overhead fmt
+.PHONY: build test verify bench bench-overhead fmt serve
 
 build:
 	$(GO) build ./...
@@ -9,10 +9,12 @@ test:
 	$(GO) test ./...
 
 # verify is the tier-1 recipe (see README "Testing" and
-# .claude/skills/verify/SKILL.md).
+# .claude/skills/verify/SKILL.md), plus a -race leg over the concurrent
+# serving packages (result cache singleflight, HTTP handlers).
 verify: build test
 	$(GO) vet ./...
 	$(GO) test -race ./internal/core ./internal/partition ./internal/tracefile
+	$(GO) test -race ./internal/resultcache ./internal/server
 
 # bench regenerates BENCH_extract.json, the machine-readable perf
 # trajectory (merge-tree extraction + ExtractBatch at parallelism 1/2/4).
@@ -22,6 +24,11 @@ bench:
 # bench-overhead checks the telemetry off/nop/recording cost (DESIGN.md §3b).
 bench-overhead:
 	$(GO) test -bench 'BenchmarkTelemetryOverhead' -run '^$$' -benchtime 30x .
+
+# serve starts the charmd analysis service on :8080 with its cache in
+# .charmd-cache/ (gitignored). See README "Serving".
+serve:
+	$(GO) run ./cmd/charmd -addr :8080 -data-dir .charmd-cache
 
 fmt:
 	gofmt -l -w .

@@ -1,0 +1,97 @@
+// Command charmd is the long-running trace-analysis service: upload Charm++
+// or message-passing traces once, then query recovered logical structure,
+// per-chare metrics and structure diffs interactively. Every analysis
+// response is served through a content-addressed result cache (memory LRU +
+// on-disk store + request coalescing), so repeated queries never re-run the
+// extraction pipeline and results survive restarts.
+//
+// Usage:
+//
+//	charmd -addr :8080 -data-dir .charmd-cache
+//
+//	curl -sS --data-binary @jacobi.trace localhost:8080/v1/traces
+//	curl -sS localhost:8080/v1/traces/<digest>/structure
+//	curl -sS localhost:8080/v1/traces/<digest>/metrics
+//	curl -sS 'localhost:8080/v1/structdiff?a=<d1>&b=<d2>'
+//	curl -sS localhost:8080/debug/stats
+//
+// SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
+// requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"charmtrace/internal/cli"
+	"charmtrace/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dataDir := flag.String("data-dir", ".charmd-cache", "persistent state: uploaded traces and the on-disk result cache ('' = memory only)")
+	memEntries := flag.Int("mem-entries", 0, "in-memory result-cache entries (0 = default, negative = disable)")
+	maxUpload := flag.Int64("max-upload", 256<<20, "maximum trace upload size in bytes")
+	reqTimeout := flag.Duration("request-timeout", 60*time.Second, "per-request analysis timeout")
+	parallelism := flag.Int("parallelism", 0, "extraction worker count (0 = all cores; responses are identical at any value)")
+	selfTrace := flag.Bool("self-trace", false, "record extraction spans and serve them at /debug/selftrace (unbounded memory; debugging only)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	tele := cli.NewProfiling("charmd", flag.CommandLine)
+	flag.Parse()
+	if err := tele.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "charmd:", err)
+		os.Exit(1)
+	}
+
+	srv, err := server.New(server.Config{
+		DataDir:        *dataDir,
+		MaxMemEntries:  *memEntries,
+		MaxUploadBytes: *maxUpload,
+		RequestTimeout: *reqTimeout,
+		Parallelism:    *parallelism,
+		SelfTrace:      *selfTrace,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "charmd:", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("charmd: serving on %s (data dir %q, parallelism %d)\n", *addr, *dataDir, *parallelism)
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "charmd: signal received, draining in-flight requests")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "charmd: shutdown:", err)
+		}
+		srv.Shutdown(shutdownCtx)
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "charmd:", err)
+			os.Exit(1)
+		}
+	}
+	if err := tele.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "charmd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,14 +1,19 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"fmt"
+	"os"
 	"testing"
 
 	"charmtrace/internal/apps/jacobi"
 	"charmtrace/internal/apps/mergetree"
 	"charmtrace/internal/core"
+	"charmtrace/internal/resultcache"
 	"charmtrace/internal/telemetry"
 	"charmtrace/internal/trace"
+	"charmtrace/internal/tracefile"
 )
 
 // runBenchJSON runs the extraction benchmark suite behind -bench-json and
@@ -58,9 +63,92 @@ func runBenchJSON(path string) error {
 		e.Add(name, r.N, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
 		fmt.Printf(" %12d ns/op  (%d iterations)\n", r.NsPerOp(), r.N)
 	}
+	if err := runServeBench(e); err != nil {
+		return err
+	}
 	if err := e.WriteFile(path); err != nil {
 		return err
 	}
 	fmt.Printf("benchmark results written to %s\n", path)
+	return nil
+}
+
+// runServeBench measures the content-addressed result cache behind
+// cmd/charmd in its three serving regimes: a cold miss (full extraction
+// plus the disk write), a memory hit (the steady state of an interactive
+// session), and a disk hit (the first query after a restart, decoding the
+// stored structure instead of re-extracting). The hit/miss gap is the
+// entire value proposition of the cache, so it is recorded alongside the
+// extraction benchmarks in BENCH_extract.json.
+func runServeBench(e *telemetry.BenchExport) error {
+	tr := jacobi.MustTrace(jacobi.DefaultConfig())
+	var buf bytes.Buffer
+	if err := tracefile.WriteBinary(&buf, tr); err != nil {
+		return err
+	}
+	digest := tracefile.DigestBytes(buf.Bytes())
+	opt := core.DefaultOptions()
+	ctx := context.Background()
+
+	run := func(name string, bench func(b *testing.B)) {
+		fmt.Printf("  %-28s", name)
+		r := testing.Benchmark(bench)
+		e.Add(name, r.N, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+		fmt.Printf(" %12d ns/op  (%d iterations)\n", r.NsPerOp(), r.N)
+	}
+
+	run("Serve/miss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir, err := os.MkdirTemp("", "charmd-bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := resultcache.New(resultcache.Config{Dir: dir})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := c.Get(ctx, digest, tr, opt); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			os.RemoveAll(dir)
+			b.StartTimer()
+		}
+	})
+
+	dir, err := os.MkdirTemp("", "charmd-bench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	warm, err := resultcache.New(resultcache.Config{Dir: dir})
+	if err != nil {
+		return err
+	}
+	if _, err := warm.Get(ctx, digest, tr, opt); err != nil {
+		return err
+	}
+	run("Serve/hit-mem", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := warm.Get(ctx, digest, tr, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run("Serve/hit-disk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// A fresh cache over the primed directory: cold memory, warm disk
+			// — the post-restart regime.
+			c, err := resultcache.New(resultcache.Config{Dir: dir})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.Get(ctx, digest, tr, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	return nil
 }

@@ -2,14 +2,14 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"charmtrace/internal/trace"
 )
 
-// ExtractBatch recovers the logical structure of many traces concurrently,
-// fanning the extractions over opt.Workers() goroutines. Results are
-// returned in input order and each is byte-identical to what a lone
-// Extract(traces[i], opt) returns, so multi-run comparison workflows
+// ExtractBatch recovers the logical structure of many traces concurrently.
+// Results are returned in input order and each is byte-identical to what a
+// lone Extract(traces[i], opt) returns, so multi-run comparison workflows
 // (seed-invariance studies, MPI-vs-Charm++ correspondence) can batch their
 // analyses without changing their output.
 //
@@ -18,10 +18,17 @@ import (
 // reads the trace. If any trace fails, ExtractBatch returns nil and the
 // error of the lowest-indexed failure, annotated with its position.
 //
-// The worker budget applies at both levels: the batch fan-out and each
-// extraction's internal stages each use opt.Workers(), so a batch may
-// transiently run more goroutines than workers; the Go scheduler multiplexes
-// them onto GOMAXPROCS threads, and CPU-bound work stays bounded by that.
+// The worker budget opt.Workers() is split between the two levels instead
+// of applied at both: one pool of min(workers, len(traces)) goroutines is
+// started once and pulls trace indices from a shared channel, and each
+// extraction runs its internal stages at workers/poolSize. Earlier versions
+// spun up a fresh full-width pool inside every Extract call on top of a
+// full-width batch fan-out, which both oversubscribed the CPU (up to
+// workers² transient goroutines) and paid the pool start/stop cost once per
+// trace per stage; on small traces that overhead made batching slower than
+// the serial loop. A pool of one (workers == 1, or a single trace) runs
+// inline on the calling goroutine with the full budget handed to the inner
+// stages, reproducing plain sequential Extract calls exactly.
 func ExtractBatch(traces []*trace.Trace, opt Options) ([]*Structure, error) {
 	out := make([]*Structure, len(traces))
 	if len(traces) == 0 {
@@ -37,10 +44,55 @@ func ExtractBatch(traces []*trace.Trace, opt Options) ([]*Structure, error) {
 			}
 		}
 	}
+
+	workers := opt.Workers()
+	pool := workers
+	if pool > len(traces) {
+		pool = len(traces)
+	}
+	inner := opt
+	inner.Parallel = false
+	inner.Parallelism = workers / pool
+	if inner.Parallelism < 1 {
+		inner.Parallelism = 1
+	}
+
 	errs := make([]error, len(traces))
-	parallelFor(len(traces), opt.Workers(), func(i int) {
-		out[i], errs[i] = Extract(traces[i], opt)
-	})
+	extractInto := func(i int) {
+		out[i], errs[i] = Extract(traces[i], inner)
+		if out[i] != nil {
+			// The inner worker split is an execution detail; record the
+			// caller's options, exactly as a lone Extract would.
+			out[i].Opts = opt
+		}
+	}
+
+	if pool <= 1 {
+		for i := range traces {
+			extractInto(i)
+		}
+	} else {
+		// One long-lived pool for the whole batch: workers pull indices from
+		// a channel, so an early-finishing worker moves on to the next trace
+		// instead of idling behind a static partition.
+		work := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(pool)
+		for w := 0; w < pool; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					extractInto(i)
+				}
+			}()
+		}
+		for i := range traces {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: trace %d: %w", i, err)

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"charmtrace/internal/graph"
+	"charmtrace/internal/trace"
+)
+
+// Binary Structure codec: the persistence format behind the charmd result
+// cache. A Structure is stored without its trace (results are content-
+// addressed by trace digest, so the trace is stored and keyed separately)
+// and without Stats (per-run instrumentation, not part of the recovered
+// structure). The encoding is canonical: encoding the same Structure always
+// yields the same bytes, and the pipeline is byte-identical at every
+// Parallelism, so an Extract at any worker count round-trips through the
+// cache into exactly the bytes a fresh extraction would encode to.
+//
+//	magic "CSTR", uvarint version
+//	str opts fingerprint
+//	uvarint nEvents, uvarint nChares     (validated against the trace on decode)
+//	uvarint nPhases {
+//	    u8 runtime
+//	    uvarint nChares { varint chare }
+//	    uvarint nEvents { varint event }
+//	    varint maxLocalStep, varint offset, varint leap
+//	}
+//	DAG: nPhases x { uvarint degree { varint target } }
+//	PhaseOf, LocalStep, Step: nEvents varints each
+//	chareEvents: nChares x { uvarint len { varint event } }
+
+// structMagic opens every encoded structure.
+var structMagic = [4]byte{'C', 'S', 'T', 'R'}
+
+// StructCodecVersion is the current structure-encoding version.
+const StructCodecVersion = 1
+
+type swriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (b *swriter) u8(v uint8) {
+	if b.err == nil {
+		b.err = b.w.WriteByte(v)
+	}
+}
+func (b *swriter) uv(v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	if b.err == nil {
+		_, b.err = b.w.Write(buf[:n])
+	}
+}
+func (b *swriter) i64(v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	if b.err == nil {
+		_, b.err = b.w.Write(buf[:n])
+	}
+}
+func (b *swriter) i32(v int32) { b.i64(int64(v)) }
+func (b *swriter) str(s string) {
+	b.uv(uint64(len(s)))
+	if b.err == nil {
+		_, b.err = b.w.WriteString(s)
+	}
+}
+
+// EncodeStructure writes the structure in the binary codec. The trace is
+// not encoded; DecodeStructure reattaches one.
+func EncodeStructure(w io.Writer, s *Structure) error {
+	b := &swriter{w: bufio.NewWriter(w)}
+	if _, err := b.w.Write(structMagic[:]); err != nil {
+		return err
+	}
+	b.uv(StructCodecVersion)
+	b.str(s.Opts.Fingerprint())
+	b.uv(uint64(len(s.Step)))
+	b.uv(uint64(len(s.chareEvents)))
+	b.uv(uint64(len(s.Phases)))
+	for i := range s.Phases {
+		p := &s.Phases[i]
+		if p.Runtime {
+			b.u8(1)
+		} else {
+			b.u8(0)
+		}
+		b.uv(uint64(len(p.Chares)))
+		for _, c := range p.Chares {
+			b.i32(int32(c))
+		}
+		b.uv(uint64(len(p.Events)))
+		for _, e := range p.Events {
+			b.i32(int32(e))
+		}
+		b.i32(p.MaxLocalStep)
+		b.i32(p.Offset)
+		b.i32(p.Leap)
+	}
+	for i := range s.Phases {
+		adj := s.DAG.Adj[i]
+		b.uv(uint64(len(adj)))
+		for _, v := range adj {
+			b.i32(v)
+		}
+	}
+	for _, v := range s.PhaseOf {
+		b.i32(v)
+	}
+	for _, v := range s.LocalStep {
+		b.i32(v)
+	}
+	for _, v := range s.Step {
+		b.i32(v)
+	}
+	for _, evs := range s.chareEvents {
+		b.uv(uint64(len(evs)))
+		for _, e := range evs {
+			b.i32(int32(e))
+		}
+	}
+	if b.err != nil {
+		return fmt.Errorf("core: encode: %w", b.err)
+	}
+	return b.w.Flush()
+}
+
+type sreader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (b *sreader) u8() uint8 {
+	if b.err != nil {
+		return 0
+	}
+	v, err := b.r.ReadByte()
+	b.err = err
+	return v
+}
+func (b *sreader) uv() uint64 {
+	if b.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(b.r)
+	b.err = err
+	return v
+}
+func (b *sreader) i64() int64 {
+	if b.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(b.r)
+	b.err = err
+	return v
+}
+func (b *sreader) i32() int32 {
+	v := b.i64()
+	if b.err == nil && (v > math.MaxInt32 || v < math.MinInt32) {
+		b.err = fmt.Errorf("varint %d exceeds int32", v)
+	}
+	return int32(v)
+}
+func (b *sreader) count(what string, max uint64) int {
+	n := b.uv()
+	if b.err == nil && n > max {
+		b.err = fmt.Errorf("%s count %d too large", what, n)
+	}
+	return int(n)
+}
+func (b *sreader) str() string {
+	n := b.count("string", 1<<20)
+	if b.err != nil {
+		return ""
+	}
+	buf := make([]byte, n)
+	_, b.err = io.ReadFull(b.r, buf)
+	return string(buf)
+}
+
+// DecodeStructure parses an encoded structure and reattaches tr, which must
+// be the indexed trace the structure was extracted from (the caller's
+// content-addressing guarantees this; event and chare counts are validated
+// as a corruption check). The decoded structure carries no Stats — timing
+// belongs to the extraction run, not the cached result — and its Opts hold
+// only what the fingerprint preserves; use Fingerprint (returned here) to
+// key semantics, not the Opts field.
+func DecodeStructure(r io.Reader, tr *trace.Trace) (*Structure, string, error) {
+	b := &sreader{r: bufio.NewReader(r)}
+	var magic [4]byte
+	if _, err := io.ReadFull(b.r, magic[:]); err != nil {
+		return nil, "", fmt.Errorf("core: decode: %w", err)
+	}
+	if magic != structMagic {
+		return nil, "", fmt.Errorf("core: decode: bad magic %q", magic[:])
+	}
+	if v := b.uv(); b.err == nil && v != StructCodecVersion {
+		return nil, "", fmt.Errorf("core: decode: unsupported version %d", v)
+	}
+	fp := b.str()
+	nEvents := b.count("event", uint64(len(tr.Events)))
+	nChares := b.count("chare", uint64(len(tr.Chares)))
+	if b.err == nil && (nEvents != len(tr.Events) || nChares != len(tr.Chares)) {
+		return nil, "", fmt.Errorf("core: decode: structure is for %d events/%d chares, trace has %d/%d",
+			nEvents, nChares, len(tr.Events), len(tr.Chares))
+	}
+	s := &Structure{Trace: tr}
+	nPhases := b.count("phase", uint64(nEvents)+1)
+	s.Phases = make([]Phase, 0, nPhases)
+	for i := 0; i < nPhases && b.err == nil; i++ {
+		p := Phase{ID: int32(i), Runtime: b.u8() != 0}
+		for j, n := 0, b.count("phase chare", uint64(nChares)); j < n && b.err == nil; j++ {
+			p.Chares = append(p.Chares, trace.ChareID(b.i32()))
+		}
+		for j, n := 0, b.count("phase event", uint64(nEvents)); j < n && b.err == nil; j++ {
+			p.Events = append(p.Events, trace.EventID(b.i32()))
+		}
+		p.MaxLocalStep = b.i32()
+		p.Offset = b.i32()
+		p.Leap = b.i32()
+		s.Phases = append(s.Phases, p)
+	}
+	s.DAG = graph.New(nPhases)
+	for i := 0; i < nPhases && b.err == nil; i++ {
+		for j, n := 0, b.count("edge", uint64(nPhases)); j < n && b.err == nil; j++ {
+			v := b.i32()
+			if b.err == nil && (v < 0 || int(v) >= nPhases) {
+				return nil, "", fmt.Errorf("core: decode: edge target %d out of range", v)
+			}
+			s.DAG.Adj[i] = append(s.DAG.Adj[i], v)
+		}
+	}
+	readPerEvent := func(what string) []int32 {
+		out := make([]int32, nEvents)
+		for i := range out {
+			out[i] = b.i32()
+		}
+		if b.err != nil && what != "" {
+			b.err = fmt.Errorf("%s: %w", what, b.err)
+		}
+		return out
+	}
+	s.PhaseOf = readPerEvent("phase-of")
+	s.LocalStep = readPerEvent("local-step")
+	s.Step = readPerEvent("step")
+	s.chareEvents = make([][]trace.EventID, nChares)
+	for c := 0; c < nChares && b.err == nil; c++ {
+		n := b.count("chare timeline", uint64(nEvents))
+		if n == 0 {
+			continue
+		}
+		evs := make([]trace.EventID, 0, n)
+		for j := 0; j < n && b.err == nil; j++ {
+			e := b.i32()
+			if b.err == nil && (e < 0 || int(e) >= nEvents) {
+				return nil, "", fmt.Errorf("core: decode: chare %d lists unknown event %d", c, e)
+			}
+			evs = append(evs, trace.EventID(e))
+		}
+		s.chareEvents[c] = evs
+	}
+	if b.err != nil {
+		return nil, "", fmt.Errorf("core: decode: %w", b.err)
+	}
+	return s, fp, nil
+}

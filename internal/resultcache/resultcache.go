@@ -1,0 +1,294 @@
+// Package resultcache is a content-addressed cache of extraction results:
+// the layer that turns core.Extract from a per-request cost into a
+// mostly-amortized one for the charmd analysis server.
+//
+// Results are keyed by (trace digest, canonical Options fingerprint). The
+// trace digest addresses the input bytes (tracefile.ReadAutoDigest); the
+// fingerprint (core.Options.Fingerprint) canonicalizes every option that
+// can change the recovered structure while deliberately excluding
+// execution-only knobs like Parallelism — the pipeline is byte-identical at
+// every worker count, so one cached result serves requests at any.
+//
+// Three layers, consulted in order:
+//
+//  1. an in-memory LRU of decoded *core.Structure values (bounded entry
+//     count; hits are lock-then-return);
+//  2. an on-disk store of binary-encoded results (core.EncodeStructure),
+//     written atomically, surviving process restarts;
+//  3. extraction itself, guarded by request coalescing: N concurrent
+//     requests for one uncached key trigger exactly one Extract, and the
+//     followers share the leader's result (a singleflight).
+//
+// Cached structures are shared between requests and must be treated as
+// read-only; everything the serving layer does (rendering, metrics,
+// structdiff) only reads. Every layer's traffic is counted in a
+// telemetry.Registry so /debug/stats can report hit rates and extraction
+// latency.
+package resultcache
+
+import (
+	"bytes"
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"charmtrace/internal/core"
+	"charmtrace/internal/telemetry"
+	"charmtrace/internal/trace"
+)
+
+// DefaultMaxMemEntries bounds the in-memory LRU when Config leaves it zero.
+const DefaultMaxMemEntries = 64
+
+// Config configures a Cache.
+type Config struct {
+	// Dir is the on-disk store directory, created if missing. Empty
+	// disables the disk layer (memory + coalescing only).
+	Dir string
+	// MaxMemEntries bounds the in-memory LRU (0 = DefaultMaxMemEntries,
+	// negative = no memory layer).
+	MaxMemEntries int
+	// Metrics receives the cache's counters and histograms. nil uses a
+	// private registry (still queryable via Registry()).
+	Metrics *telemetry.Registry
+	// Extract computes a structure on a full miss. nil uses core.Extract;
+	// tests substitute instrumented variants.
+	Extract func(tr *trace.Trace, opt core.Options) (*core.Structure, error)
+}
+
+// Cache is the three-layer result cache. Safe for concurrent use.
+type Cache struct {
+	dir        string
+	maxEntries int
+	extract    func(tr *trace.Trace, opt core.Options) (*core.Structure, error)
+
+	reg        *telemetry.Registry
+	hits       *telemetry.Counter // total hits (memory + disk)
+	memHits    *telemetry.Counter
+	diskHits   *telemetry.Counter
+	misses     *telemetry.Counter // full misses (extraction ran)
+	coalesced  *telemetry.Counter // requests served by another request's flight
+	evictions  *telemetry.Counter
+	diskErrors *telemetry.Counter // unreadable/corrupt disk entries (self-healed)
+	extractMS  *telemetry.Histogram
+	memEntries *telemetry.Gauge
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+	flights map[string]*flight
+}
+
+// entry is one memory-resident result.
+type entry struct {
+	id string
+	s  *core.Structure
+}
+
+// flight is one in-progress extraction other requests can join.
+type flight struct {
+	done chan struct{}
+	s    *core.Structure
+	err  error
+}
+
+// New opens a cache, creating the disk directory if configured.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("resultcache: %w", err)
+		}
+	}
+	max := cfg.MaxMemEntries
+	if max == 0 {
+		max = DefaultMaxMemEntries
+	}
+	if max < 0 {
+		max = 0
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	ext := cfg.Extract
+	if ext == nil {
+		ext = core.Extract
+	}
+	c := &Cache{
+		dir:        cfg.Dir,
+		maxEntries: max,
+		extract:    ext,
+		reg:        reg,
+		hits:       reg.Counter("cache.hits"),
+		memHits:    reg.Counter("cache.mem_hits"),
+		diskHits:   reg.Counter("cache.disk_hits"),
+		misses:     reg.Counter("cache.misses"),
+		coalesced:  reg.Counter("cache.coalesced"),
+		evictions:  reg.Counter("cache.evictions"),
+		diskErrors: reg.Counter("cache.disk_errors"),
+		extractMS:  reg.Histogram("cache.extract_ms"),
+		memEntries: reg.Gauge("cache.mem_entries"),
+		entries:    make(map[string]*list.Element),
+		lru:        list.New(),
+		flights:    make(map[string]*flight),
+	}
+	return c, nil
+}
+
+// Registry returns the registry the cache's metrics live in.
+func (c *Cache) Registry() *telemetry.Registry { return c.reg }
+
+// keyID is the content address of one (trace, options) result.
+func keyID(traceDigest, fingerprint string) string {
+	h := sha256.New()
+	h.Write([]byte(traceDigest))
+	h.Write([]byte{0})
+	h.Write([]byte(fingerprint))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// DiskPath returns where the result for (traceDigest, opt) lives on disk,
+// or "" when the disk layer is disabled. Exported for tests and operators
+// inspecting the cache layout (README "Serving").
+func (c *Cache) DiskPath(traceDigest string, opt core.Options) string {
+	if c.dir == "" {
+		return ""
+	}
+	return filepath.Join(c.dir, keyID(traceDigest, opt.Fingerprint())+".cstr")
+}
+
+// Len returns the number of memory-resident results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Get returns the recovered structure for (traceDigest, opt), serving from
+// memory, then disk, then a coalesced extraction. tr must be the decoded
+// trace the digest addresses; the first request for a key carries it to the
+// extractor, and every hit ignores it beyond a consistency check during
+// disk decode.
+//
+// ctx bounds only this caller's wait: a timed-out follower abandons the
+// flight but the leader's extraction runs to completion and populates the
+// cache, so a retry after a timeout usually hits. The returned structure is
+// shared — treat it as read-only.
+func (c *Cache) Get(ctx context.Context, traceDigest string, tr *trace.Trace, opt core.Options) (*core.Structure, error) {
+	id := keyID(traceDigest, opt.Fingerprint())
+
+	c.mu.Lock()
+	if el, ok := c.entries[id]; ok {
+		c.lru.MoveToFront(el)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		c.memHits.Add(1)
+		return el.Value.(*entry).s, nil
+	}
+	if fl, ok := c.flights[id]; ok {
+		c.mu.Unlock()
+		c.coalesced.Add(1)
+		select {
+		case <-fl.done:
+			return fl.s, fl.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.flights[id] = fl
+	c.mu.Unlock()
+
+	fl.s, fl.err = c.fill(id, tr, opt)
+	c.mu.Lock()
+	delete(c.flights, id)
+	if fl.err == nil {
+		c.insertLocked(id, fl.s)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.s, fl.err
+}
+
+// fill resolves a memory miss as the flight leader: disk, then extraction.
+func (c *Cache) fill(id string, tr *trace.Trace, opt core.Options) (*core.Structure, error) {
+	wantFP := opt.Fingerprint()
+	path := ""
+	if c.dir != "" {
+		path = filepath.Join(c.dir, id+".cstr")
+		if data, err := os.ReadFile(path); err == nil {
+			s, fp, err := core.DecodeStructure(bytes.NewReader(data), tr)
+			if err == nil && fp == wantFP {
+				c.hits.Add(1)
+				c.diskHits.Add(1)
+				return s, nil
+			}
+			// A corrupt or stale entry self-heals: count it, re-extract,
+			// overwrite.
+			c.diskErrors.Add(1)
+		}
+	}
+
+	c.misses.Add(1)
+	start := time.Now()
+	s, err := c.extract(tr, opt)
+	if err != nil {
+		return nil, fmt.Errorf("resultcache: extract: %w", err)
+	}
+	c.extractMS.Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
+	if path != "" {
+		if err := c.writeDisk(path, s); err != nil {
+			// Disk persistence is an optimization; the request still
+			// succeeds from memory.
+			c.diskErrors.Add(1)
+		}
+	}
+	return s, nil
+}
+
+// writeDisk persists an encoded result atomically (temp file + rename), so
+// a crash mid-write never leaves a truncated entry a later decode would
+// reject.
+func (c *Cache) writeDisk(path string, s *core.Structure) error {
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if err := core.EncodeStructure(tmp, s); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// insertLocked adds a result to the memory LRU, evicting from the back.
+// Caller holds c.mu.
+func (c *Cache) insertLocked(id string, s *core.Structure) {
+	if c.maxEntries == 0 {
+		return
+	}
+	if el, ok := c.entries[id]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*entry).s = s
+		return
+	}
+	c.entries[id] = c.lru.PushFront(&entry{id: id, s: s})
+	for c.lru.Len() > c.maxEntries {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.entries, back.Value.(*entry).id)
+		c.evictions.Add(1)
+	}
+	c.memEntries.Set(float64(c.lru.Len()))
+}

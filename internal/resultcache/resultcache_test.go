@@ -1,0 +1,303 @@
+package resultcache
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"charmtrace/internal/apps/jacobi"
+	"charmtrace/internal/core"
+	"charmtrace/internal/telemetry"
+	"charmtrace/internal/trace"
+	"charmtrace/internal/tracefile"
+)
+
+// testTrace returns the jacobi proxy trace plus its content digest.
+func testTrace(t *testing.T) (*trace.Trace, string) {
+	t.Helper()
+	tr := jacobi.MustTrace(jacobi.DefaultConfig())
+	var buf bytes.Buffer
+	if err := tracefile.WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return tr, tracefile.DigestBytes(buf.Bytes())
+}
+
+func counter(reg *telemetry.Registry, name string) int64 {
+	return reg.Counter(name).Value()
+}
+
+func TestGetExtractsOnceThenHitsMemory(t *testing.T) {
+	tr, digest := testTrace(t)
+	c, err := New(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	s1, err := c.Get(context.Background(), digest, tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.Get(context.Background(), digest, tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("memory hit returned a different structure pointer")
+	}
+	reg := c.Registry()
+	if got := counter(reg, "cache.misses"); got != 1 {
+		t.Errorf("misses = %d, want 1", got)
+	}
+	if got := counter(reg, "cache.mem_hits"); got != 1 {
+		t.Errorf("mem_hits = %d, want 1", got)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+	if _, err := os.Stat(c.DiskPath(digest, opt)); err != nil {
+		t.Errorf("disk entry missing: %v", err)
+	}
+	// The extraction-latency histogram recorded the miss.
+	snap := reg.Snapshot()
+	if snap.Histograms["cache.extract_ms"].Count != 1 {
+		t.Errorf("extract_ms count = %d, want 1", snap.Histograms["cache.extract_ms"].Count)
+	}
+}
+
+// TestConcurrentRequestsCoalesce: K parallel requests for one uncached key
+// run Extract exactly once; the followers share the leader's result.
+func TestConcurrentRequestsCoalesce(t *testing.T) {
+	tr, digest := testTrace(t)
+	const K = 8
+	gate := make(chan struct{})
+	var calls atomic.Int64
+	c, err := New(Config{
+		Dir: t.TempDir(),
+		Extract: func(tr *trace.Trace, opt core.Options) (*core.Structure, error) {
+			calls.Add(1)
+			<-gate
+			return core.Extract(tr, opt)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	results := make([]*core.Structure, K)
+	errs := make([]error, K)
+	var wg sync.WaitGroup
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.Get(context.Background(), digest, tr, opt)
+		}(i)
+	}
+	// The leader is parked in Extract; wait until every follower has joined
+	// its flight before releasing it.
+	deadline := time.Now().Add(10 * time.Second)
+	for counter(c.Registry(), "cache.coalesced") < K-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d followers joined the flight", counter(c.Registry(), "cache.coalesced"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	for i := 0; i < K; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Errorf("request %d got a different structure", i)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("Extract ran %d times, want exactly 1", got)
+	}
+	if got := counter(c.Registry(), "cache.misses"); got != 1 {
+		t.Errorf("misses = %d, want 1", got)
+	}
+}
+
+// TestFollowerHonorsContext: a follower abandons the flight when its
+// context expires while the leader keeps extracting.
+func TestFollowerHonorsContext(t *testing.T) {
+	tr, digest := testTrace(t)
+	gate := make(chan struct{})
+	c, err := New(Config{
+		Extract: func(tr *trace.Trace, opt core.Options) (*core.Structure, error) {
+			<-gate
+			return core.Extract(tr, opt)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := c.Get(context.Background(), digest, tr, opt)
+		leaderDone <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c.mu.Lock()
+		n := len(c.flights)
+		c.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("leader never registered its flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Get(ctx, digest, tr, opt); err != context.Canceled {
+		t.Errorf("cancelled follower returned %v, want context.Canceled", err)
+	}
+	close(gate)
+	if err := <-leaderDone; err != nil {
+		t.Errorf("leader failed: %v", err)
+	}
+}
+
+// TestDiskStoreSurvivesRestart: a second cache over the same directory
+// serves the first cache's work from disk, byte-identical to a fresh
+// extraction at a different parallelism.
+func TestDiskStoreSurvivesRestart(t *testing.T) {
+	tr, digest := testTrace(t)
+	dir := t.TempDir()
+	opt := core.DefaultOptions()
+	opt.Parallelism = 4
+
+	c1, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Get(context.Background(), digest, tr, opt); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh cache, cold memory, same directory.
+	c2, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c2.Get(context.Background(), digest, tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := c2.Registry()
+	if got := counter(reg, "cache.disk_hits"); got != 1 {
+		t.Errorf("disk_hits = %d, want 1", got)
+	}
+	if got := counter(reg, "cache.misses"); got != 0 {
+		t.Errorf("misses = %d, want 0", got)
+	}
+
+	// The stored bytes equal a fresh sequential extraction's encoding: the
+	// cache never changes what the pipeline would have produced.
+	seq := core.DefaultOptions()
+	seq.Parallelism = 1
+	fresh, err := core.Extract(tr, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := core.EncodeStructure(&want, fresh); err != nil {
+		t.Fatal(err)
+	}
+	stored, err := os.ReadFile(c2.DiskPath(digest, opt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stored, want.Bytes()) {
+		t.Error("disk store bytes differ from a fresh sequential extraction")
+	}
+	var again bytes.Buffer
+	s.Opts = seq // encoding includes the fingerprint, identical either way
+	if err := core.EncodeStructure(&again, s); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), want.Bytes()) {
+		t.Error("restart-served structure re-encodes differently from fresh extraction")
+	}
+}
+
+// TestEvictionFallsBackToDisk: the LRU evicts beyond its bound, and an
+// evicted key is served from disk, not re-extracted.
+func TestEvictionFallsBackToDisk(t *testing.T) {
+	tr, digest := testTrace(t)
+	c, err := New(Config{Dir: t.TempDir(), MaxMemEntries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	optA := core.DefaultOptions()
+	optB := core.DefaultOptions()
+	optB.Reorder = false // distinct fingerprint, distinct key
+	ctx := context.Background()
+	if _, err := c.Get(ctx, digest, tr, optA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(ctx, digest, tr, optB); err != nil {
+		t.Fatal(err)
+	}
+	reg := c.Registry()
+	if got := counter(reg, "cache.evictions"); got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+	missesBefore := counter(reg, "cache.misses")
+	if _, err := c.Get(ctx, digest, tr, optA); err != nil {
+		t.Fatal(err)
+	}
+	if got := counter(reg, "cache.misses"); got != missesBefore {
+		t.Errorf("evicted key re-extracted (misses %d -> %d), want disk hit", missesBefore, got)
+	}
+	if got := counter(reg, "cache.disk_hits"); got != 1 {
+		t.Errorf("disk_hits = %d, want 1", got)
+	}
+}
+
+// TestCorruptDiskEntrySelfHeals: garbage on disk is counted, re-extracted
+// and overwritten with a valid entry.
+func TestCorruptDiskEntrySelfHeals(t *testing.T) {
+	tr, digest := testTrace(t)
+	dir := t.TempDir()
+	c, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	path := c.DiskPath(digest, opt)
+	if err := os.WriteFile(path, []byte("not a structure"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(context.Background(), digest, tr, opt); err != nil {
+		t.Fatal(err)
+	}
+	reg := c.Registry()
+	if got := counter(reg, "cache.disk_errors"); got != 1 {
+		t.Errorf("disk_errors = %d, want 1", got)
+	}
+	if got := counter(reg, "cache.misses"); got != 1 {
+		t.Errorf("misses = %d, want 1", got)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := core.DecodeStructure(bytes.NewReader(data), tr); err != nil {
+		t.Errorf("healed disk entry does not decode: %v", err)
+	}
+}

@@ -1,0 +1,384 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"charmtrace/internal/core"
+	"charmtrace/internal/metrics"
+	"charmtrace/internal/structdiff"
+	"charmtrace/internal/telemetry"
+	"charmtrace/internal/trace"
+	"charmtrace/internal/tracefile"
+)
+
+// traceSummary is the JSON shape shared by upload, get-trace and list.
+type traceSummary struct {
+	Digest string `json:"digest"`
+	Bytes  int64  `json:"bytes"`
+	NumPE  int    `json:"num_pe"`
+	Events int    `json:"events"`
+	Blocks int    `json:"blocks"`
+	Chares int    `json:"chares"`
+	Idles  int    `json:"idles"`
+}
+
+func summarize(digest string, size int64, tr *trace.Trace) traceSummary {
+	return traceSummary{
+		Digest: digest,
+		Bytes:  size,
+		NumPE:  tr.NumPE,
+		Events: len(tr.Events),
+		Blocks: len(tr.Blocks),
+		Chares: len(tr.Chares),
+		Idles:  len(tr.Idles),
+	}
+}
+
+// countingWriter tallies bytes written through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// handleUpload ingests a trace: the body (text or binary, auto-detected) is
+// streamed through the decoder, the SHA-256 content digest, and — when a
+// data directory is configured — a spool file that is atomically renamed to
+// its content address, all in one pass. Uploads above MaxUploadBytes map to
+// 413, malformed traces to 400.
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	s.uploads.Add(1)
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+
+	sink := &countingWriter{w: io.Discard}
+	var spool *os.File
+	if dir := s.tracesDir(); dir != "" {
+		f, err := os.CreateTemp(dir, ".upload-*")
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		spool = f
+		sink.w = f
+		defer func() {
+			if spool != nil {
+				spool.Close()
+				os.Remove(spool.Name())
+			}
+		}()
+	}
+
+	tr, digest, err := tracefile.ReadAutoDigest(io.TeeReader(body, sink))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if spool != nil {
+		if err := spool.Close(); err != nil {
+			httpError(w, err)
+			return
+		}
+		dst := filepath.Join(s.tracesDir(), digest+".trace")
+		if _, statErr := os.Stat(dst); statErr == nil {
+			os.Remove(spool.Name()) // duplicate content, keep the original
+		} else if err := os.Rename(spool.Name(), dst); err != nil {
+			os.Remove(spool.Name())
+			spool = nil
+			httpError(w, err)
+			return
+		}
+		spool = nil
+	}
+	s.registerTrace(digest, tr, sink.n)
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, summarize(digest, sink.n, tr))
+}
+
+// handleList returns every known trace, sorted by digest.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	digests := make([]string, 0, len(s.traces))
+	sizes := make(map[string]int64, len(s.traces))
+	for d, te := range s.traces {
+		digests = append(digests, d)
+		sizes[d] = te.bytes
+	}
+	s.mu.RUnlock()
+	sort.Strings(digests)
+	type listEntry struct {
+		Digest string `json:"digest"`
+		Bytes  int64  `json:"bytes"`
+	}
+	out := struct {
+		Traces []listEntry `json:"traces"`
+	}{Traces: make([]listEntry, 0, len(digests))}
+	for _, d := range digests {
+		out.Traces = append(out.Traces, listEntry{Digest: d, Bytes: sizes[d]})
+	}
+	writeJSON(w, out)
+}
+
+// handleTrace returns one trace's summary, loading it from disk if needed.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	tr, err := s.lookupTrace(digest)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	s.mu.RLock()
+	size := s.traces[digest].bytes
+	s.mu.RUnlock()
+	writeJSON(w, summarize(digest, size, tr))
+}
+
+// phaseJSON is one phase row of a structure response. Every field is
+// preserved by the structure codec, which is what keeps cached responses
+// byte-identical to fresh ones.
+type phaseJSON struct {
+	ID           int32 `json:"id"`
+	Runtime      bool  `json:"runtime"`
+	Leap         int32 `json:"leap"`
+	Offset       int32 `json:"offset"`
+	MaxLocalStep int32 `json:"max_local_step"`
+	FirstStep    int32 `json:"first_step"`
+	LastStep     int32 `json:"last_step"`
+	Chares       int   `json:"chares"`
+	Events       int   `json:"events"`
+}
+
+// structureResponse is the /structure payload.
+type structureResponse struct {
+	Digest      string      `json:"digest"`
+	Fingerprint string      `json:"fingerprint"`
+	Events      int         `json:"events"`
+	NumPhases   int         `json:"num_phases"`
+	MaxStep     int32       `json:"max_step"`
+	DAGEdges    int         `json:"dag_edges"`
+	Phases      []phaseJSON `json:"phases"`
+}
+
+// handleStructure extracts (or recalls) the logical structure and returns
+// the phase table.
+func (s *Server) handleStructure(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	opt, err := s.extractOptions(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	st, err := s.structureFor(r.Context(), digest, opt)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	resp := structureResponse{
+		Digest:      digest,
+		Fingerprint: opt.Fingerprint(),
+		Events:      len(st.Trace.Events),
+		NumPhases:   st.NumPhases(),
+		MaxStep:     st.MaxStep(),
+		DAGEdges:    st.DAG.NumEdges(),
+		Phases:      make([]phaseJSON, 0, st.NumPhases()),
+	}
+	for i := range st.Phases {
+		p := &st.Phases[i]
+		lo, hi := p.GlobalSpan()
+		resp.Phases = append(resp.Phases, phaseJSON{
+			ID: p.ID, Runtime: p.Runtime, Leap: p.Leap, Offset: p.Offset,
+			MaxLocalStep: p.MaxLocalStep, FirstStep: lo, LastStep: hi,
+			Chares: len(p.Chares), Events: len(p.Events),
+		})
+	}
+	writeJSON(w, resp)
+}
+
+// stepJSON is one event on a chare's logical timeline.
+type stepJSON struct {
+	Event     int32  `json:"event"`
+	Kind      string `json:"kind"`
+	Step      int32  `json:"step"`
+	Phase     int32  `json:"phase"`
+	LocalStep int32  `json:"local_step"`
+}
+
+// chareTimeline is one chare's logical timeline.
+type chareTimeline struct {
+	Chare    int32      `json:"chare"`
+	Name     string     `json:"name"`
+	Timeline []stepJSON `json:"timeline"`
+}
+
+// handleSteps returns per-chare logical timelines: each chare's events in
+// logical order with their (phase, local step, global step) positions. An
+// optional ?chare=<id> narrows to one chare.
+func (s *Server) handleSteps(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	opt, err := s.extractOptions(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	st, err := s.structureFor(r.Context(), digest, opt)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	tr := st.Trace
+	only := int32(-1)
+	if v := r.URL.Query().Get("chare"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &only); err != nil || only < 0 || int(only) >= len(tr.Chares) {
+			httpError(w, fmt.Errorf("%w: chare %q out of range", errBadRequest, v))
+			return
+		}
+	}
+	resp := struct {
+		Digest      string          `json:"digest"`
+		Fingerprint string          `json:"fingerprint"`
+		MaxStep     int32           `json:"max_step"`
+		Chares      []chareTimeline `json:"chares"`
+	}{Digest: digest, Fingerprint: opt.Fingerprint(), MaxStep: st.MaxStep()}
+	for ci := range tr.Chares {
+		c := trace.ChareID(ci)
+		if only >= 0 && int32(ci) != only {
+			continue
+		}
+		ct := chareTimeline{Chare: int32(ci), Name: tr.Chares[ci].Name}
+		for _, e := range st.EventsOfChare(c) {
+			ct.Timeline = append(ct.Timeline, stepJSON{
+				Event: int32(e), Kind: tr.Events[e].Kind.String(),
+				Step: st.Step[e], Phase: st.PhaseOf[e], LocalStep: st.LocalStep[e],
+			})
+		}
+		resp.Chares = append(resp.Chares, ct)
+	}
+	writeJSON(w, resp)
+}
+
+// chareMetrics aggregates the §4 metrics over one chare's events.
+type chareMetrics struct {
+	Chare                int32  `json:"chare"`
+	Name                 string `json:"name"`
+	Events               int    `json:"events"`
+	IdleExperienced      int64  `json:"idle_experienced"`
+	DifferentialDuration int64  `json:"differential_duration"`
+	Imbalance            int64  `json:"imbalance"`
+}
+
+// handleMetrics computes the Section 4 metrics on the recovered structure
+// and aggregates them per chare, with the per-phase imbalance table.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	opt, err := s.extractOptions(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	st, err := s.structureFor(r.Context(), digest, opt)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	rep := metrics.Compute(st)
+	tr := st.Trace
+	perChare := make([]chareMetrics, len(tr.Chares))
+	for ci := range tr.Chares {
+		perChare[ci] = chareMetrics{Chare: int32(ci), Name: tr.Chares[ci].Name}
+	}
+	for e := range tr.Events {
+		cm := &perChare[tr.Events[e].Chare]
+		cm.Events++
+		cm.IdleExperienced += int64(rep.IdleExperienced[e])
+		cm.DifferentialDuration += int64(rep.DifferentialDuration[e])
+		cm.Imbalance += int64(rep.Imbalance[e])
+	}
+	type phaseImbalance struct {
+		Phase     int32 `json:"phase"`
+		Imbalance int64 `json:"imbalance"`
+	}
+	resp := struct {
+		Digest         string           `json:"digest"`
+		Fingerprint    string           `json:"fingerprint"`
+		Chares         []chareMetrics   `json:"chares"`
+		PhaseImbalance []phaseImbalance `json:"phase_imbalance"`
+	}{Digest: digest, Fingerprint: opt.Fingerprint(), Chares: perChare}
+	for p, imb := range rep.PhaseImbalance {
+		resp.PhaseImbalance = append(resp.PhaseImbalance, phaseImbalance{Phase: int32(p), Imbalance: int64(imb)})
+	}
+	writeJSON(w, resp)
+}
+
+// handleStructDiff compares the recovered structures of two cached traces
+// (?a=<digest>&b=<digest>, same option parameters as /structure applied to
+// both sides).
+func (s *Server) handleStructDiff(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	da, db := q.Get("a"), q.Get("b")
+	if da == "" || db == "" {
+		httpError(w, fmt.Errorf("%w: need a=<digest> and b=<digest>", errBadRequest))
+		return
+	}
+	opt, err := s.extractOptions(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	sa, err := s.structureFor(r.Context(), da, opt)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	sb, err := s.structureFor(r.Context(), db, opt)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	diff, err := structdiff.Compare(sa, sb)
+	if err != nil {
+		httpError(w, fmt.Errorf("%w: %s", errBadRequest, err))
+		return
+	}
+	writeJSON(w, struct {
+		A           string           `json:"a"`
+		B           string           `json:"b"`
+		Fingerprint string           `json:"fingerprint"`
+		Equivalent  bool             `json:"equivalent"`
+		Report      string           `json:"report"`
+		Diff        *structdiff.Diff `json:"diff"`
+	}{A: da, B: db, Fingerprint: opt.Fingerprint(), Equivalent: diff.Empty(), Report: diff.String(), Diff: diff})
+}
+
+// handleStats exports the server-wide registry — request latencies, cache
+// hit/miss/evict counters, in-flight gauge, aggregated pipeline stage
+// metrics — in the versioned StatsExport schema.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	e := telemetry.ExportRegistry(s.reg, "charmd", core.StageOrder)
+	if s.collector != nil {
+		e.SpanCount = len(s.collector.Spans())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	e.Write(w)
+}
+
+// handleSelfTrace exports the analyzer's own spans as a Chrome trace-event
+// file (open at ui.perfetto.dev). Only available with Config.SelfTrace.
+func (s *Server) handleSelfTrace(w http.ResponseWriter, r *http.Request) {
+	if s.collector == nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprintln(w, `{"error":"self-tracing disabled; start charmd with -self-trace"}`)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.collector.WriteChromeTrace(w)
+}

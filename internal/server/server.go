@@ -1,0 +1,378 @@
+// Package server implements charmd's HTTP/JSON API: trace upload,
+// structure and step retrieval, per-chare §4 metrics, structure diffing,
+// and the observability endpoints — all on top of the content-addressed
+// resultcache, so a hot answer never re-runs the extraction pipeline.
+//
+// Design constraints, in order:
+//
+//   - Determinism is load-bearing: every analysis response is rendered only
+//     from state the structure codec preserves, so a cache hit (memory,
+//     disk, or coalesced flight) is byte-identical to the response a fresh
+//     extraction would have produced, at any Parallelism.
+//   - Robustness: uploads are streamed and size-limited, malformed traces
+//     map to 4xx via tracefile.ErrMalformed (never 5xx), analysis requests
+//     carry a per-request timeout, and Shutdown drains in-flight work.
+//   - Observability: request latency histograms, an in-flight gauge, cache
+//     hit/miss/evict counters and per-stage pipeline metrics all land in
+//     one telemetry.Registry, exported at /debug/stats in the versioned
+//     StatsExport schema.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"charmtrace/internal/core"
+	"charmtrace/internal/resultcache"
+	"charmtrace/internal/telemetry"
+	"charmtrace/internal/trace"
+	"charmtrace/internal/tracefile"
+)
+
+// Config configures a Server.
+type Config struct {
+	// DataDir holds the persistent state: uploaded traces under traces/
+	// (raw bytes, named by digest) and encoded results under results/.
+	// Empty runs memory-only (uploads and results die with the process).
+	DataDir string
+	// MaxMemEntries bounds the result cache's in-memory LRU
+	// (0 = resultcache.DefaultMaxMemEntries).
+	MaxMemEntries int
+	// MaxUploadBytes bounds one trace upload (0 = 256 MiB).
+	MaxUploadBytes int64
+	// RequestTimeout bounds one analysis request's wait, including any
+	// extraction it joins (0 = 60s). The extraction itself always runs to
+	// completion to populate the cache.
+	RequestTimeout time.Duration
+	// Parallelism is the extraction worker count (0 = all cores). It never
+	// changes response bytes, only latency.
+	Parallelism int
+	// Metrics is the server-wide registry (nil = a private one).
+	Metrics *telemetry.Registry
+	// SelfTrace attaches a span collector to every extraction and enables
+	// /debug/selftrace. Spans accumulate for the life of the process, so
+	// this is a debugging switch, not a production default.
+	SelfTrace bool
+}
+
+// traceEntry is one known trace. tr is nil until loaded (traces found on
+// disk at startup are decoded lazily on first use).
+type traceEntry struct {
+	digest string
+	bytes  int64
+
+	once sync.Once
+	tr   *trace.Trace
+	err  error
+}
+
+// Server is the charmd request handler. Create with New, mount anywhere
+// (it implements http.Handler), and call Close on shutdown.
+type Server struct {
+	cfg       Config
+	reg       *telemetry.Registry
+	collector *telemetry.Collector
+	cache     *resultcache.Cache
+	mux       *http.ServeMux
+
+	mu     sync.RWMutex
+	traces map[string]*traceEntry
+
+	inflight  atomic.Int64
+	inflightG *telemetry.Gauge
+	requests  *telemetry.Counter
+	uploads   *telemetry.Counter
+}
+
+// New builds a server, creating DataDir subdirectories and indexing any
+// traces a previous process left there.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxUploadBytes <= 0 {
+		cfg.MaxUploadBytes = 256 << 20
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 60 * time.Second
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	resultDir := ""
+	if cfg.DataDir != "" {
+		resultDir = filepath.Join(cfg.DataDir, "results")
+		if err := os.MkdirAll(filepath.Join(cfg.DataDir, "traces"), 0o755); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+	}
+	cache, err := resultcache.New(resultcache.Config{
+		Dir:           resultDir,
+		MaxMemEntries: cfg.MaxMemEntries,
+		Metrics:       reg,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s := &Server{
+		cfg:       cfg,
+		reg:       reg,
+		cache:     cache,
+		traces:    make(map[string]*traceEntry),
+		inflightG: reg.Gauge("server.inflight"),
+		requests:  reg.Counter("server.requests"),
+		uploads:   reg.Counter("server.uploads"),
+	}
+	if cfg.SelfTrace {
+		s.collector = telemetry.NewCollector()
+	}
+	if cfg.DataDir != "" {
+		if err := s.indexTraceDir(); err != nil {
+			return nil, err
+		}
+	}
+	s.routes()
+	return s, nil
+}
+
+// Registry returns the server's metrics registry (the /debug/stats source).
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// tracesDir returns the on-disk trace directory, or "".
+func (s *Server) tracesDir() string {
+	if s.cfg.DataDir == "" {
+		return ""
+	}
+	return filepath.Join(s.cfg.DataDir, "traces")
+}
+
+// indexTraceDir registers every persisted trace without decoding it;
+// decoding happens lazily on first use.
+func (s *Server) indexTraceDir() error {
+	entries, err := os.ReadDir(s.tracesDir())
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	for _, de := range entries {
+		name := de.Name()
+		digest, ok := strings.CutSuffix(name, ".trace")
+		if !ok || de.IsDir() || len(digest) != 64 {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		s.traces[digest] = &traceEntry{digest: digest, bytes: info.Size()}
+	}
+	return nil
+}
+
+// lookupTrace resolves a digest to a decoded, indexed trace, loading it
+// from disk on first use after a restart.
+func (s *Server) lookupTrace(digest string) (*trace.Trace, error) {
+	s.mu.RLock()
+	te := s.traces[digest]
+	s.mu.RUnlock()
+	if te == nil {
+		return nil, errUnknownTrace
+	}
+	te.once.Do(func() {
+		if te.tr != nil {
+			return
+		}
+		f, err := os.Open(filepath.Join(s.tracesDir(), digest+".trace"))
+		if err != nil {
+			te.err = err
+			return
+		}
+		defer f.Close()
+		tr, got, err := tracefile.ReadAutoDigest(f)
+		if err != nil {
+			te.err = err
+			return
+		}
+		if got != digest {
+			te.err = fmt.Errorf("server: trace file %s.trace digests to %s", digest, got)
+			return
+		}
+		te.tr = tr
+	})
+	if te.err != nil {
+		return nil, fmt.Errorf("server: loading trace %s: %w", digest, te.err)
+	}
+	return te.tr, nil
+}
+
+// registerTrace records a freshly uploaded, already-decoded trace.
+func (s *Server) registerTrace(digest string, tr *trace.Trace, size int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.traces[digest]; ok {
+		// Re-upload of known content: keep the existing entry, make sure
+		// the decoded form is available without a disk read.
+		old.once.Do(func() { old.tr = tr })
+		return
+	}
+	te := &traceEntry{digest: digest, bytes: size}
+	te.once.Do(func() { te.tr = tr })
+	s.traces[digest] = te
+}
+
+// errUnknownTrace maps to 404.
+var errUnknownTrace = errors.New("unknown trace digest")
+
+// routes mounts every endpoint behind the instrument middleware.
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		s.mux.Handle(pattern, s.instrument(route, h))
+	}
+	handle("POST /v1/traces", "upload", s.handleUpload)
+	handle("GET /v1/traces", "list", s.handleList)
+	handle("GET /v1/traces/{digest}", "trace", s.handleTrace)
+	handle("GET /v1/traces/{digest}/structure", "structure", s.handleStructure)
+	handle("GET /v1/traces/{digest}/steps", "steps", s.handleSteps)
+	handle("GET /v1/traces/{digest}/metrics", "metrics", s.handleMetrics)
+	handle("GET /v1/structdiff", "structdiff", s.handleStructDiff)
+	handle("GET /debug/stats", "stats", s.handleStats)
+	handle("GET /debug/selftrace", "selftrace", s.handleSelfTrace)
+	handle("GET /healthz", "healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+}
+
+// ServeHTTP dispatches to the mounted routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// instrument wraps a handler with the serving telemetry (request counter,
+// in-flight gauge, per-route latency histogram, status-class counters) and
+// the per-request timeout context.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	latency := s.reg.Histogram("server.latency_ms." + route)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		s.inflightG.Set(float64(s.inflight.Add(1)))
+		defer func() { s.inflightG.Set(float64(s.inflight.Add(-1))) }()
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r.WithContext(ctx))
+		latency.Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
+		s.reg.Counter(fmt.Sprintf("server.status.%dxx", sw.code/100)).Add(1)
+	})
+}
+
+// statusWriter records the response code for the status-class counters.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// httpError writes a JSON error body with the status mapped from err:
+// unknown digests are 404, malformed traces and bad parameters 400,
+// oversized uploads 413, timeouts 504, everything else 500.
+func httpError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var maxBytes *http.MaxBytesError
+	switch {
+	case errors.As(err, &maxBytes):
+		code = http.StatusRequestEntityTooLarge
+	case errors.Is(err, errUnknownTrace):
+		code = http.StatusNotFound
+	case errors.Is(err, tracefile.ErrMalformed), errors.Is(err, errBadRequest):
+		code = http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusGatewayTimeout
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// errBadRequest tags parameter-validation failures.
+var errBadRequest = errors.New("bad request")
+
+// writeJSON renders a response deterministically: encoding/json is stable
+// for struct-typed values, which is what keeps cache-hit responses
+// byte-identical to fresh ones.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// extractOptions resolves the analysis options for a request: a preset
+// (charm or mp) plus optional boolean overrides, with the server's
+// configured Parallelism and telemetry sinks attached. The semantic subset
+// is what the cache keys on.
+func (s *Server) extractOptions(r *http.Request) (core.Options, error) {
+	q := r.URL.Query()
+	opt := core.DefaultOptions()
+	switch preset := q.Get("preset"); preset {
+	case "", "charm":
+	case "mp":
+		opt = core.MessagePassingOptions()
+	default:
+		return opt, fmt.Errorf("%w: unknown preset %q (want charm or mp)", errBadRequest, preset)
+	}
+	for name, dst := range map[string]*bool{
+		"reorder":   &opt.Reorder,
+		"infer":     &opt.InferDependencies,
+		"nsmerge":   &opt.NeighborSerialMerge,
+		"procorder": &opt.ProcessOrderDeps,
+	} {
+		v := q.Get(name)
+		if v == "" {
+			continue
+		}
+		switch v {
+		case "true", "1":
+			*dst = true
+		case "false", "0":
+			*dst = false
+		default:
+			return opt, fmt.Errorf("%w: parameter %s=%q is not a boolean", errBadRequest, name, v)
+		}
+	}
+	opt.Parallelism = s.cfg.Parallelism
+	opt.Metrics = s.reg
+	if s.collector != nil {
+		opt.Telemetry = s.collector
+	}
+	return opt, nil
+}
+
+// structureFor resolves (digest, request options) through the cache.
+func (s *Server) structureFor(ctx context.Context, digest string, opt core.Options) (*core.Structure, error) {
+	tr, err := s.lookupTrace(digest)
+	if err != nil {
+		return nil, err
+	}
+	return s.cache.Get(ctx, digest, tr, opt)
+}
+
+// Shutdown releases server resources. The HTTP listener drain itself is
+// the owner http.Server's job (see cmd/charmd); this hook exists for
+// symmetry and future state (e.g. flushing write-behind persistence).
+func (s *Server) Shutdown(ctx context.Context) error { return nil }

@@ -1,0 +1,364 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"charmtrace/internal/apps/jacobi"
+	"charmtrace/internal/core"
+	"charmtrace/internal/telemetry"
+	"charmtrace/internal/tracefile"
+)
+
+// encodedJacobi returns the jacobi proxy trace serialized in the binary
+// format (what a client would upload).
+func encodedJacobi(t *testing.T, seed int64) []byte {
+	t.Helper()
+	cfg := jacobi.DefaultConfig()
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	var buf bytes.Buffer
+	if err := tracefile.WriteBinary(&buf, jacobi.MustTrace(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func upload(t *testing.T, ts *httptest.Server, body []byte) string {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/traces", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status %d: %s", resp.StatusCode, data)
+	}
+	var out struct {
+		Digest string `json:"digest"`
+		Events int    `json:"events"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Digest != tracefile.DigestBytes(body) {
+		t.Fatalf("upload digest %s != local digest %s", out.Digest, tracefile.DigestBytes(body))
+	}
+	return out.Digest
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func mustGet(t *testing.T, ts *httptest.Server, path string) []byte {
+	t.Helper()
+	code, data := get(t, ts, path)
+	if code != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", path, code, data)
+	}
+	return data
+}
+
+// TestServeByteIdentityAcrossCacheLayersAndRestart is the end-to-end
+// acceptance test: the structure (and steps, and metrics) responses are
+// byte-identical between a fresh extraction (cache miss), a memory hit, a
+// disk hit after a server restart, and a different server extracting at a
+// different Parallelism.
+func TestServeByteIdentityAcrossCacheLayersAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	enc := encodedJacobi(t, 0)
+
+	_, ts := newTestServer(t, Config{DataDir: dir, Parallelism: 4})
+	digest := upload(t, ts, enc)
+
+	paths := []string{
+		"/v1/traces/" + digest + "/structure",
+		"/v1/traces/" + digest + "/steps",
+		"/v1/traces/" + digest + "/metrics",
+	}
+	miss := make(map[string][]byte)
+	for _, p := range paths {
+		miss[p] = mustGet(t, ts, p) // extraction (cache miss)
+	}
+	for _, p := range paths {
+		if hit := mustGet(t, ts, p); !bytes.Equal(hit, miss[p]) {
+			t.Errorf("%s: memory-hit response differs from miss response", p)
+		}
+	}
+	ts.Close()
+
+	// Restart: a fresh server over the same data dir. The trace reloads
+	// lazily from traces/, the result from the on-disk cache.
+	srv2, ts2 := newTestServer(t, Config{DataDir: dir, Parallelism: 2})
+	for _, p := range paths {
+		if got := mustGet(t, ts2, p); !bytes.Equal(got, miss[p]) {
+			t.Errorf("%s: post-restart response differs from original", p)
+		}
+	}
+	if misses := srv2.Registry().Counter("cache.misses").Value(); misses != 0 {
+		t.Errorf("restarted server re-extracted (misses = %d), want disk hits only", misses)
+	}
+
+	// A completely independent server extracting sequentially produces the
+	// same bytes: Parallelism never leaks into responses.
+	_, ts3 := newTestServer(t, Config{DataDir: t.TempDir(), Parallelism: 1})
+	if d := upload(t, ts3, enc); d != digest {
+		t.Fatalf("digest mismatch across servers: %s vs %s", d, digest)
+	}
+	for _, p := range paths {
+		if got := mustGet(t, ts3, p); !bytes.Equal(got, miss[p]) {
+			t.Errorf("%s: Parallelism=1 server response differs from Parallelism=4's", p)
+		}
+	}
+}
+
+// TestConcurrentStructureRequestsCoalesce: K parallel requests for one
+// uncached trace run the extraction pipeline exactly once, and the serving
+// counters and latency histograms show up in /debug/stats.
+func TestConcurrentStructureRequestsCoalesce(t *testing.T) {
+	srv, ts := newTestServer(t, Config{DataDir: t.TempDir()})
+	digest := upload(t, ts, encodedJacobi(t, 0))
+
+	const K = 12
+	bodies := make([][]byte, K)
+	var wg sync.WaitGroup
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/v1/traces/" + digest + "/structure")
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				bodies[i], _ = io.ReadAll(resp.Body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < K; i++ {
+		if bodies[i] == nil {
+			t.Fatalf("request %d failed", i)
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Errorf("request %d body differs", i)
+		}
+	}
+	reg := srv.Registry()
+	if misses := reg.Counter("cache.misses").Value(); misses != 1 {
+		t.Errorf("extraction ran %d times for %d concurrent requests, want exactly 1", misses, K)
+	}
+	served := reg.Counter("cache.hits").Value() + reg.Counter("cache.coalesced").Value() + reg.Counter("cache.misses").Value()
+	if served != K {
+		t.Errorf("hits+coalesced+misses = %d, want %d", served, K)
+	}
+
+	// The run is visible in /debug/stats: versioned schema, cache counters,
+	// serving latency histograms.
+	stats, err := telemetry.ReadStats(bytes.NewReader(mustGet(t, ts, "/debug/stats")))
+	if err != nil {
+		t.Fatalf("stats do not parse as StatsExport: %v", err)
+	}
+	if stats.Tool != "charmd" {
+		t.Errorf("stats tool %q, want charmd", stats.Tool)
+	}
+	if stats.Counters["cache.misses"] != 1 {
+		t.Errorf("stats cache.misses = %d, want 1", stats.Counters["cache.misses"])
+	}
+	if _, ok := stats.Counters["cache.hits"]; !ok {
+		t.Error("stats missing cache.hits")
+	}
+	h, ok := stats.Histograms["server.latency_ms.structure"]
+	if !ok || h.Count < K {
+		t.Errorf("latency histogram missing or short: %+v", h)
+	}
+	if stats.Histograms["cache.extract_ms"].Count != 1 {
+		t.Errorf("extract_ms histogram count = %d, want 1", stats.Histograms["cache.extract_ms"].Count)
+	}
+	if len(stats.Stages) == 0 {
+		t.Error("stats missing aggregated pipeline stage metrics")
+	}
+}
+
+// TestErrorMapping: malformed uploads are client errors (400), oversized
+// ones 413, unknown digests 404, bad parameters 400 — never 500.
+func TestErrorMapping(t *testing.T) {
+	_, ts := newTestServer(t, Config{DataDir: t.TempDir(), MaxUploadBytes: 1 << 20})
+
+	post := func(body []byte) int {
+		resp, err := http.Post(ts.URL+"/v1/traces", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	valid := encodedJacobi(t, 0)
+	if code := post([]byte("this is not a trace")); code != http.StatusBadRequest {
+		t.Errorf("garbage upload: status %d, want 400", code)
+	}
+	if code := post(valid[:len(valid)/2]); code != http.StatusBadRequest {
+		t.Errorf("truncated upload: status %d, want 400", code)
+	}
+	oversized := append(append([]byte{}, valid...), make([]byte, 2<<20)...)
+	if code := post(oversized); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized upload: status %d, want 413", code)
+	}
+
+	missing := strings.Repeat("0", 64)
+	if code, _ := get(t, ts, "/v1/traces/"+missing+"/structure"); code != http.StatusNotFound {
+		t.Errorf("unknown digest: status %d, want 404", code)
+	}
+	digest := upload(t, ts, valid)
+	if code, _ := get(t, ts, "/v1/traces/"+digest+"/structure?preset=nope"); code != http.StatusBadRequest {
+		t.Errorf("bad preset: status %d, want 400", code)
+	}
+	if code, _ := get(t, ts, "/v1/traces/"+digest+"/structure?infer=maybe"); code != http.StatusBadRequest {
+		t.Errorf("bad boolean: status %d, want 400", code)
+	}
+	if code, _ := get(t, ts, "/v1/traces/"+digest+"/steps?chare=9999"); code != http.StatusBadRequest {
+		t.Errorf("chare out of range: status %d, want 400", code)
+	}
+	if code, _ := get(t, ts, "/v1/structdiff?a="+digest); code != http.StatusBadRequest {
+		t.Errorf("structdiff missing b: status %d, want 400", code)
+	}
+}
+
+// TestStructDiffAndList: diffing a trace against itself is equivalent;
+// different seeds of the seed-invariant workload also diff equivalent (the
+// paper's invariance claim, served over HTTP); the list endpoint reports
+// both uploads.
+func TestStructDiffAndList(t *testing.T) {
+	_, ts := newTestServer(t, Config{DataDir: t.TempDir()})
+	d1 := upload(t, ts, encodedJacobi(t, 0))
+	d2 := upload(t, ts, encodedJacobi(t, 42))
+
+	var diff struct {
+		Equivalent bool   `json:"equivalent"`
+		Report     string `json:"report"`
+	}
+	if err := json.Unmarshal(mustGet(t, ts, "/v1/structdiff?a="+d1+"&b="+d1), &diff); err != nil {
+		t.Fatal(err)
+	}
+	if !diff.Equivalent {
+		t.Errorf("self-diff not equivalent: %s", diff.Report)
+	}
+	if err := json.Unmarshal(mustGet(t, ts, "/v1/structdiff?a="+d1+"&b="+d2), &diff); err != nil {
+		t.Fatal(err)
+	}
+	if !diff.Equivalent {
+		t.Errorf("seed-invariance diff not equivalent: %s", diff.Report)
+	}
+
+	var list struct {
+		Traces []struct {
+			Digest string `json:"digest"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(mustGet(t, ts, "/v1/traces"), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Traces) != 2 {
+		t.Fatalf("list has %d traces, want 2", len(list.Traces))
+	}
+}
+
+// TestUploadVariants: the same trace as text and binary get distinct
+// content addresses (the address is of the bytes), re-uploads dedupe, and
+// the options surface changes responses while Parallelism does not.
+func TestUploadVariants(t *testing.T) {
+	srv, ts := newTestServer(t, Config{DataDir: t.TempDir()})
+	tr := jacobi.MustTrace(jacobi.DefaultConfig())
+	var bin, txt bytes.Buffer
+	if err := tracefile.WriteBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracefile.Write(&txt, tr); err != nil {
+		t.Fatal(err)
+	}
+	dBin := upload(t, ts, bin.Bytes())
+	dTxt := upload(t, ts, txt.Bytes())
+	if dBin == dTxt {
+		t.Error("text and binary uploads share a digest")
+	}
+	if again := upload(t, ts, bin.Bytes()); again != dBin {
+		t.Error("re-upload changed the digest")
+	}
+	if srv.Registry().Counter("server.uploads").Value() != 3 {
+		t.Error("upload counter did not count all uploads")
+	}
+
+	withInfer := mustGet(t, ts, "/v1/traces/"+dBin+"/structure")
+	var resp structureResponse
+	if err := json.Unmarshal(withInfer, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if want := core.DefaultOptions().Fingerprint(); resp.Fingerprint != want {
+		t.Errorf("fingerprint %q, want %q", resp.Fingerprint, want)
+	}
+	noInfer := mustGet(t, ts, "/v1/traces/"+dBin+"/structure?infer=false")
+	if bytes.Equal(withInfer, noInfer) {
+		t.Error("disabling dependency inference did not change the response")
+	}
+}
+
+// TestHealthAndSelfTrace: healthz responds; the self-trace endpoint is 404
+// without the flag and serves a parseable Chrome trace with it.
+func TestHealthAndSelfTrace(t *testing.T) {
+	_, plain := newTestServer(t, Config{DataDir: t.TempDir()})
+	if code, _ := get(t, plain, "/healthz"); code != http.StatusOK {
+		t.Errorf("healthz status %d", code)
+	}
+	if code, _ := get(t, plain, "/debug/selftrace"); code != http.StatusNotFound {
+		t.Errorf("selftrace without flag: status %d, want 404", code)
+	}
+
+	_, traced := newTestServer(t, Config{DataDir: t.TempDir(), SelfTrace: true})
+	digest := upload(t, traced, encodedJacobi(t, 0))
+	mustGet(t, traced, "/v1/traces/"+digest+"/structure")
+	events, err := telemetry.ReadChromeTrace(bytes.NewReader(mustGet(t, traced, "/debug/selftrace")))
+	if err != nil {
+		t.Fatalf("selftrace does not parse: %v", err)
+	}
+	found := false
+	for _, ev := range events {
+		if ev.Name == "extract" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("selftrace has no extract span")
+	}
+}

@@ -187,19 +187,21 @@ func (b *breader) count(what string) int {
 	return int(n)
 }
 
-// ReadBinary parses a binary trace and indexes it.
+// ReadBinary parses a binary trace and indexes it. Decode failures —
+// including truncation, which surfaces as io.EOF / io.ErrUnexpectedEOF from
+// the section readers — carry the ErrMalformed tag (see errors.go).
 func ReadBinary(r io.Reader) (*trace.Trace, error) {
 	b := &breader{r: bufio.NewReader(r)}
 	var magic [4]byte
 	if _, err := io.ReadFull(b.r, magic[:]); err != nil {
-		return nil, fmt.Errorf("tracefile: %w", err)
+		return nil, malformed(fmt.Errorf("tracefile: %w", err))
 	}
 	if magic != binaryMagic {
-		return nil, fmt.Errorf("tracefile: bad binary magic %q", magic[:])
+		return nil, malformed(fmt.Errorf("tracefile: bad binary magic %q", magic[:]))
 	}
 	if v := b.u32(); v != binaryVersion {
 		if b.err == nil {
-			return nil, fmt.Errorf("tracefile: unsupported binary version %d", v)
+			return nil, malformed(fmt.Errorf("tracefile: unsupported binary version %d", v))
 		}
 	}
 	t := &trace.Trace{NumPE: int(b.u32())}
@@ -238,10 +240,10 @@ func ReadBinary(r io.Reader) (*trace.Trace, error) {
 		ev.Block = trace.BlockID(b.i32())
 		if b.err == nil {
 			if ev.Kind != trace.Send && ev.Kind != trace.Recv {
-				return nil, fmt.Errorf("tracefile: event %d has unknown kind %d", i, ev.Kind)
+				return nil, malformed(fmt.Errorf("tracefile: event %d has unknown kind %d", i, ev.Kind))
 			}
 			if ev.Block < 0 || int(ev.Block) >= len(t.Blocks) {
-				return nil, fmt.Errorf("tracefile: event %d references unknown block %d", i, ev.Block)
+				return nil, malformed(fmt.Errorf("tracefile: event %d references unknown block %d", i, ev.Block))
 			}
 			t.Events = append(t.Events, ev)
 			t.Blocks[ev.Block].Events = append(t.Blocks[ev.Block].Events, ev.ID)
@@ -255,21 +257,21 @@ func ReadBinary(r io.Reader) (*trace.Trace, error) {
 		t.Idles = append(t.Idles, idle)
 	}
 	if b.err != nil {
-		return nil, fmt.Errorf("tracefile: %w", b.err)
+		return nil, malformed(fmt.Errorf("tracefile: %w", b.err))
 	}
 	if err := t.Index(); err != nil {
-		return nil, fmt.Errorf("tracefile: %w", err)
+		return nil, malformed(fmt.Errorf("tracefile: %w", err))
 	}
 	return t, nil
 }
 
 // ReadAuto detects the format (text header or binary magic) and parses
-// accordingly.
+// accordingly. Decode failures carry the ErrMalformed tag (see errors.go).
 func ReadAuto(r io.Reader) (*trace.Trace, error) {
 	br := bufio.NewReader(r)
 	head, err := br.Peek(4)
 	if err != nil {
-		return nil, fmt.Errorf("tracefile: %w", err)
+		return nil, malformed(fmt.Errorf("tracefile: %w", err))
 	}
 	if [4]byte(head) == binaryMagic {
 		return ReadBinary(br)

@@ -1,0 +1,40 @@
+package tracefile
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"charmtrace/internal/trace"
+)
+
+// ReadAutoDigest decodes a trace in either format (like ReadAuto) while
+// streaming every byte of r through SHA-256 in the same pass — no second
+// read, no buffering of the whole input. The digest is the content address
+// of the raw byte stream: after a successful decode, any remaining bytes
+// are drained into the hash so the digest always covers the entire input,
+// independent of reader buffering. Note the address is of the serialized
+// form — the same trace uploaded once as text and once as binary yields two
+// digests, each stable for its own bytes.
+//
+// Decode failures carry the ErrMalformed tag, like ReadAuto's.
+func ReadAutoDigest(r io.Reader) (*trace.Trace, string, error) {
+	h := sha256.New()
+	tee := io.TeeReader(r, h)
+	tr, err := ReadAuto(tee)
+	if err != nil {
+		return nil, "", err
+	}
+	if _, err := io.Copy(io.Discard, tee); err != nil {
+		return nil, "", fmt.Errorf("tracefile: digest drain: %w", err)
+	}
+	return tr, hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// DigestBytes returns the content address ReadAutoDigest would compute for
+// an in-memory serialized trace. It does not validate the bytes.
+func DigestBytes(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,30 @@
+package tracefile
+
+import "errors"
+
+// ErrMalformed tags every trace-decoding failure: bad headers, unparseable
+// records, truncated or corrupt binary sections, dangling references and
+// index-validation failures. Callers that feed untrusted bytes into Read /
+// ReadBinary / ReadAuto (the charmd upload handler) branch on
+// errors.Is(err, ErrMalformed) to report a client error (HTTP 400) rather
+// than a server fault. A read that fails mid-stream for transport reasons is
+// indistinguishable from a truncated file and carries the same tag — from
+// the decoder's viewpoint both are an input that ended before a valid trace
+// did.
+var ErrMalformed = errors.New("malformed trace")
+
+// malformedError wraps a decode failure so it matches both the original
+// error chain (io.ErrUnexpectedEOF and friends stay inspectable) and the
+// ErrMalformed sentinel.
+type malformedError struct{ err error }
+
+func (e *malformedError) Error() string   { return e.err.Error() }
+func (e *malformedError) Unwrap() []error { return []error{e.err, ErrMalformed} }
+
+// malformed tags err as a malformed-trace failure; nil passes through.
+func malformed(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &malformedError{err: err}
+}

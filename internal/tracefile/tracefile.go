@@ -66,19 +66,20 @@ func WriteFile(path string, t *trace.Trace) error {
 	return f.Close()
 }
 
-// Read parses a trace and indexes it.
+// Read parses a trace and indexes it. Decode failures carry the
+// ErrMalformed tag (see errors.go).
 func Read(r io.Reader) (*trace.Trace, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	if !sc.Scan() {
-		return nil, fmt.Errorf("tracefile: empty input")
+		return nil, malformed(fmt.Errorf("tracefile: empty input"))
 	}
 	var version int
 	if _, err := fmt.Sscanf(sc.Text(), "charmtrace %d", &version); err != nil {
-		return nil, fmt.Errorf("tracefile: bad header %q", sc.Text())
+		return nil, malformed(fmt.Errorf("tracefile: bad header %q", sc.Text()))
 	}
 	if version != FormatVersion {
-		return nil, fmt.Errorf("tracefile: unsupported version %d", version)
+		return nil, malformed(fmt.Errorf("tracefile: unsupported version %d", version))
 	}
 	t := &trace.Trace{}
 	blockEvents := make(map[trace.BlockID][]trace.EventID)
@@ -108,20 +109,20 @@ func Read(r io.Reader) (*trace.Trace, error) {
 			err = fmt.Errorf("unknown record %q", kind)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("tracefile: line %d: %w", line, err)
+			return nil, malformed(fmt.Errorf("tracefile: line %d: %w", line, err))
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("tracefile: %w", err)
+		return nil, malformed(fmt.Errorf("tracefile: %w", err))
 	}
 	for id, evs := range blockEvents {
 		if int(id) >= len(t.Blocks) {
-			return nil, fmt.Errorf("tracefile: events reference unknown block %d", id)
+			return nil, malformed(fmt.Errorf("tracefile: events reference unknown block %d", id))
 		}
 		t.Blocks[id].Events = evs
 	}
 	if err := t.Index(); err != nil {
-		return nil, fmt.Errorf("tracefile: %w", err)
+		return nil, malformed(fmt.Errorf("tracefile: %w", err))
 	}
 	return t, nil
 }
