@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-overhead fmt serve
+.PHONY: build test verify fuzz bench bench-overhead fmt serve
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,12 @@ verify: build test
 	$(GO) vet ./...
 	$(GO) test -race ./internal/core ./internal/partition ./internal/tracefile
 	$(GO) test -race ./internal/resultcache ./internal/server
+
+# fuzz is the CI smoke leg: a short coverage-guided run over the
+# untrusted-input decoders (ReadAuto/ReadAutoDigest). The checked-in corpus
+# under internal/tracefile/testdata/fuzz replays on every plain `go test`.
+fuzz:
+	$(GO) test -fuzz=FuzzReadAuto -fuzztime=20s -fuzzminimizetime=1s ./internal/tracefile
 
 # bench regenerates BENCH_extract.json, the machine-readable perf
 # trajectory (merge-tree extraction + ExtractBatch at parallelism 1/2/4).

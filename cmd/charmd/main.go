@@ -41,6 +41,10 @@ func main() {
 	maxUpload := flag.Int64("max-upload", 256<<20, "maximum trace upload size in bytes")
 	reqTimeout := flag.Duration("request-timeout", 60*time.Second, "per-request analysis timeout")
 	parallelism := flag.Int("parallelism", 0, "extraction worker count (0 = all cores; responses are identical at any value)")
+	maxExtractions := flag.Int("max-extractions", 0, "concurrent extraction slots before load shedding (0 = GOMAXPROCS, negative = unlimited)")
+	queueWait := flag.Duration("queue-wait", time.Second, "how long a request queues for an extraction slot before a 429 + Retry-After")
+	detachedTimeout := flag.Duration("detached-timeout", 0, "hard cap on an extraction every requester abandoned (0 = 5m, negative = uncapped)")
+	maxResultBytes := flag.Int64("max-result-bytes", 0, "on-disk result cache bound in bytes; least-recently-modified entries are GCed past it (0 = unbounded)")
 	selfTrace := flag.Bool("self-trace", false, "record extraction spans and serve them at /debug/selftrace (unbounded memory; debugging only)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	tele := cli.NewProfiling("charmd", flag.CommandLine)
@@ -51,12 +55,16 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		DataDir:        *dataDir,
-		MaxMemEntries:  *memEntries,
-		MaxUploadBytes: *maxUpload,
-		RequestTimeout: *reqTimeout,
-		Parallelism:    *parallelism,
-		SelfTrace:      *selfTrace,
+		DataDir:                  *dataDir,
+		MaxMemEntries:            *memEntries,
+		MaxUploadBytes:           *maxUpload,
+		RequestTimeout:           *reqTimeout,
+		Parallelism:              *parallelism,
+		MaxConcurrentExtractions: *maxExtractions,
+		QueueWait:                *queueWait,
+		DetachedTimeout:          *detachedTimeout,
+		MaxResultBytes:           *maxResultBytes,
+		SelfTrace:                *selfTrace,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "charmd:", err)
@@ -83,7 +91,9 @@ func main() {
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "charmd: shutdown:", err)
 		}
-		srv.Shutdown(shutdownCtx)
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "charmd: drain:", err)
+		}
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, "charmd:", err)

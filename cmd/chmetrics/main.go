@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -67,7 +68,11 @@ func main() {
 	}
 	tele.Label("metric", *metric)
 	tele.Apply(&opt)
+	// Ctrl-C cancels the extraction cooperatively; a second signal kills.
+	ctx, stopSignals := cli.SignalContext(context.Background())
+	opt.Context = ctx
 	s, err := core.Extract(tr, opt)
+	stopSignals()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chmetrics:", err)
 		os.Exit(1)

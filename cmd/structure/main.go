@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -111,7 +112,12 @@ func main() {
 		fmt.Printf("window [%d, %d): %d blocks, %d events\n", f, tt, len(tr.Blocks), len(tr.Events))
 	}
 
+	// Ctrl-C cancels the extraction cooperatively instead of leaving a
+	// half-printed analysis; a second signal kills the process.
+	ctx, stopSignals := cli.SignalContext(context.Background())
+	opt.Context = ctx
 	s, err := core.Extract(tr, opt)
+	stopSignals()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "structure:", err)
 		os.Exit(1)

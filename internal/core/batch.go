@@ -20,15 +20,25 @@ import (
 //
 // The worker budget opt.Workers() is split between the two levels instead
 // of applied at both: one pool of min(workers, len(traces)) goroutines is
-// started once and pulls trace indices from a shared channel, and each
-// extraction runs its internal stages at workers/poolSize. Earlier versions
-// spun up a fresh full-width pool inside every Extract call on top of a
-// full-width batch fan-out, which both oversubscribed the CPU (up to
-// workers² transient goroutines) and paid the pool start/stop cost once per
-// trace per stage; on small traces that overhead made batching slower than
-// the serial loop. A pool of one (workers == 1, or a single trace) runs
-// inline on the calling goroutine with the full budget handed to the inner
-// stages, reproducing plain sequential Extract calls exactly.
+// started once and pulls trace indices from a shared channel, and each pool
+// slot runs its extractions' internal stages at its share of the budget
+// (splitBudget), so the slot shares always sum to the full budget — with
+// workers=4 over 3 traces the slots run at 2/1/1 inner workers instead of
+// the earlier uniform workers/pool = 1, which idled a core for the whole
+// batch. Earlier versions also spun up a fresh full-width pool inside every
+// Extract call on top of a full-width batch fan-out, which both
+// oversubscribed the CPU (up to workers² transient goroutines) and paid the
+// pool start/stop cost once per trace per stage; on small traces that
+// overhead made batching slower than the serial loop. A pool of one
+// (workers == 1, or a single trace) runs inline on the calling goroutine
+// with the full budget handed to the inner stages, reproducing plain
+// sequential Extract calls exactly. The inner split never changes output:
+// extraction is byte-identical at every worker count.
+//
+// A context attached via opt.Context cancels the batch cooperatively: each
+// pool slot polls it before starting the next trace, and the in-progress
+// extractions abort with one worker-chunk latency (see Options.Context).
+// The batch then fails with the lowest-indexed cancellation error.
 func ExtractBatch(traces []*trace.Trace, opt Options) ([]*Structure, error) {
 	out := make([]*Structure, len(traces))
 	if len(traces) == 0 {
@@ -50,15 +60,17 @@ func ExtractBatch(traces []*trace.Trace, opt Options) ([]*Structure, error) {
 	if pool > len(traces) {
 		pool = len(traces)
 	}
-	inner := opt
-	inner.Parallel = false
-	inner.Parallelism = workers / pool
-	if inner.Parallelism < 1 {
-		inner.Parallelism = 1
-	}
+	budgets := splitBudget(workers, pool)
 
 	errs := make([]error, len(traces))
-	extractInto := func(i int) {
+	extractInto := func(i, innerWorkers int) {
+		if err := opt.ctxErr(); err != nil {
+			errs[i] = fmt.Errorf("extract cancelled: %w", err)
+			return
+		}
+		inner := opt
+		inner.Parallel = false
+		inner.Parallelism = innerWorkers
 		out[i], errs[i] = Extract(traces[i], inner)
 		if out[i] != nil {
 			// The inner worker split is an execution detail; record the
@@ -69,7 +81,7 @@ func ExtractBatch(traces []*trace.Trace, opt Options) ([]*Structure, error) {
 
 	if pool <= 1 {
 		for i := range traces {
-			extractInto(i)
+			extractInto(i, workers)
 		}
 	} else {
 		// One long-lived pool for the whole batch: workers pull indices from
@@ -79,12 +91,12 @@ func ExtractBatch(traces []*trace.Trace, opt Options) ([]*Structure, error) {
 		var wg sync.WaitGroup
 		wg.Add(pool)
 		for w := 0; w < pool; w++ {
-			go func() {
+			go func(budget int) {
 				defer wg.Done()
 				for i := range work {
-					extractInto(i)
+					extractInto(i, budget)
 				}
-			}()
+			}(budgets[w])
 		}
 		for i := range traces {
 			work <- i
@@ -99,4 +111,24 @@ func ExtractBatch(traces []*trace.Trace, opt Options) ([]*Structure, error) {
 		}
 	}
 	return out, nil
+}
+
+// splitBudget distributes a worker budget over pool slots: every slot gets
+// at least budget/pool workers and the remainder goes to the first
+// budget%pool slots one worker each, so the shares always sum to
+// max(budget, pool) and no core idles behind an integer division. pool
+// must be positive.
+func splitBudget(budget, pool int) []int {
+	if budget < pool {
+		budget = pool // one worker per slot is the floor
+	}
+	shares := make([]int, pool)
+	base, extra := budget/pool, budget%pool
+	for i := range shares {
+		shares[i] = base
+		if i < extra {
+			shares[i]++
+		}
+	}
+	return shares
 }

@@ -117,3 +117,69 @@ func TestExtractBatchConcurrentCallers(t *testing.T) {
 		}
 	}
 }
+
+// TestSplitBudget: the inner-parallelism shares of a batch pool must always
+// sum to the full worker budget — the regression where workers=4 over 3
+// traces ran every slot at 4/3 = 1 inner worker idled a core for the whole
+// batch. Shares are distributed largest-first and never drop below one.
+func TestSplitBudget(t *testing.T) {
+	cases := []struct {
+		budget, pool int
+		want         []int
+	}{
+		{4, 3, []int{2, 1, 1}}, // the ISSUE regression: remainder to slot 0
+		{4, 4, []int{1, 1, 1, 1}},
+		{8, 3, []int{3, 3, 2}},
+		{7, 2, []int{4, 3}},
+		{1, 1, []int{1}},
+		{16, 5, []int{4, 3, 3, 3, 3}},
+		{2, 3, []int{1, 1, 1}}, // budget below pool: one worker per slot floor
+	}
+	for _, tc := range cases {
+		got := splitBudget(tc.budget, tc.pool)
+		if len(got) != len(tc.want) {
+			t.Fatalf("splitBudget(%d,%d) = %v, want %v", tc.budget, tc.pool, got, tc.want)
+		}
+		sum := 0
+		for i, s := range got {
+			if s != tc.want[i] {
+				t.Errorf("splitBudget(%d,%d) = %v, want %v", tc.budget, tc.pool, got, tc.want)
+				break
+			}
+			sum += s
+		}
+		wantSum := tc.budget
+		if wantSum < tc.pool {
+			wantSum = tc.pool
+		}
+		if sum != wantSum {
+			t.Errorf("splitBudget(%d,%d) shares sum to %d, want %d (total effective concurrency must equal the budget)",
+				tc.budget, tc.pool, sum, wantSum)
+		}
+	}
+}
+
+// TestSplitBudgetProperties: for a sweep of (budget, pool) shapes, shares
+// sum to the budget, are non-increasing, and never fall below one — so the
+// batch's total effective concurrency equals the budget whenever
+// budget >= pool, with no idle remainder.
+func TestSplitBudgetProperties(t *testing.T) {
+	for budget := 1; budget <= 12; budget++ {
+		for pool := 1; pool <= budget; pool++ {
+			shares := splitBudget(budget, pool)
+			sum := 0
+			for i, s := range shares {
+				if s < 1 {
+					t.Fatalf("splitBudget(%d,%d)[%d] = %d < 1", budget, pool, i, s)
+				}
+				if i > 0 && s > shares[i-1] {
+					t.Fatalf("splitBudget(%d,%d) not non-increasing: %v", budget, pool, shares)
+				}
+				sum += s
+			}
+			if sum != budget {
+				t.Fatalf("splitBudget(%d,%d) sums to %d, want the full budget", budget, pool, sum)
+			}
+		}
+	}
+}

@@ -22,9 +22,10 @@ const FingerprintVersion = 1
 //
 // Execution-only knobs are deliberately excluded — Parallelism and the
 // deprecated Parallel flag (the pipeline is byte-identical at every worker
-// count), and the Telemetry/Metrics sinks (recorders only observe). That
-// exclusion is what lets a result extracted at one parallelism serve
-// requests made at any other.
+// count), the Telemetry/Metrics sinks (recorders only observe), and
+// Context (cancellation aborts an extraction, it never changes a completed
+// one). That exclusion is what lets a result extracted at one parallelism
+// serve requests made at any other.
 //
 // ChareRank participates through a digest of its contents because it feeds
 // the Figure 7 tie-break, which reorders phase event lists.

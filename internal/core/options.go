@@ -26,6 +26,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 
 	"charmtrace/internal/telemetry"
@@ -106,6 +107,27 @@ type Options struct {
 	// suggestion that orderings aware of the data topology (e.g. neighbours
 	// in 3D space) are more intuitive than tie-breaking by chare ID.
 	ChareRank []int32
+
+	// Context, when non-nil, cancels the extraction cooperatively: the
+	// pipeline polls it at every stage boundary, between worker chunks of
+	// the parallel sweeps, at every enforce-orderability round and before
+	// every ordered phase, and Extract returns an error wrapping
+	// ctx.Err() (context.Canceled or context.DeadlineExceeded) instead of
+	// a Structure. Cancellation latency is therefore bounded by one worker
+	// chunk of the current stage, not by the whole extraction. Like
+	// Parallelism, Context is an execution-only knob: it is excluded from
+	// Fingerprint, and an extraction that completes is byte-identical with
+	// or without a context attached. nil never cancels.
+	Context context.Context
+}
+
+// ctxErr returns the cancellation state of the attached context: nil when
+// no context is attached or it is still live.
+func (o Options) ctxErr() error {
+	if o.Context == nil {
+		return nil
+	}
+	return o.Context.Err()
 }
 
 // Workers returns the effective worker count: Parallelism when positive,

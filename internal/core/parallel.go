@@ -76,14 +76,29 @@ func parallelFor(n, workers int, f func(i int)) {
 // opens one span per worker chunk, on worker lane idx+1 under the current
 // stage span, annotated with the chunk bounds — which is what makes fan-out
 // imbalance visible in a self-trace. Disabled recording takes the plain
-// path with no per-chunk work at all.
+// path with only the cancellation poll per chunk.
+//
+// Each chunk polls the extraction context before running: once the context
+// expires, the remaining chunks are skipped, so a cancelled extraction
+// releases its workers within one chunk's latency. The skipped chunks
+// leave stage state partial, which is safe because Extract's next stage
+// boundary converts the cancellation into an error and discards
+// everything.
 func (t *tel) parallelSpans(name string, n, workers int, f func(idx, lo, hi int)) {
 	if !t.rec.Enabled() {
-		parallelSpans(n, workers, f)
+		parallelSpans(n, workers, func(idx, lo, hi int) {
+			if t.cancelled() {
+				return
+			}
+			f(idx, lo, hi)
+		})
 		return
 	}
 	parent := t.cur
 	parallelSpans(n, workers, func(idx, lo, hi int) {
+		if t.cancelled() {
+			return
+		}
 		sp := t.rec.StartSpan(name, parent, telemetry.Lane(idx+1),
 			telemetry.Int("lo", int64(lo)), telemetry.Int("hi", int64(hi)))
 		f(idx, lo, hi)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -12,13 +13,21 @@ import (
 )
 
 // tel carries the telemetry context through the pipeline: the span sink,
-// the metrics registry backing Stats, and the span of the currently running
-// stage (the parent for worker and round spans). cur is only written
-// between parallel sections, so worker goroutines read it race-free.
+// the metrics registry backing Stats, the cancellation context, and the
+// span of the currently running stage (the parent for worker and round
+// spans). cur is only written between parallel sections, so worker
+// goroutines read it race-free.
 type tel struct {
 	rec telemetry.Recorder
 	reg *telemetry.Registry
+	ctx context.Context // nil = never cancelled
 	cur telemetry.SpanID
+}
+
+// cancelled reports whether the extraction's context has expired. Safe to
+// call from worker goroutines (ctx.Err is concurrency-safe).
+func (t *tel) cancelled() bool {
+	return t.ctx != nil && t.ctx.Err() != nil
 }
 
 // Extract recovers the logical structure of a trace (Section 3). The trace
@@ -35,7 +44,7 @@ func Extract(tr *trace.Trace, opt Options) (*Structure, error) {
 	if rec == nil {
 		rec = telemetry.Disabled
 	}
-	t := &tel{rec: rec, reg: telemetry.NewRegistry()}
+	t := &tel{rec: rec, reg: telemetry.NewRegistry(), ctx: opt.Context}
 	root := rec.StartSpan("extract", telemetry.NoSpan,
 		telemetry.Int("events", int64(len(tr.Events))),
 		telemetry.Int("workers", int64(workers)))
@@ -51,7 +60,18 @@ func Extract(tr *trace.Trace, opt Options) (*Structure, error) {
 	// stops the world).
 	memOn := rec.Enabled()
 	var m0, m1 runtime.MemStats
+	// cancelErr latches the first cancellation observed at a stage
+	// boundary; once set, the remaining stages are skipped and Extract
+	// returns the error instead of a (partially built) structure.
+	var cancelErr error
 	stage := func(name string, f func() int) {
+		if cancelErr != nil {
+			return
+		}
+		if err := opt.ctxErr(); err != nil {
+			cancelErr = err
+			return
+		}
 		t.cur = rec.StartSpan(name, root)
 		if memOn {
 			runtime.ReadMemStats(&m0)
@@ -100,6 +120,17 @@ func Extract(tr *trace.Trace, opt Options) (*Structure, error) {
 		return 0
 	})
 	rec.EndSpan(root)
+	if cancelErr == nil {
+		// Catch a cancellation that landed inside the final stage: its
+		// structure is partially stepped and must not escape.
+		cancelErr = opt.ctxErr()
+	}
+	if cancelErr != nil {
+		if opt.Metrics != nil {
+			t.reg.MergeInto(opt.Metrics)
+		}
+		return nil, fmt.Errorf("core: extract cancelled: %w", cancelErr)
+	}
 	s.Stats = statsFromRegistry(t.reg, workers)
 	if opt.Metrics != nil {
 		t.reg.MergeInto(opt.Metrics)
@@ -362,6 +393,12 @@ func enforceOrderability(tr *trace.Trace, a *atoms, opt Options, workers int, t 
 	hist := t.reg.Histogram("pipeline.enforce_round_ns")
 	stage := t.cur
 	for rounds = 0; rounds < maxRounds; rounds++ {
+		// Convergence can take many rounds on adversarial traces; a
+		// cancelled extraction must not ride the loop to the end. The
+		// partial merge state is discarded by Extract's boundary check.
+		if t.cancelled() {
+			return merged, rounds
+		}
 		start := time.Now()
 		if t.rec.Enabled() {
 			t.cur = t.rec.StartSpan("enforce-round", stage, telemetry.Int("round", int64(rounds)))

@@ -131,7 +131,13 @@ func assignSteps(tr *trace.Trace, opt Options, a *atoms, t *tel) *Structure {
 	// tracedOrderPhase wraps one phase with a span on the given worker
 	// lane: per-phase spans are what expose ordering-stage imbalance (one
 	// huge phase pinning a lane while the others drain) in a self-trace.
+	// Phases are the ordering stage's worker chunks: each one polls the
+	// extraction context first, so cancellation skips the remaining phases
+	// and Extract discards the partially stepped structure.
 	tracedOrderPhase := func(pi, lane int) {
+		if t.cancelled() {
+			return
+		}
 		if recording {
 			sp := t.rec.StartSpan("order-phase", parent, telemetry.Lane(lane),
 				telemetry.Int("phase", int64(pi)),

@@ -19,11 +19,22 @@
 //     requests for one uncached key trigger exactly one Extract, and the
 //     followers share the leader's result (a singleflight).
 //
+// Flights are detached from their requesters: the extraction runs on a
+// cache-owned goroutine with its own context, so a caller whose deadline
+// expires gets its error immediately while the flight keeps running and
+// populates the cache — a retry after a timeout coalesces onto the
+// still-running flight (or hits). Config.DetachedTimeout is the hard cap
+// after which an orphaned flight is itself cancelled (cooperatively, via
+// core.Options.Context) instead of burning CPU forever, and Close drains or
+// cancels outstanding flights for shutdown.
+//
 // Cached structures are shared between requests and must be treated as
 // read-only; everything the serving layer does (rendering, metrics,
 // structdiff) only reads. Every layer's traffic is counted in a
 // telemetry.Registry so /debug/stats can report hit rates and extraction
-// latency.
+// latency. When Config.MaxDiskBytes is set, the disk layer is size-bounded:
+// after each write the least-recently-modified entries are garbage-collected
+// until the store fits.
 package resultcache
 
 import (
@@ -32,9 +43,12 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -46,6 +60,13 @@ import (
 // DefaultMaxMemEntries bounds the in-memory LRU when Config leaves it zero.
 const DefaultMaxMemEntries = 64
 
+// DefaultDetachedTimeout caps a detached flight when Config leaves it zero.
+const DefaultDetachedTimeout = 5 * time.Minute
+
+// ErrClosed is returned by Get after Close: the cache is draining and
+// accepts no new flights. The serving layer maps it to 503.
+var ErrClosed = errors.New("resultcache: closed")
+
 // Config configures a Cache.
 type Config struct {
 	// Dir is the on-disk store directory, created if missing. Empty
@@ -54,35 +75,56 @@ type Config struct {
 	// MaxMemEntries bounds the in-memory LRU (0 = DefaultMaxMemEntries,
 	// negative = no memory layer).
 	MaxMemEntries int
+	// MaxDiskBytes bounds the on-disk store: after each write, entries are
+	// evicted least-recently-modified-first until the total fits. 0 leaves
+	// the store unbounded.
+	MaxDiskBytes int64
+	// DetachedTimeout is the hard cap on one detached flight's extraction:
+	// a flight every requester has abandoned is cancelled cooperatively
+	// once the cap expires, counted in cache.cancelled. 0 selects
+	// DefaultDetachedTimeout; negative disables the cap.
+	DetachedTimeout time.Duration
 	// Metrics receives the cache's counters and histograms. nil uses a
 	// private registry (still queryable via Registry()).
 	Metrics *telemetry.Registry
 	// Extract computes a structure on a full miss. nil uses core.Extract;
-	// tests substitute instrumented variants.
+	// tests substitute instrumented variants. The cache attaches the
+	// flight's detached context via opt.Context; a well-behaved extractor
+	// honors it (core.Extract does, at worker-chunk granularity).
 	Extract func(tr *trace.Trace, opt core.Options) (*core.Structure, error)
 }
 
 // Cache is the three-layer result cache. Safe for concurrent use.
 type Cache struct {
-	dir        string
-	maxEntries int
-	extract    func(tr *trace.Trace, opt core.Options) (*core.Structure, error)
+	dir             string
+	maxEntries      int
+	maxDiskBytes    int64
+	detachedTimeout time.Duration
+	extract         func(tr *trace.Trace, opt core.Options) (*core.Structure, error)
+	readFile        func(string) ([]byte, error) // os.ReadFile; swapped by fault-injection tests
 
-	reg        *telemetry.Registry
-	hits       *telemetry.Counter // total hits (memory + disk)
-	memHits    *telemetry.Counter
-	diskHits   *telemetry.Counter
-	misses     *telemetry.Counter // full misses (extraction ran)
-	coalesced  *telemetry.Counter // requests served by another request's flight
-	evictions  *telemetry.Counter
-	diskErrors *telemetry.Counter // unreadable/corrupt disk entries (self-healed)
-	extractMS  *telemetry.Histogram
-	memEntries *telemetry.Gauge
+	reg           *telemetry.Registry
+	hits          *telemetry.Counter // total hits (memory + disk)
+	memHits       *telemetry.Counter
+	diskHits      *telemetry.Counter
+	misses        *telemetry.Counter // full misses (extraction ran)
+	coalesced     *telemetry.Counter // requests served by another request's flight
+	cancelled     *telemetry.Counter // flights whose extraction was cancelled (hard cap / Close)
+	evictions     *telemetry.Counter
+	diskErrors    *telemetry.Counter // unreadable/corrupt disk entries (self-healed)
+	diskRetries   *telemetry.Counter // transient disk-read failures that were retried
+	diskEvictions *telemetry.Counter // entries GCed to honor MaxDiskBytes
+	extractMS     *telemetry.Histogram
+	memEntries    *telemetry.Gauge
 
 	mu      sync.Mutex
+	closed  bool
 	entries map[string]*list.Element
 	lru     *list.List // front = most recently used
 	flights map[string]*flight
+
+	flightWG sync.WaitGroup // outstanding detached flights, for Close
+	gcMu     sync.Mutex     // serializes disk GC sweeps
 }
 
 // entry is one memory-resident result.
@@ -91,11 +133,14 @@ type entry struct {
 	s  *core.Structure
 }
 
-// flight is one in-progress extraction other requests can join.
+// flight is one in-progress extraction other requests can join. The
+// extraction runs on a cache-owned goroutine under its own detached
+// context; cancel aborts it (the hard cap and Close both use it).
 type flight struct {
-	done chan struct{}
-	s    *core.Structure
-	err  error
+	done   chan struct{}
+	cancel context.CancelFunc
+	s      *core.Structure
+	err    error
 }
 
 // New opens a cache, creating the disk directory if configured.
@@ -120,23 +165,36 @@ func New(cfg Config) (*Cache, error) {
 	if ext == nil {
 		ext = core.Extract
 	}
+	dt := cfg.DetachedTimeout
+	if dt == 0 {
+		dt = DefaultDetachedTimeout
+	}
+	if dt < 0 {
+		dt = 0 // no cap
+	}
 	c := &Cache{
-		dir:        cfg.Dir,
-		maxEntries: max,
-		extract:    ext,
-		reg:        reg,
-		hits:       reg.Counter("cache.hits"),
-		memHits:    reg.Counter("cache.mem_hits"),
-		diskHits:   reg.Counter("cache.disk_hits"),
-		misses:     reg.Counter("cache.misses"),
-		coalesced:  reg.Counter("cache.coalesced"),
-		evictions:  reg.Counter("cache.evictions"),
-		diskErrors: reg.Counter("cache.disk_errors"),
-		extractMS:  reg.Histogram("cache.extract_ms"),
-		memEntries: reg.Gauge("cache.mem_entries"),
-		entries:    make(map[string]*list.Element),
-		lru:        list.New(),
-		flights:    make(map[string]*flight),
+		dir:             cfg.Dir,
+		maxEntries:      max,
+		maxDiskBytes:    cfg.MaxDiskBytes,
+		detachedTimeout: dt,
+		extract:         ext,
+		readFile:        os.ReadFile,
+		reg:             reg,
+		hits:            reg.Counter("cache.hits"),
+		memHits:         reg.Counter("cache.mem_hits"),
+		diskHits:        reg.Counter("cache.disk_hits"),
+		misses:          reg.Counter("cache.misses"),
+		coalesced:       reg.Counter("cache.coalesced"),
+		cancelled:       reg.Counter("cache.cancelled"),
+		evictions:       reg.Counter("cache.evictions"),
+		diskErrors:      reg.Counter("cache.disk_errors"),
+		diskRetries:     reg.Counter("cache.disk_retries"),
+		diskEvictions:   reg.Counter("cache.disk_evictions"),
+		extractMS:       reg.Histogram("cache.extract_ms"),
+		memEntries:      reg.Gauge("cache.mem_entries"),
+		entries:         make(map[string]*list.Element),
+		lru:             list.New(),
+		flights:         make(map[string]*flight),
 	}
 	return c, nil
 }
@@ -170,20 +228,46 @@ func (c *Cache) Len() int {
 	return c.lru.Len()
 }
 
+// Lookup returns the memory-resident structure for (traceDigest, opt)
+// without touching disk or starting a flight. It lets the serving layer
+// bypass admission control for requests that do no extraction work. A hit
+// counts like a Get memory hit.
+func (c *Cache) Lookup(traceDigest string, opt core.Options) (*core.Structure, bool) {
+	id := keyID(traceDigest, opt.Fingerprint())
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[id]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits.Add(1)
+	c.memHits.Add(1)
+	return el.Value.(*entry).s, true
+}
+
 // Get returns the recovered structure for (traceDigest, opt), serving from
 // memory, then disk, then a coalesced extraction. tr must be the decoded
 // trace the digest addresses; the first request for a key carries it to the
 // extractor, and every hit ignores it beyond a consistency check during
 // disk decode.
 //
-// ctx bounds only this caller's wait: a timed-out follower abandons the
-// flight but the leader's extraction runs to completion and populates the
-// cache, so a retry after a timeout usually hits. The returned structure is
-// shared — treat it as read-only.
+// ctx bounds only this caller's wait. The extraction itself runs on a
+// cache-owned goroutine under a detached context: a caller that times out
+// (leader or follower alike) gets ctx.Err() immediately while the flight
+// keeps running and populates the cache, so an immediate retry coalesces
+// onto the same flight — it never starts a second extraction — and a later
+// one hits. A flight only dies with the process, with Close, or at the
+// DetachedTimeout hard cap. The returned structure is shared — treat it as
+// read-only.
 func (c *Cache) Get(ctx context.Context, traceDigest string, tr *trace.Trace, opt core.Options) (*core.Structure, error) {
 	id := keyID(traceDigest, opt.Fingerprint())
 
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
 	if el, ok := c.entries[id]; ok {
 		c.lru.MoveToFront(el)
 		c.mu.Unlock()
@@ -191,38 +275,88 @@ func (c *Cache) Get(ctx context.Context, traceDigest string, tr *trace.Trace, op
 		c.memHits.Add(1)
 		return el.Value.(*entry).s, nil
 	}
-	if fl, ok := c.flights[id]; ok {
-		c.mu.Unlock()
+	fl, joined := c.flights[id]
+	if !joined {
+		fl = c.launchFlightLocked(id, tr, opt)
+	}
+	c.mu.Unlock()
+	if joined {
 		c.coalesced.Add(1)
-		select {
-		case <-fl.done:
-			return fl.s, fl.err
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
 	}
-	fl := &flight{done: make(chan struct{})}
-	c.flights[id] = fl
-	c.mu.Unlock()
-
-	fl.s, fl.err = c.fill(id, tr, opt)
-	c.mu.Lock()
-	delete(c.flights, id)
-	if fl.err == nil {
-		c.insertLocked(id, fl.s)
+	select {
+	case <-fl.done:
+		return fl.s, fl.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
-	c.mu.Unlock()
-	close(fl.done)
-	return fl.s, fl.err
 }
 
-// fill resolves a memory miss as the flight leader: disk, then extraction.
-func (c *Cache) fill(id string, tr *trace.Trace, opt core.Options) (*core.Structure, error) {
+// launchFlightLocked registers and starts the detached flight for a key.
+// Caller holds c.mu.
+func (c *Cache) launchFlightLocked(id string, tr *trace.Trace, opt core.Options) *flight {
+	fctx := context.Background()
+	var cancel context.CancelFunc
+	if c.detachedTimeout > 0 {
+		fctx, cancel = context.WithTimeout(fctx, c.detachedTimeout)
+	} else {
+		fctx, cancel = context.WithCancel(fctx)
+	}
+	fl := &flight{done: make(chan struct{}), cancel: cancel}
+	c.flights[id] = fl
+	c.flightWG.Add(1)
+	go func() {
+		defer c.flightWG.Done()
+		defer cancel()
+		fl.s, fl.err = c.fill(fctx, id, tr, opt)
+		c.mu.Lock()
+		delete(c.flights, id)
+		if fl.err == nil {
+			c.insertLocked(id, fl.s)
+		}
+		c.mu.Unlock()
+		close(fl.done)
+	}()
+	return fl
+}
+
+// Close drains the cache for shutdown: new Gets fail with ErrClosed, and
+// outstanding flights get until ctx expires to finish populating the cache;
+// past the deadline they are cancelled cooperatively and Close waits for
+// them to unwind. Close returns nil when every flight drained cleanly.
+func (c *Cache) Close(ctx context.Context) error {
+	c.mu.Lock()
+	c.closed = true
+	cancels := make([]context.CancelFunc, 0, len(c.flights))
+	for _, fl := range c.flights {
+		cancels = append(cancels, fl.cancel)
+	}
+	c.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		c.flightWG.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		for _, cancel := range cancels {
+			cancel()
+		}
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// fill resolves a memory miss as the flight leader: disk, then extraction
+// under the flight's detached context.
+func (c *Cache) fill(ctx context.Context, id string, tr *trace.Trace, opt core.Options) (*core.Structure, error) {
 	wantFP := opt.Fingerprint()
 	path := ""
 	if c.dir != "" {
 		path = filepath.Join(c.dir, id+".cstr")
-		if data, err := os.ReadFile(path); err == nil {
+		if data, err := c.readDisk(path); err == nil {
 			s, fp, err := core.DecodeStructure(bytes.NewReader(data), tr)
 			if err == nil && fp == wantFP {
 				c.hits.Add(1)
@@ -237,8 +371,13 @@ func (c *Cache) fill(id string, tr *trace.Trace, opt core.Options) (*core.Struct
 
 	c.misses.Add(1)
 	start := time.Now()
+	opt.Context = ctx
 	s, err := c.extract(tr, opt)
 	if err != nil {
+		if ctx.Err() != nil {
+			// The detached flight itself was cancelled (hard cap or Close).
+			c.cancelled.Add(1)
+		}
 		return nil, fmt.Errorf("resultcache: extract: %w", err)
 	}
 	c.extractMS.Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
@@ -247,14 +386,30 @@ func (c *Cache) fill(id string, tr *trace.Trace, opt core.Options) (*core.Struct
 			// Disk persistence is an optimization; the request still
 			// succeeds from memory.
 			c.diskErrors.Add(1)
+		} else if c.maxDiskBytes > 0 {
+			c.gcDisk()
 		}
 	}
 	return s, nil
 }
 
+// readDisk reads a cache entry, retrying exactly once on a transient
+// failure: a missing file is a plain miss, but an EIO/EMFILE-style error on
+// a file that should exist gets one more chance before the entry is
+// declared unreadable and re-extracted.
+func (c *Cache) readDisk(path string) ([]byte, error) {
+	data, err := c.readFile(path)
+	if err == nil || os.IsNotExist(err) {
+		return data, err
+	}
+	c.diskRetries.Add(1)
+	return c.readFile(path)
+}
+
 // writeDisk persists an encoded result atomically (temp file + rename), so
 // a crash mid-write never leaves a truncated entry a later decode would
-// reject.
+// reject. The entry is world-readable (0644, not CreateTemp's 0600) so
+// operators and sidecar readers can inspect .cstr files in place.
 func (c *Cache) writeDisk(path string, s *core.Structure) error {
 	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
 	if err != nil {
@@ -265,11 +420,59 @@ func (c *Cache) writeDisk(path string, s *core.Structure) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
 	return os.Rename(tmp.Name(), path)
+}
+
+// gcDisk enforces MaxDiskBytes: when the .cstr entries outgrow the bound,
+// the least-recently-modified ones are removed until the store fits.
+// Serialized by gcMu; concurrent flights just queue behind the sweep.
+func (c *Cache) gcDisk() {
+	c.gcMu.Lock()
+	defer c.gcMu.Unlock()
+	type fileInfo struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	var files []fileInfo
+	var total int64
+	for _, de := range entries {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".cstr") {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, fileInfo{filepath.Join(c.dir, de.Name()), info.Size(), info.ModTime()})
+		total += info.Size()
+	}
+	if total <= c.maxDiskBytes {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	for _, f := range files {
+		if total <= c.maxDiskBytes {
+			break
+		}
+		if os.Remove(f.path) == nil {
+			total -= f.size
+			c.diskEvictions.Add(1)
+		}
+	}
 }
 
 // insertLocked adds a result to the memory LRU, evicting from the back.

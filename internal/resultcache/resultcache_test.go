@@ -3,6 +3,7 @@ package resultcache
 import (
 	"bytes"
 	"context"
+	"errors"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -299,5 +300,324 @@ func TestCorruptDiskEntrySelfHeals(t *testing.T) {
 	}
 	if _, _, err := core.DecodeStructure(bytes.NewReader(data), tr); err != nil {
 		t.Errorf("healed disk entry does not decode: %v", err)
+	}
+}
+
+// TestTimeoutThenRetryCoalesces: a leader whose context expires mid-flight
+// gets its error immediately, and an immediate retry joins the
+// still-running flight instead of starting a second extraction.
+func TestTimeoutThenRetryCoalesces(t *testing.T) {
+	tr, digest := testTrace(t)
+	gate := make(chan struct{})
+	var calls atomic.Int64
+	c, err := New(Config{
+		Extract: func(tr *trace.Trace, opt core.Options) (*core.Structure, error) {
+			calls.Add(1)
+			<-gate
+			return core.Extract(tr, opt)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+
+	// A pre-cancelled context makes the timeout deterministic: the first Get
+	// launches the flight, then immediately abandons it.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Get(cancelled, digest, tr, opt); err != context.Canceled {
+		t.Fatalf("timed-out leader returned %v, want context.Canceled", err)
+	}
+
+	// Retry: must coalesce onto the surviving flight, not re-extract.
+	retryDone := make(chan error, 1)
+	var retried *core.Structure
+	go func() {
+		var err error
+		retried, err = c.Get(context.Background(), digest, tr, opt)
+		retryDone <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for counter(c.Registry(), "cache.coalesced") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("retry never joined the flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("Extract ran %d times, want exactly 1", got)
+	}
+	close(gate)
+	if err := <-retryDone; err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	if retried == nil {
+		t.Fatal("retry returned nil structure")
+	}
+	if got := counter(c.Registry(), "cache.cancelled"); got != 0 {
+		t.Errorf("cancelled = %d, want 0 (the flight itself was never cancelled)", got)
+	}
+}
+
+// TestDetachedLeaderPopulatesCache: a flight every requester abandoned still
+// runs to completion and populates the cache, so a later request is a
+// memory hit, not a re-extraction.
+func TestDetachedLeaderPopulatesCache(t *testing.T) {
+	tr, digest := testTrace(t)
+	gate := make(chan struct{})
+	var calls atomic.Int64
+	c, err := New(Config{
+		Extract: func(tr *trace.Trace, opt core.Options) (*core.Structure, error) {
+			calls.Add(1)
+			<-gate
+			return core.Extract(tr, opt)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Get(cancelled, digest, tr, opt); err != context.Canceled {
+		t.Fatalf("abandoning leader returned %v, want context.Canceled", err)
+	}
+	close(gate)
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Len() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned flight never populated the cache")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s, err := c.Get(context.Background(), digest, tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil {
+		t.Fatal("nil structure from populated cache")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("Extract ran %d times, want exactly 1", got)
+	}
+	if got := counter(c.Registry(), "cache.mem_hits"); got != 1 {
+		t.Errorf("mem_hits = %d, want 1", got)
+	}
+}
+
+// TestDetachedTimeoutCancelsFlight: the hard cap cancels an orphaned flight
+// cooperatively via the extraction context, counted in cache.cancelled.
+func TestDetachedTimeoutCancelsFlight(t *testing.T) {
+	tr, digest := testTrace(t)
+	c, err := New(Config{
+		DetachedTimeout: 50 * time.Millisecond,
+		Extract: func(tr *trace.Trace, opt core.Options) (*core.Structure, error) {
+			<-opt.Context.Done()
+			return nil, opt.Context.Err()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(context.Background(), digest, tr, core.DefaultOptions()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("capped flight returned %v, want context.DeadlineExceeded", err)
+	}
+	if got := counter(c.Registry(), "cache.cancelled"); got != 1 {
+		t.Errorf("cancelled = %d, want 1", got)
+	}
+}
+
+// TestDiskEntryMode: entries land world-readable (0644), not with
+// os.CreateTemp's private 0600.
+func TestDiskEntryMode(t *testing.T) {
+	tr, digest := testTrace(t)
+	c, err := New(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	if _, err := c.Get(context.Background(), digest, tr, opt); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(c.DiskPath(digest, opt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := info.Mode().Perm(); got != 0o644 {
+		t.Errorf("disk entry mode = %o, want 644", got)
+	}
+}
+
+// TestDiskGCEvictsOldestFirst: with MaxDiskBytes set, the
+// least-recently-modified entry is evicted first and the newest survives.
+func TestDiskGCEvictsOldestFirst(t *testing.T) {
+	tr, digest := testTrace(t)
+	dir := t.TempDir()
+	c, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	optA := core.DefaultOptions()
+	optB := core.DefaultOptions()
+	optB.Reorder = false
+	ctx := context.Background()
+	if _, err := c.Get(ctx, digest, tr, optA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(ctx, digest, tr, optB); err != nil {
+		t.Fatal(err)
+	}
+	pathA, pathB := c.DiskPath(digest, optA), c.DiskPath(digest, optB)
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(pathA, old, old); err != nil {
+		t.Fatal(err)
+	}
+	infoB, err := os.Stat(pathB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.maxDiskBytes = infoB.Size() // room for exactly the newer entry
+	c.gcDisk()
+	if _, err := os.Stat(pathA); !os.IsNotExist(err) {
+		t.Errorf("oldest entry survived GC (stat err %v)", err)
+	}
+	if _, err := os.Stat(pathB); err != nil {
+		t.Errorf("newest entry evicted: %v", err)
+	}
+	if got := counter(c.Registry(), "cache.disk_evictions"); got != 1 {
+		t.Errorf("disk_evictions = %d, want 1", got)
+	}
+}
+
+// TestDiskReadRetriesTransientError: one transient read failure on an
+// existing entry is retried, not treated as a miss.
+func TestDiskReadRetriesTransientError(t *testing.T) {
+	tr, digest := testTrace(t)
+	dir := t.TempDir()
+	c1, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	if _, err := c1.Get(context.Background(), digest, tr, opt); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads atomic.Int64
+	c2.readFile = func(path string) ([]byte, error) {
+		if reads.Add(1) == 1 {
+			return nil, errors.New("simulated EIO")
+		}
+		return os.ReadFile(path)
+	}
+	if _, err := c2.Get(context.Background(), digest, tr, opt); err != nil {
+		t.Fatal(err)
+	}
+	reg := c2.Registry()
+	if got := counter(reg, "cache.disk_retries"); got != 1 {
+		t.Errorf("disk_retries = %d, want 1", got)
+	}
+	if got := counter(reg, "cache.disk_hits"); got != 1 {
+		t.Errorf("disk_hits = %d, want 1 (retry should have served the entry)", got)
+	}
+	if got := counter(reg, "cache.misses"); got != 0 {
+		t.Errorf("misses = %d, want 0", got)
+	}
+}
+
+// TestCloseDrainsFlights: Close waits for in-flight extractions, which
+// still populate the cache, and subsequent Gets fail with ErrClosed.
+func TestCloseDrainsFlights(t *testing.T) {
+	tr, digest := testTrace(t)
+	gate := make(chan struct{})
+	c, err := New(Config{
+		Extract: func(tr *trace.Trace, opt core.Options) (*core.Structure, error) {
+			<-gate
+			return core.Extract(tr, opt)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Get(cancelled, digest, tr, core.DefaultOptions()); err != context.Canceled {
+		t.Fatalf("leader returned %v, want context.Canceled", err)
+	}
+	closeDone := make(chan error, 1)
+	go func() { closeDone <- c.Close(context.Background()) }()
+	select {
+	case err := <-closeDone:
+		t.Fatalf("Close returned %v before the flight drained", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(gate)
+	if err := <-closeDone; err != nil {
+		t.Errorf("Close = %v, want nil after clean drain", err)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1: drained flight must populate the cache", c.Len())
+	}
+	if _, err := c.Get(context.Background(), digest, tr, core.DefaultOptions()); err != ErrClosed {
+		t.Errorf("post-Close Get = %v, want ErrClosed", err)
+	}
+}
+
+// TestCloseDeadlineCancelsFlights: past its deadline, Close cancels
+// outstanding flights cooperatively instead of hanging.
+func TestCloseDeadlineCancelsFlights(t *testing.T) {
+	tr, digest := testTrace(t)
+	c, err := New(Config{
+		DetachedTimeout: -1, // no hard cap: only Close can stop this flight
+		Extract: func(tr *trace.Trace, opt core.Options) (*core.Structure, error) {
+			<-opt.Context.Done()
+			return nil, opt.Context.Err()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Get(cancelled, digest, tr, core.DefaultOptions()); err != context.Canceled {
+		t.Fatalf("leader returned %v, want context.Canceled", err)
+	}
+	ctx, cancelClose := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancelClose()
+	if err := c.Close(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Close = %v, want context.DeadlineExceeded", err)
+	}
+	if got := counter(c.Registry(), "cache.cancelled"); got != 1 {
+		t.Errorf("cancelled = %d, want 1", got)
+	}
+}
+
+// TestLookupPeeksMemoryOnly: Lookup serves memory hits without starting a
+// flight or touching disk.
+func TestLookupPeeksMemoryOnly(t *testing.T) {
+	tr, digest := testTrace(t)
+	c, err := New(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	if _, ok := c.Lookup(digest, opt); ok {
+		t.Fatal("Lookup hit an empty cache")
+	}
+	want, err := c.Get(context.Background(), digest, tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Lookup(digest, opt)
+	if !ok || got != want {
+		t.Errorf("Lookup = (%p, %v), want the cached structure", got, ok)
+	}
+	if n := counter(c.Registry(), "cache.mem_hits"); n != 1 {
+		t.Errorf("mem_hits = %d, want 1", n)
 	}
 }

@@ -26,6 +26,8 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -51,17 +53,36 @@ type Config struct {
 	MaxUploadBytes int64
 	// RequestTimeout bounds one analysis request's wait, including any
 	// extraction it joins (0 = 60s). The extraction itself always runs to
-	// completion to populate the cache.
+	// completion to populate the cache (see resultcache's detached flights).
 	RequestTimeout time.Duration
 	// Parallelism is the extraction worker count (0 = all cores). It never
 	// changes response bytes, only latency.
 	Parallelism int
+	// MaxConcurrentExtractions bounds how many analysis requests may hold an
+	// extraction slot at once (0 = GOMAXPROCS; negative = unlimited).
+	// Requests beyond the bound queue for QueueWait, then are shed with 429
+	// and a Retry-After hint. Memory-cache hits bypass admission entirely.
+	MaxConcurrentExtractions int
+	// QueueWait is how long an analysis request may wait for an extraction
+	// slot before being shed (0 = 1s).
+	QueueWait time.Duration
+	// DetachedTimeout is the hard cap on an extraction flight that every
+	// requester has abandoned (0 = resultcache.DefaultDetachedTimeout;
+	// negative disables the cap).
+	DetachedTimeout time.Duration
+	// MaxResultBytes bounds the on-disk result store; the least-recently-
+	// modified entries are garbage-collected past it (0 = unbounded).
+	MaxResultBytes int64
 	// Metrics is the server-wide registry (nil = a private one).
 	Metrics *telemetry.Registry
 	// SelfTrace attaches a span collector to every extraction and enables
 	// /debug/selftrace. Spans accumulate for the life of the process, so
 	// this is a debugging switch, not a production default.
 	SelfTrace bool
+
+	// extract substitutes the cache's extraction function in tests
+	// (instrumented stubs that block or count). nil = core.Extract.
+	extract func(tr *trace.Trace, opt core.Options) (*core.Structure, error)
 }
 
 // traceEntry is one known trace. tr is nil until loaded (traces found on
@@ -87,10 +108,17 @@ type Server struct {
 	mu     sync.RWMutex
 	traces map[string]*traceEntry
 
-	inflight  atomic.Int64
-	inflightG *telemetry.Gauge
-	requests  *telemetry.Counter
-	uploads   *telemetry.Counter
+	// sem is the extraction-admission semaphore (nil = unlimited); closing
+	// flips on Shutdown, after which every request gets 503.
+	sem     chan struct{}
+	closing atomic.Bool
+
+	inflight    atomic.Int64
+	inflightG   *telemetry.Gauge
+	requests    *telemetry.Counter
+	uploads     *telemetry.Counter
+	shed        *telemetry.Counter   // requests rejected with 429 (server.shed)
+	queueWaitMS *telemetry.Histogram // time spent waiting for a slot (server.queue_wait_ms)
 }
 
 // New builds a server, creating DataDir subdirectories and indexing any
@@ -101,6 +129,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 60 * time.Second
+	}
+	if cfg.MaxConcurrentExtractions == 0 {
+		cfg.MaxConcurrentExtractions = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueWait <= 0 {
+		cfg.QueueWait = time.Second
 	}
 	reg := cfg.Metrics
 	if reg == nil {
@@ -114,21 +148,29 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	cache, err := resultcache.New(resultcache.Config{
-		Dir:           resultDir,
-		MaxMemEntries: cfg.MaxMemEntries,
-		Metrics:       reg,
+		Dir:             resultDir,
+		MaxMemEntries:   cfg.MaxMemEntries,
+		MaxDiskBytes:    cfg.MaxResultBytes,
+		DetachedTimeout: cfg.DetachedTimeout,
+		Metrics:         reg,
+		Extract:         cfg.extract,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
 	s := &Server{
-		cfg:       cfg,
-		reg:       reg,
-		cache:     cache,
-		traces:    make(map[string]*traceEntry),
-		inflightG: reg.Gauge("server.inflight"),
-		requests:  reg.Counter("server.requests"),
-		uploads:   reg.Counter("server.uploads"),
+		cfg:         cfg,
+		reg:         reg,
+		cache:       cache,
+		traces:      make(map[string]*traceEntry),
+		inflightG:   reg.Gauge("server.inflight"),
+		requests:    reg.Counter("server.requests"),
+		uploads:     reg.Counter("server.uploads"),
+		shed:        reg.Counter("server.shed"),
+		queueWaitMS: reg.Histogram("server.queue_wait_ms"),
+	}
+	if cfg.MaxConcurrentExtractions > 0 {
+		s.sem = make(chan struct{}, cfg.MaxConcurrentExtractions)
 	}
 	if cfg.SelfTrace {
 		s.collector = telemetry.NewCollector()
@@ -137,9 +179,31 @@ func New(cfg Config) (*Server, error) {
 		if err := s.indexTraceDir(); err != nil {
 			return nil, err
 		}
+		s.cleanSpool()
 	}
 	s.routes()
 	return s, nil
+}
+
+// cleanSpool removes stale upload spool files a crashed predecessor left in
+// the trace directory. Anything older than an hour cannot belong to an
+// in-progress upload of this process.
+func (s *Server) cleanSpool() {
+	entries, err := os.ReadDir(s.tracesDir())
+	if err != nil {
+		return
+	}
+	cutoff := time.Now().Add(-time.Hour)
+	for _, de := range entries {
+		if de.IsDir() || !strings.HasPrefix(de.Name(), ".upload-") {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil || info.ModTime().After(cutoff) {
+			continue
+		}
+		os.Remove(filepath.Join(s.tracesDir(), de.Name()))
+	}
 }
 
 // Registry returns the server's metrics registry (the /debug/stats source).
@@ -259,6 +323,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	latency := s.reg.Histogram("server.latency_ms." + route)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.closing.Load() {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"error": "server shutting down"})
+			return
+		}
 		s.requests.Add(1)
 		s.inflightG.Set(float64(s.inflight.Add(1)))
 		defer func() { s.inflightG.Set(float64(s.inflight.Add(-1))) }()
@@ -288,19 +358,38 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// overloadError reports a request shed by admission control, carrying the
+// Retry-After hint httpError renders alongside the 429.
+type overloadError struct{ retryAfter time.Duration }
+
+func (e *overloadError) Error() string {
+	return fmt.Sprintf("server overloaded: no extraction slot within %v", e.retryAfter)
+}
+
 // httpError writes a JSON error body with the status mapped from err:
 // unknown digests are 404, malformed traces and bad parameters 400,
-// oversized uploads 413, timeouts 504, everything else 500.
+// oversized uploads 413, shed requests 429 (with Retry-After), timeouts
+// 504, a draining server 503, everything else 500.
 func httpError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	var maxBytes *http.MaxBytesError
+	var overload *overloadError
 	switch {
 	case errors.As(err, &maxBytes):
 		code = http.StatusRequestEntityTooLarge
+	case errors.As(err, &overload):
+		code = http.StatusTooManyRequests
+		secs := int(overload.retryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	case errors.Is(err, errUnknownTrace):
 		code = http.StatusNotFound
 	case errors.Is(err, tracefile.ErrMalformed), errors.Is(err, errBadRequest):
 		code = http.StatusBadRequest
+	case errors.Is(err, resultcache.ErrClosed):
+		code = http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		code = http.StatusGatewayTimeout
 	}
@@ -363,16 +452,73 @@ func (s *Server) extractOptions(r *http.Request) (core.Options, error) {
 	return opt, nil
 }
 
-// structureFor resolves (digest, request options) through the cache.
+// acquireSlot admits an analysis request to the extraction path: it waits
+// up to QueueWait (bounded also by the request context) for a semaphore
+// slot, records the wait in server.queue_wait_ms, and sheds with a 429-
+// mapped overloadError when the queue deadline passes first. The returned
+// release func is non-nil exactly when a slot was taken.
+func (s *Server) acquireSlot(ctx context.Context) (release func(), err error) {
+	if s.sem == nil {
+		return func() {}, nil
+	}
+	start := time.Now()
+	defer func() {
+		s.queueWaitMS.Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
+	}()
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, nil
+	default:
+	}
+	timer := time.NewTimer(s.cfg.QueueWait)
+	defer timer.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, nil
+	case <-timer.C:
+		s.shed.Add(1)
+		return nil, &overloadError{retryAfter: s.cfg.QueueWait}
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// structureFor resolves (digest, request options) through the cache. A
+// memory hit is served without touching admission control; everything else
+// (disk read, coalesced wait, extraction) holds an extraction slot, and a
+// caller whose context dies releases the slot immediately — the detached
+// flight keeps running without it.
 func (s *Server) structureFor(ctx context.Context, digest string, opt core.Options) (*core.Structure, error) {
 	tr, err := s.lookupTrace(digest)
 	if err != nil {
 		return nil, err
 	}
+	if st, ok := s.cache.Lookup(digest, opt); ok {
+		return st, nil
+	}
+	release, err := s.acquireSlot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	return s.cache.Get(ctx, digest, tr, opt)
 }
 
-// Shutdown releases server resources. The HTTP listener drain itself is
-// the owner http.Server's job (see cmd/charmd); this hook exists for
-// symmetry and future state (e.g. flushing write-behind persistence).
-func (s *Server) Shutdown(ctx context.Context) error { return nil }
+// Shutdown drains the server: new requests are refused with 503, in-flight
+// handlers get until ctx expires to finish, and then the result cache is
+// closed — outstanding detached flights drain too (or are cancelled
+// cooperatively past the deadline). Safe to call once; the HTTP listener
+// drain itself is the owner http.Server's job (see cmd/charmd).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closing.Store(true)
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for s.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return s.cache.Close(ctx)
+		case <-tick.C:
+		}
+	}
+	return s.cache.Close(ctx)
+}

@@ -32,6 +32,13 @@ var binaryMagic = [4]byte{'C', 'T', 'R', 'B'}
 // binaryVersion is the current binary format version.
 const binaryVersion = 1
 
+// MaxPE caps the decoded PE count. trace.Index allocates per-PE state, so
+// an unchecked count from an untrusted header (a 4-byte field can claim 4
+// billion PEs) would turn a 10-byte upload into a multi-gigabyte
+// allocation; 1<<20 is an order of magnitude past the largest machines the
+// paper targets. Found by FuzzReadAuto.
+const MaxPE = 1 << 20
+
 type bwriter struct {
 	w   *bufio.Writer
 	err error
@@ -205,6 +212,9 @@ func ReadBinary(r io.Reader) (*trace.Trace, error) {
 		}
 	}
 	t := &trace.Trace{NumPE: int(b.u32())}
+	if b.err == nil && t.NumPE > MaxPE {
+		return nil, malformed(fmt.Errorf("tracefile: pe count %d out of range [0, %d]", t.NumPE, MaxPE))
+	}
 	for i, n := 0, b.count("entry"); i < n && b.err == nil; i++ {
 		e := trace.Entry{ID: trace.EntryID(i)}
 		e.SDAGSerial = int(b.i32())

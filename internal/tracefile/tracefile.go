@@ -95,6 +95,9 @@ func Read(r io.Reader) (*trace.Trace, error) {
 		switch kind {
 		case "pe":
 			t.NumPE, err = strconv.Atoi(rest)
+			if err == nil && (t.NumPE < 0 || t.NumPE > MaxPE) {
+				err = fmt.Errorf("pe count %d out of range [0, %d]", t.NumPE, MaxPE)
+			}
 		case "entry":
 			err = parseEntry(t, rest)
 		case "chare":
