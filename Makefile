@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify fuzz bench bench-overhead fmt serve
+.PHONY: build test verify lint fuzz bench bench-overhead fmt serve
 
 build:
 	$(GO) build ./...
@@ -10,11 +10,21 @@ test:
 
 # verify is the tier-1 recipe (see README "Testing" and
 # .claude/skills/verify/SKILL.md), plus a -race leg over the concurrent
-# serving packages (result cache singleflight, HTTP handlers).
+# serving packages (result cache singleflight, HTTP handlers, query
+# engine).
 verify: build test
 	$(GO) vet ./...
 	$(GO) test -race ./internal/core ./internal/partition ./internal/tracefile
-	$(GO) test -race ./internal/resultcache ./internal/server
+	$(GO) test -race ./internal/resultcache ./internal/server ./internal/query
+
+# lint runs staticcheck when it is installed (CI installs it; offline dev
+# boxes may not have it — the gate keeps `make lint` usable everywhere).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 # fuzz is the CI smoke leg: a short coverage-guided run over the
 # untrusted-input decoders (ReadAuto/ReadAutoDigest). The checked-in corpus

@@ -1,0 +1,262 @@
+// Command chquery runs structure queries — indexed slicing, aggregation
+// and paging over a trace's recovered logical structure — against a local
+// trace file, a generated workload, or a remote charmd server.
+//
+// Usage:
+//
+//	chquery -app jacobi -select steps -chares 1,3 -steps 9..40
+//	chquery -in run.trace -select metrics -group-by chare -aggs count,sum
+//	chquery -app lulesh -select viz -steps 0..60
+//	chquery -server http://localhost:8080 -digest <digest> -select structure
+//	chquery -app jacobi -spec '{"select":"steps","limit":10}'
+//
+// The filter flags mirror the charmd GET parameters; -spec takes a raw
+// JSON query spec instead (prefix @ to read it from a file). -limit pages
+// the result; -all follows cursors until the result is exhausted.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+
+	"charmtrace/internal/cli"
+	"charmtrace/internal/core"
+	"charmtrace/internal/query"
+	"charmtrace/internal/trace"
+	"charmtrace/internal/tracefile"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "chquery:", err)
+		os.Exit(1)
+	}
+}
+
+// page is the wire/output shape: a superset of the charmd query response.
+type page struct {
+	Digest      string           `json:"digest,omitempty"`
+	Fingerprint string           `json:"fingerprint,omitempty"`
+	Select      string           `json:"select"`
+	TotalRows   int              `json:"total_rows"`
+	Window      *query.StepRange `json:"window,omitempty"`
+	Rows        []map[string]any `json:"rows"`
+	NextCursor  string           `json:"next_cursor,omitempty"`
+}
+
+func run() error {
+	in := flag.String("in", "", "input trace file")
+	app := flag.String("app", "", "generate this workload instead of reading a file")
+	server := flag.String("server", "", "query a remote charmd at this base URL (requires -digest)")
+	digest := flag.String("digest", "", "trace digest on the remote server")
+	mp := flag.Bool("mp", false, "message-passing analysis options (remote: preset=mp)")
+	iters := flag.Int("iters", 0, "iteration override for -app")
+	scale := flag.Int("scale", 0, "size override for -app")
+	seed := flag.Int64("seed", 0, "seed override for -app")
+	parallelism := flag.Int("parallelism", 0, "extraction worker count for local mode (0 = all cores; output is identical)")
+
+	sel := flag.String("select", "structure", "row kind: structure | steps | metrics | viz")
+	phases := flag.String("phases", "", "filter: comma-separated phase ids")
+	chares := flag.String("chares", "", "filter: comma-separated chare ids")
+	steps := flag.String("steps", "", "filter: global step window from..to (or a single step)")
+	groupBy := flag.String("group-by", "", "aggregate select=metrics rows by phase or chare")
+	aggs := flag.String("aggs", "", "aggregates for -group-by: comma-separated count,sum,mean,max")
+	fields := flag.String("fields", "", "project rows to these comma-separated columns")
+	limit := flag.Int("limit", 0, "rows per page (0 = everything)")
+	cursor := flag.String("cursor", "", "resume after this page cursor")
+	all := flag.Bool("all", false, "follow cursors and print the concatenated result")
+	rawSpec := flag.String("spec", "", "raw JSON query spec (@file to read from a file); overrides the filter flags")
+	tele := cli.NewTelemetry("chquery", flag.CommandLine)
+	flag.Parse()
+	if err := tele.Start(); err != nil {
+		return err
+	}
+
+	spec, err := buildSpec(*rawSpec, *sel, *phases, *chares, *steps, *groupBy, *aggs, *fields, *limit, *cursor)
+	if err != nil {
+		return err
+	}
+	if *all && spec.Limit == 0 {
+		// -all needs pages to follow; pick a transport-friendly page size.
+		spec.Limit = 1000
+	}
+
+	fetch, err := newFetcher(fetcherConfig{
+		in: *in, app: *app, server: *server, digest: *digest, mp: *mp,
+		iters: *iters, scale: *scale, seed: *seed, parallelism: *parallelism,
+	})
+	if err != nil {
+		return err
+	}
+
+	out, err := fetch(spec)
+	if err != nil {
+		return err
+	}
+	for *all && out.NextCursor != "" {
+		spec.Cursor = out.NextCursor
+		next, err := fetch(spec)
+		if err != nil {
+			return err
+		}
+		out.Rows = append(out.Rows, next.Rows...)
+		out.NextCursor = next.NextCursor
+	}
+	if *all {
+		out.NextCursor = ""
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// buildSpec assembles the query spec from the raw -spec JSON or the
+// individual filter flags (which reuse the charmd GET parameter grammar).
+func buildSpec(raw, sel, phases, chares, steps, groupBy, aggs, fields string, limit int, cursor string) (query.Spec, error) {
+	if raw != "" {
+		if path, ok := strings.CutPrefix(raw, "@"); ok {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return query.Spec{}, err
+			}
+			raw = string(data)
+		}
+		return query.ParseSpec(strings.NewReader(raw))
+	}
+	v := url.Values{}
+	set := func(k, val string) {
+		if val != "" {
+			v.Set(k, val)
+		}
+	}
+	set("phase", phases)
+	set("chares", chares)
+	set("steps", steps)
+	set("group_by", groupBy)
+	set("aggs", aggs)
+	set("fields", fields)
+	set("page", cursor)
+	if limit > 0 {
+		v.Set("limit", fmt.Sprint(limit))
+	}
+	spec, used, err := query.SpecFromParams(sel, v)
+	if err != nil {
+		return query.Spec{}, err
+	}
+	if !used {
+		spec = query.Spec{Select: sel}
+		if err := spec.Validate(); err != nil {
+			return query.Spec{}, err
+		}
+	}
+	return spec, nil
+}
+
+type fetcherConfig struct {
+	in, app, server, digest string
+	mp                      bool
+	iters, scale            int
+	seed                    int64
+	parallelism             int
+}
+
+// newFetcher resolves the query target into a page-fetching function:
+// either one POST per page against a remote charmd, or an in-process
+// engine over a locally extracted (and indexed, once) structure.
+func newFetcher(cfg fetcherConfig) (func(query.Spec) (*page, error), error) {
+	if cfg.server != "" {
+		if cfg.digest == "" {
+			return nil, fmt.Errorf("-server requires -digest")
+		}
+		base := strings.TrimSuffix(cfg.server, "/")
+		target := base + "/v1/traces/" + cfg.digest + "/query"
+		if cfg.mp {
+			target += "?preset=mp"
+		}
+		return func(spec query.Spec) (*page, error) { return postPage(target, spec) }, nil
+	}
+
+	var tr *trace.Trace
+	var opt core.Options
+	var err error
+	switch {
+	case cfg.app != "":
+		tr, opt, err = cli.Generate(cfg.app, cli.Params{Iterations: cfg.iters, Scale: cfg.scale, Seed: cfg.seed})
+	case cfg.in != "":
+		tr, err = tracefile.ReadFile(cfg.in)
+		opt = core.DefaultOptions()
+		if cfg.mp {
+			opt = core.MessagePassingOptions()
+		}
+	default:
+		err = fmt.Errorf("need -in <file>, -app <workload> or -server <url>; workloads:\n%s", cli.Describe())
+	}
+	if err != nil {
+		return nil, err
+	}
+	opt.Parallelism = cfg.parallelism
+	ctx, stopSignals := cli.SignalContext(context.Background())
+	opt.Context = ctx
+	s, err := core.Extract(tr, opt)
+	stopSignals()
+	if err != nil {
+		return nil, err
+	}
+	idx := query.BuildIndex(s)
+	fp := opt.Fingerprint()
+	return func(spec query.Spec) (*page, error) {
+		res, err := query.Run(context.Background(), idx, spec)
+		if err != nil {
+			return nil, err
+		}
+		return &page{
+			Fingerprint: fp,
+			Select:      res.Select, TotalRows: res.TotalRows, Window: res.Window,
+			Rows: res.Rows, NextCursor: res.NextCursor,
+		}, nil
+	}, nil
+}
+
+// postPage fetches one page from a charmd query endpoint.
+func postPage(target string, spec query.Spec) (*page, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(target, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+			Field string `json:"field"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			if e.Field != "" {
+				return nil, fmt.Errorf("server: %s (field %s)", e.Error, e.Field)
+			}
+			return nil, fmt.Errorf("server: %s", e.Error)
+		}
+		return nil, fmt.Errorf("server: status %d: %s", resp.StatusCode, data)
+	}
+	var p page
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}

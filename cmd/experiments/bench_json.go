@@ -10,6 +10,7 @@ import (
 	"charmtrace/internal/apps/jacobi"
 	"charmtrace/internal/apps/mergetree"
 	"charmtrace/internal/core"
+	"charmtrace/internal/query"
 	"charmtrace/internal/resultcache"
 	"charmtrace/internal/telemetry"
 	"charmtrace/internal/trace"
@@ -66,10 +67,91 @@ func runBenchJSON(path string) error {
 	if err := runServeBench(e); err != nil {
 		return err
 	}
+	if err := runQueryBench(e, mt); err != nil {
+		return err
+	}
 	if err := e.WriteFile(path); err != nil {
 		return err
 	}
 	fmt.Printf("benchmark results written to %s\n", path)
+	return nil
+}
+
+// runQueryBench measures the structure query engine on the merge-tree
+// trace: building the per-structure index, a cold query (index built per
+// request — what serving without the cached index would cost), the same
+// query over a prebuilt index (the steady state behind charmd's per-entry
+// index cache), and paging through the filtered result cursor by cursor.
+// The cold/indexed gap is what the index cache buys.
+func runQueryBench(e *telemetry.BenchExport, mt *trace.Trace) error {
+	opt := core.MessagePassingOptions()
+	s, err := core.Extract(mt, opt)
+	if err != nil {
+		return err
+	}
+	// The repeat query is a typical interactive slice: a few chares over a
+	// 32-step window. Indexed, it is a handful of binary searches; cold, it
+	// pays the full index build first.
+	maxStep := s.MaxStep()
+	chares := make([]int32, 0, 8)
+	for i := 0; i < 8 && i < len(s.Trace.Chares); i++ {
+		chares = append(chares, int32(i*len(s.Trace.Chares)/8))
+	}
+	from := maxStep / 4
+	to := from + 32
+	if to > maxStep {
+		to = maxStep
+	}
+	spec := query.Spec{
+		Select: query.SelectSteps,
+		Filter: query.Filter{Chares: chares, Steps: &query.StepRange{From: from, To: to}},
+	}
+	ctx := context.Background()
+
+	run := func(name string, bench func(b *testing.B)) {
+		fmt.Printf("  %-28s", name)
+		r := testing.Benchmark(bench)
+		e.Add(name, r.N, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+		fmt.Printf(" %12d ns/op  (%d iterations)\n", r.NsPerOp(), r.N)
+	}
+
+	run("Query/index-build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			query.BuildIndex(s)
+		}
+	})
+	run("Query/cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := query.Run(ctx, query.BuildIndex(s), spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	idx := query.BuildIndex(s)
+	run("Query/indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := query.Run(ctx, idx, spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run("Query/paged", func(b *testing.B) {
+		paged := spec
+		paged.Limit = 64
+		for i := 0; i < b.N; i++ {
+			paged.Cursor = ""
+			for {
+				res, err := query.Run(ctx, idx, paged)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.NextCursor == "" {
+					break
+				}
+				paged.Cursor = res.NextCursor
+			}
+		}
+	})
 	return nil
 }
 

@@ -1,0 +1,42 @@
+package query
+
+// columnsFor returns the set of column names rows of this spec carry,
+// used to validate Fields projections with a helpful message.
+func columnsFor(s *Spec) map[string]struct{} {
+	cols := make(map[string]struct{})
+	add := func(names ...string) {
+		for _, n := range names {
+			cols[n] = struct{}{}
+		}
+	}
+	switch s.Select {
+	case SelectStructure:
+		add("id", "runtime", "leap", "offset", "max_local_step",
+			"first_step", "last_step", "chares", "events")
+	case SelectSteps:
+		add("event", "chare", "chare_name", "kind", "phase",
+			"local_step", "step", "pe", "time")
+	case SelectMetrics:
+		if s.GroupBy == "" {
+			add("event", "chare", "phase", "step")
+			add(metricNames[:]...)
+			break
+		}
+		add(s.GroupBy)
+		if s.GroupBy == GroupByChare {
+			add("chare_name")
+		}
+		for _, agg := range s.aggsSelected() {
+			if agg == "count" {
+				add("count")
+				continue
+			}
+			for _, name := range metricNames {
+				add(name + "_" + agg)
+			}
+		}
+	case SelectViz:
+		add("label", "representative", "members", "runtime", "timeline")
+	}
+	return cols
+}

@@ -1,0 +1,169 @@
+package query
+
+import (
+	"sort"
+
+	"charmtrace/internal/core"
+	"charmtrace/internal/metrics"
+	"charmtrace/internal/trace"
+)
+
+// metric identifies one per-event §4 metric column. The order is the
+// canonical column order for rollups and metrics rows.
+type metric int
+
+const (
+	mSubDur metric = iota
+	mIdle
+	mDiff
+	mImbalance
+	numMetrics
+)
+
+// metricNames are the JSON column names, indexed by metric.
+var metricNames = [numMetrics]string{
+	"sub_dur",
+	"idle_experienced",
+	"differential_duration",
+	"imbalance",
+}
+
+// Rollup aggregates the §4 metrics over one group (a phase or a chare).
+type Rollup struct {
+	Events int64
+	Sum    [numMetrics]int64
+	Max    [numMetrics]int64
+}
+
+func (r *Rollup) observe(vals [numMetrics]trace.Time) {
+	r.Events++
+	for m, v := range vals {
+		r.Sum[m] += int64(v)
+		if int64(v) > r.Max[m] {
+			r.Max[m] = int64(v)
+		}
+	}
+}
+
+// Index is the one-time per-structure acceleration structure every query
+// executes against. It is immutable once built and safe for concurrent
+// readers; resultcache caches it alongside the decoded structure so repeat
+// queries never rescan the trace.
+type Index struct {
+	S *core.Structure
+	// Report holds the §4 per-event metrics, computed once.
+	Report *metrics.Report
+	// PhaseOrder lists phase indices sorted by (first global step, ID) —
+	// the stable row order of select=structure.
+	PhaseOrder []int32
+	// EventRows lists every dependency event sorted by (global step,
+	// chare, event ID) — the stable row order of select=steps and
+	// ungrouped select=metrics. Step-range filters binary-search it.
+	EventRows []trace.EventID
+	// ChareEvents lists each chare's events in EventRows order, so
+	// chare-filtered queries touch only the chares they select.
+	ChareEvents [][]trace.EventID
+	// PhaseRollup and ChareRollup pre-aggregate the metrics per phase and
+	// per chare, serving unfiltered group-by queries in O(groups).
+	PhaseRollup []Rollup
+	ChareRollup []Rollup
+
+	bytes int64
+}
+
+// BuildIndex constructs the index for a structure. Cost is one
+// metrics.Compute pass plus an O(E log E) sort; Bytes reports the resident
+// estimate for cache memory accounting.
+func BuildIndex(s *core.Structure) *Index {
+	tr := s.Trace
+	idx := &Index{
+		S:           s,
+		Report:      metrics.Compute(s),
+		PhaseOrder:  make([]int32, len(s.Phases)),
+		EventRows:   make([]trace.EventID, len(tr.Events)),
+		ChareEvents: make([][]trace.EventID, len(tr.Chares)),
+		PhaseRollup: make([]Rollup, len(s.Phases)),
+		ChareRollup: make([]Rollup, len(tr.Chares)),
+	}
+	for i := range idx.PhaseOrder {
+		idx.PhaseOrder[i] = int32(i)
+	}
+	sort.SliceStable(idx.PhaseOrder, func(i, j int) bool {
+		a, b := &s.Phases[idx.PhaseOrder[i]], &s.Phases[idx.PhaseOrder[j]]
+		if a.Offset != b.Offset {
+			return a.Offset < b.Offset
+		}
+		return a.ID < b.ID
+	})
+	for e := range tr.Events {
+		idx.EventRows[e] = trace.EventID(e)
+	}
+	sort.Slice(idx.EventRows, func(i, j int) bool {
+		a, b := idx.EventRows[i], idx.EventRows[j]
+		if s.Step[a] != s.Step[b] {
+			return s.Step[a] < s.Step[b]
+		}
+		if tr.Events[a].Chare != tr.Events[b].Chare {
+			return tr.Events[a].Chare < tr.Events[b].Chare
+		}
+		return a < b
+	})
+	perChare := make([]int, len(tr.Chares))
+	for _, e := range idx.EventRows {
+		perChare[tr.Events[e].Chare]++
+	}
+	for c, n := range perChare {
+		idx.ChareEvents[c] = make([]trace.EventID, 0, n)
+	}
+	for _, e := range idx.EventRows {
+		ev := &tr.Events[e]
+		idx.ChareEvents[ev.Chare] = append(idx.ChareEvents[ev.Chare], e)
+		vals := idx.metricsOf(e)
+		if p := s.PhaseOf[e]; p >= 0 {
+			idx.PhaseRollup[p].observe(vals)
+		}
+		idx.ChareRollup[ev.Chare].observe(vals)
+	}
+
+	const idSize = 4
+	idx.bytes = int64(len(idx.EventRows))*idSize*2 + // EventRows + ChareEvents
+		int64(len(idx.PhaseOrder))*idSize +
+		int64(len(idx.PhaseRollup)+len(idx.ChareRollup))*int64(8*(1+2*int(numMetrics))) +
+		int64(len(tr.Events))*8*4 // Report per-event slices
+	return idx
+}
+
+// metricsOf gathers an event's metric column values.
+func (x *Index) metricsOf(e trace.EventID) [numMetrics]trace.Time {
+	return [numMetrics]trace.Time{
+		mSubDur:    x.Report.SubDur[e],
+		mIdle:      x.Report.IdleExperienced[e],
+		mDiff:      x.Report.DifferentialDuration[e],
+		mImbalance: x.Report.Imbalance[e],
+	}
+}
+
+// Bytes estimates the index's resident size beyond the structure itself,
+// for cache memory accounting.
+func (x *Index) Bytes() int64 { return x.bytes }
+
+// stepWindow returns the half-open range [lo, hi) of EventRows whose
+// global step lies in the inclusive [from, to] window — the binary search
+// that makes step slicing independent of trace size.
+func (x *Index) stepWindow(from, to int32) (int, int) {
+	lo := sort.Search(len(x.EventRows), func(i int) bool {
+		return x.S.Step[x.EventRows[i]] >= from
+	})
+	hi := sort.Search(len(x.EventRows), func(i int) bool {
+		return x.S.Step[x.EventRows[i]] > to
+	})
+	return lo, hi
+}
+
+// chareStepWindow is stepWindow over one chare's event list.
+func (x *Index) chareStepWindow(c trace.ChareID, from, to int32) (int, int) {
+	rows := x.ChareEvents[c]
+	lo := sort.Search(len(rows), func(i int) bool { return x.S.Step[rows[i]] >= from })
+	hi := sort.Search(len(rows), func(i int) bool { return x.S.Step[rows[i]] > to })
+	return lo, hi
+}

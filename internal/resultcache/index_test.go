@@ -1,0 +1,212 @@
+package resultcache
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"charmtrace/internal/core"
+)
+
+// countingIndex is a Config.Index builder that counts constructions and
+// tags each index with the structure it was built from.
+type countingIndex struct {
+	mu     sync.Mutex
+	builds int
+}
+
+type fakeIndex struct{ s *core.Structure }
+
+func (ci *countingIndex) build(s *core.Structure) (any, int64) {
+	ci.mu.Lock()
+	ci.builds++
+	ci.mu.Unlock()
+	return &fakeIndex{s: s}, 1000
+}
+
+func TestGetIndexedBuildsOncePerEntry(t *testing.T) {
+	tr, digest := testTrace(t)
+	ci := &countingIndex{}
+	c, err := New(Config{Dir: t.TempDir(), Index: ci.build})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+
+	s1, idx1, err := c.GetIndexed(context.Background(), digest, tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, idx2, err := c.GetIndexed(context.Background(), digest, tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx1 == nil || idx1 != idx2 {
+		t.Errorf("indexes differ across hits: %p vs %p", idx1, idx2)
+	}
+	if fi := idx1.(*fakeIndex); fi.s != s1 || s1 != s2 {
+		t.Error("index not built against the cached structure")
+	}
+	if ci.builds != 1 {
+		t.Errorf("index built %d times, want 1", ci.builds)
+	}
+	reg := c.Registry()
+	if got := counter(reg, "cache.index_builds"); got != 1 {
+		t.Errorf("index_builds = %d, want 1", got)
+	}
+	if got := counter(reg, "cache.index_hits"); got != 1 {
+		t.Errorf("index_hits = %d, want 1", got)
+	}
+	if got := reg.Gauge("cache.index_bytes").Value(); got != 1000 {
+		t.Errorf("index_bytes = %v, want 1000", got)
+	}
+}
+
+func TestLookupIndexedPeeksAndBuilds(t *testing.T) {
+	tr, digest := testTrace(t)
+	ci := &countingIndex{}
+	c, err := New(Config{Dir: t.TempDir(), Index: ci.build})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+
+	if _, _, ok := c.LookupIndexed(digest, opt); ok {
+		t.Fatal("LookupIndexed hit an empty cache")
+	}
+	if ci.builds != 0 {
+		t.Fatalf("miss built an index (%d builds)", ci.builds)
+	}
+	if _, err := c.Get(context.Background(), digest, tr, opt); err != nil {
+		t.Fatal(err)
+	}
+	s, idx, ok := c.LookupIndexed(digest, opt)
+	if !ok || s == nil || idx == nil {
+		t.Fatalf("LookupIndexed after Get: ok=%v s=%v idx=%v", ok, s, idx)
+	}
+	if ci.builds != 1 {
+		t.Errorf("index built %d times, want 1", ci.builds)
+	}
+}
+
+// TestIndexBytesReleasedOnEviction: evicting an entry whose index was
+// built subtracts its bytes from the gauge, so the gauge tracks resident
+// indexes only.
+func TestIndexBytesReleasedOnEviction(t *testing.T) {
+	tr, digest := testTrace(t)
+	ci := &countingIndex{}
+	c, err := New(Config{MaxMemEntries: 1, Index: ci.build})
+	if err != nil {
+		t.Fatal(err)
+	}
+	optA := core.DefaultOptions()
+	if _, _, err := c.GetIndexed(context.Background(), digest, tr, optA); err != nil {
+		t.Fatal(err)
+	}
+	reg := c.Registry()
+	if got := reg.Gauge("cache.index_bytes").Value(); got != 1000 {
+		t.Fatalf("index_bytes after build = %v, want 1000", got)
+	}
+
+	// A second key (different options fingerprint) evicts the first from
+	// the 1-entry LRU; its index bytes must be released.
+	optB := optA
+	optB.Reorder = !optA.Reorder
+	if _, _, err := c.GetIndexed(context.Background(), digest, tr, optB); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if got := reg.Gauge("cache.index_bytes").Value(); got != 1000 {
+		t.Errorf("index_bytes after eviction+rebuild = %v, want 1000", got)
+	}
+	if got := counter(reg, "cache.index_builds"); got != 2 {
+		t.Errorf("index_builds = %d, want 2", got)
+	}
+}
+
+// TestGetIndexedWithoutMemoryLayer: with the memory layer disabled every
+// GetIndexed builds a transient index (never accounted in the gauge) —
+// degraded but correct.
+func TestGetIndexedWithoutMemoryLayer(t *testing.T) {
+	tr, digest := testTrace(t)
+	ci := &countingIndex{}
+	c, err := New(Config{Dir: t.TempDir(), MaxMemEntries: -1, Index: ci.build})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	for i := 0; i < 2; i++ {
+		_, idx, err := c.GetIndexed(context.Background(), digest, tr, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx == nil {
+			t.Fatal("nil index")
+		}
+	}
+	if ci.builds != 2 {
+		t.Errorf("index built %d times, want 2 (transient per request)", ci.builds)
+	}
+	if got := c.Registry().Gauge("cache.index_bytes").Value(); got != 0 {
+		t.Errorf("index_bytes = %v, want 0 (transient indexes are unaccounted)", got)
+	}
+}
+
+// TestGetIndexedNilBuilder: without Config.Index the indexed accessors
+// degrade to Get/Lookup with a nil index.
+func TestGetIndexedNilBuilder(t *testing.T) {
+	tr, digest := testTrace(t)
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	s, idx, err := c.GetIndexed(context.Background(), digest, tr, opt)
+	if err != nil || s == nil || idx != nil {
+		t.Fatalf("GetIndexed = (%v, %v, %v), want (structure, nil, nil)", s, idx, err)
+	}
+	if _, idx, ok := c.LookupIndexed(digest, opt); !ok || idx != nil {
+		t.Fatalf("LookupIndexed = (_, %v, %v), want (_, nil, true)", idx, ok)
+	}
+}
+
+// TestConcurrentIndexedRequestsBuildOnce: K concurrent indexed requests
+// for one resident entry share a single build.
+func TestConcurrentIndexedRequestsBuildOnce(t *testing.T) {
+	tr, digest := testTrace(t)
+	ci := &countingIndex{}
+	c, err := New(Config{Index: ci.build})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	if _, err := c.Get(context.Background(), digest, tr, opt); err != nil {
+		t.Fatal(err)
+	}
+	const K = 8
+	idxs := make([]any, K)
+	var wg sync.WaitGroup
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, idx, err := c.GetIndexed(context.Background(), digest, tr, opt)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			idxs[i] = idx
+		}(i)
+	}
+	wg.Wait()
+	if ci.builds != 1 {
+		t.Errorf("index built %d times under concurrency, want 1", ci.builds)
+	}
+	for i := 1; i < K; i++ {
+		if idxs[i] != idxs[0] {
+			t.Fatalf("request %d got a different index", i)
+		}
+	}
+}

@@ -92,6 +92,14 @@ type Config struct {
 	// flight's detached context via opt.Context; a well-behaved extractor
 	// honors it (core.Extract does, at worker-chunk granularity).
 	Extract func(tr *trace.Trace, opt core.Options) (*core.Structure, error)
+	// Index derives a secondary read-only value from a cached structure
+	// (charmd installs the query engine's index builder). Built lazily, at
+	// most once per memory-resident entry, and dropped with it on
+	// eviction; bytes is the value's estimated footprint, reported in the
+	// cache.index_bytes gauge. nil disables GetIndexed/LookupIndexed's
+	// index results. The builder is kept as a func to avoid a
+	// resultcache→query dependency.
+	Index func(s *core.Structure) (val any, bytes int64)
 }
 
 // Cache is the three-layer result cache. Safe for concurrent use.
@@ -101,6 +109,7 @@ type Cache struct {
 	maxDiskBytes    int64
 	detachedTimeout time.Duration
 	extract         func(tr *trace.Trace, opt core.Options) (*core.Structure, error)
+	index           func(s *core.Structure) (any, int64)
 	readFile        func(string) ([]byte, error) // os.ReadFile; swapped by fault-injection tests
 
 	reg           *telemetry.Registry
@@ -114,23 +123,36 @@ type Cache struct {
 	diskErrors    *telemetry.Counter // unreadable/corrupt disk entries (self-healed)
 	diskRetries   *telemetry.Counter // transient disk-read failures that were retried
 	diskEvictions *telemetry.Counter // entries GCed to honor MaxDiskBytes
+	indexBuilds   *telemetry.Counter // per-entry index constructions
+	indexHits     *telemetry.Counter // indexed requests served by an already-built index
 	extractMS     *telemetry.Histogram
 	memEntries    *telemetry.Gauge
+	indexBytes    *telemetry.Gauge // estimated bytes held by resident indexes
 
-	mu      sync.Mutex
-	closed  bool
-	entries map[string]*list.Element
-	lru     *list.List // front = most recently used
-	flights map[string]*flight
+	mu            sync.Mutex
+	closed        bool
+	entries       map[string]*list.Element
+	lru           *list.List // front = most recently used
+	flights       map[string]*flight
+	idxBytesTotal int64 // sum of accounted entry.idxBytes, mirrored into indexBytes
 
 	flightWG sync.WaitGroup // outstanding detached flights, for Close
 	gcMu     sync.Mutex     // serializes disk GC sweeps
 }
 
-// entry is one memory-resident result.
+// entry is one memory-resident result plus its lazily-built index. The
+// index is built at most once per entry (idxOnce), outside the cache
+// lock; idxAccounted records whether its bytes were added to the
+// index_bytes gauge (an entry evicted mid-build never gets accounted, and
+// an accounted entry is subtracted on eviction).
 type entry struct {
 	id string
 	s  *core.Structure
+
+	idxOnce      sync.Once
+	idx          any
+	idxBytes     int64
+	idxAccounted bool
 }
 
 // flight is one in-progress extraction other requests can join. The
@@ -178,6 +200,7 @@ func New(cfg Config) (*Cache, error) {
 		maxDiskBytes:    cfg.MaxDiskBytes,
 		detachedTimeout: dt,
 		extract:         ext,
+		index:           cfg.Index,
 		readFile:        os.ReadFile,
 		reg:             reg,
 		hits:            reg.Counter("cache.hits"),
@@ -190,8 +213,11 @@ func New(cfg Config) (*Cache, error) {
 		diskErrors:      reg.Counter("cache.disk_errors"),
 		diskRetries:     reg.Counter("cache.disk_retries"),
 		diskEvictions:   reg.Counter("cache.disk_evictions"),
+		indexBuilds:     reg.Counter("cache.index_builds"),
+		indexHits:       reg.Counter("cache.index_hits"),
 		extractMS:       reg.Histogram("cache.extract_ms"),
 		memEntries:      reg.Gauge("cache.mem_entries"),
+		indexBytes:      reg.Gauge("cache.index_bytes"),
 		entries:         make(map[string]*list.Element),
 		lru:             list.New(),
 		flights:         make(map[string]*flight),
@@ -244,6 +270,80 @@ func (c *Cache) Lookup(traceDigest string, opt core.Options) (*core.Structure, b
 	c.hits.Add(1)
 	c.memHits.Add(1)
 	return el.Value.(*entry).s, true
+}
+
+// LookupIndexed is Lookup plus the entry's derived index, building it on
+// first use. The index result is nil when Config.Index is unset. Like
+// Lookup it never touches disk or starts a flight.
+func (c *Cache) LookupIndexed(traceDigest string, opt core.Options) (*core.Structure, any, bool) {
+	id := keyID(traceDigest, opt.Fingerprint())
+	c.mu.Lock()
+	el, ok := c.entries[id]
+	if !ok {
+		c.mu.Unlock()
+		return nil, nil, false
+	}
+	c.lru.MoveToFront(el)
+	e := el.Value.(*entry)
+	c.mu.Unlock()
+	c.hits.Add(1)
+	c.memHits.Add(1)
+	return e.s, c.indexFor(e), true
+}
+
+// GetIndexed is Get plus the entry's derived index. On a full miss the
+// index is built against the freshly-inserted entry; if the entry was
+// already evicted again (tiny MaxMemEntries under load) a transient,
+// unaccounted index is built for this caller alone. The index result is
+// nil when Config.Index is unset.
+func (c *Cache) GetIndexed(ctx context.Context, traceDigest string, tr *trace.Trace, opt core.Options) (*core.Structure, any, error) {
+	s, err := c.Get(ctx, traceDigest, tr, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	if c.index == nil {
+		return s, nil, nil
+	}
+	id := keyID(traceDigest, opt.Fingerprint())
+	c.mu.Lock()
+	if el, ok := c.entries[id]; ok {
+		e := el.Value.(*entry)
+		c.mu.Unlock()
+		return s, c.indexFor(e), nil
+	}
+	c.mu.Unlock()
+	c.indexBuilds.Add(1)
+	idx, _ := c.index(s)
+	return s, idx, nil
+}
+
+// indexFor returns the entry's index, building it exactly once. The build
+// runs outside c.mu (concurrent callers queue on the entry's Once, not on
+// the cache); afterwards the bytes are accounted in the index_bytes gauge
+// only if the entry is still resident — an entry evicted mid-build is
+// never accounted, and insertLocked subtracts accounted entries on
+// eviction.
+func (c *Cache) indexFor(e *entry) any {
+	if c.index == nil {
+		return nil
+	}
+	built := false
+	e.idxOnce.Do(func() {
+		built = true
+		e.idx, e.idxBytes = c.index(e.s)
+		c.indexBuilds.Add(1)
+		c.mu.Lock()
+		if el, ok := c.entries[e.id]; ok && el.Value.(*entry) == e {
+			e.idxAccounted = true
+			c.idxBytesTotal += e.idxBytes
+			c.indexBytes.Set(float64(c.idxBytesTotal))
+		}
+		c.mu.Unlock()
+	})
+	if !built {
+		c.indexHits.Add(1)
+	}
+	return e.idx
 }
 
 // Get returns the recovered structure for (traceDigest, opt), serving from
@@ -476,21 +576,28 @@ func (c *Cache) gcDisk() {
 }
 
 // insertLocked adds a result to the memory LRU, evicting from the back.
-// Caller holds c.mu.
+// Caller holds c.mu. Re-inserting a resident id keeps the existing entry
+// (the key is a content address, so the structures are interchangeable,
+// and keeping the old one preserves its built index). Evicting an entry
+// whose index was accounted releases its bytes from the gauge.
 func (c *Cache) insertLocked(id string, s *core.Structure) {
 	if c.maxEntries == 0 {
 		return
 	}
 	if el, ok := c.entries[id]; ok {
 		c.lru.MoveToFront(el)
-		el.Value.(*entry).s = s
 		return
 	}
 	c.entries[id] = c.lru.PushFront(&entry{id: id, s: s})
 	for c.lru.Len() > c.maxEntries {
 		back := c.lru.Back()
 		c.lru.Remove(back)
-		delete(c.entries, back.Value.(*entry).id)
+		e := back.Value.(*entry)
+		delete(c.entries, e.id)
+		if e.idxAccounted {
+			c.idxBytesTotal -= e.idxBytes
+			c.indexBytes.Set(float64(c.idxBytesTotal))
+		}
 		c.evictions.Add(1)
 	}
 	c.memEntries.Set(float64(c.lru.Len()))

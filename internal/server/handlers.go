@@ -10,6 +10,7 @@ import (
 
 	"charmtrace/internal/core"
 	"charmtrace/internal/metrics"
+	"charmtrace/internal/query"
 	"charmtrace/internal/structdiff"
 	"charmtrace/internal/telemetry"
 	"charmtrace/internal/trace"
@@ -131,6 +132,9 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 // handleTrace returns one trace's summary, loading it from disk if needed.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	digest := r.PathValue("digest")
+	if s.notModified(w, r, digest, "") {
+		return
+	}
 	tr, err := s.lookupTrace(digest)
 	if err != nil {
 		httpError(w, err)
@@ -175,6 +179,18 @@ func (s *Server) handleStructure(w http.ResponseWriter, r *http.Request) {
 	opt, err := s.extractOptions(r)
 	if err != nil {
 		httpError(w, err)
+		return
+	}
+	spec, useQuery, err := query.SpecFromParams(query.SelectStructure, r.URL.Query())
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if s.notModified(w, r, digest, opt.Fingerprint()) {
+		return
+	}
+	if useQuery {
+		s.serveQuery(w, r, digest, opt, spec)
 		return
 	}
 	st, err := s.structureFor(r.Context(), digest, opt)
@@ -227,6 +243,18 @@ func (s *Server) handleSteps(w http.ResponseWriter, r *http.Request) {
 	opt, err := s.extractOptions(r)
 	if err != nil {
 		httpError(w, err)
+		return
+	}
+	spec, useQuery, err := query.SpecFromParams(query.SelectSteps, r.URL.Query())
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if s.notModified(w, r, digest, opt.Fingerprint()) {
+		return
+	}
+	if useQuery {
+		s.serveQuery(w, r, digest, opt, spec)
 		return
 	}
 	st, err := s.structureFor(r.Context(), digest, opt)
@@ -282,6 +310,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	opt, err := s.extractOptions(r)
 	if err != nil {
 		httpError(w, err)
+		return
+	}
+	spec, useQuery, err := query.SpecFromParams(query.SelectMetrics, r.URL.Query())
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if s.notModified(w, r, digest, opt.Fingerprint()) {
+		return
+	}
+	if useQuery {
+		s.serveQuery(w, r, digest, opt, spec)
 		return
 	}
 	st, err := s.structureFor(r.Context(), digest, opt)

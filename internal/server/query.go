@@ -1,0 +1,220 @@
+package server
+
+import (
+	"compress/gzip"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"charmtrace/internal/core"
+	"charmtrace/internal/query"
+)
+
+// queryResponse wraps one executed query page with the request's content
+// address, mirroring the other analysis responses.
+type queryResponse struct {
+	Digest      string `json:"digest"`
+	Fingerprint string `json:"fingerprint"`
+	*query.Result
+}
+
+// maxQuerySpecBytes bounds a POST /query body; a spec is a few hundred
+// bytes, so anything past this is garbage.
+const maxQuerySpecBytes = 1 << 20
+
+// handleQuery executes a JSON query spec (POST body) against the trace's
+// recovered structure through the per-entry index. Invalid specs map to
+// 400 with the offending field named; execution shares the cache and
+// admission path of the other analysis endpoints.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	opt, err := s.extractOptions(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	spec, err := query.ParseSpec(http.MaxBytesReader(w, r.Body, maxQuerySpecBytes))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	s.serveQuery(w, r, digest, opt, spec)
+}
+
+// serveQuery is the shared execution tail of POST /query and the GET
+// parameter retrofit: resolve the indexed structure, run one page, render.
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, digest string, opt core.Options, spec query.Spec) {
+	_, idx, err := s.indexedStructureFor(r.Context(), digest, opt)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	res, err := s.engine.Run(r.Context(), idx, spec)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, queryResponse{Digest: digest, Fingerprint: opt.Fingerprint(), Result: res})
+}
+
+// indexedStructureFor is structureFor plus the cached per-entry query
+// index. Memory hits (structure and index both cache-resident or built in
+// place) bypass admission control like structureFor's: the index build is
+// milliseconds against extraction's seconds, and building it outside a
+// slot keeps hot paging requests from queueing behind extractions.
+func (s *Server) indexedStructureFor(ctx context.Context, digest string, opt core.Options) (*core.Structure, *query.Index, error) {
+	tr, err := s.lookupTrace(digest)
+	if err != nil {
+		return nil, nil, err
+	}
+	if st, idx, ok := s.cache.LookupIndexed(digest, opt); ok {
+		return st, idx.(*query.Index), nil
+	}
+	release, err := s.acquireSlot(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer release()
+	st, idx, err := s.cache.GetIndexed(ctx, digest, tr, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, idx.(*query.Index), nil
+}
+
+// ---- conditional requests ---------------------------------------------
+
+// optionParams are the URL parameters already canonicalized into the
+// options fingerprint; every other parameter can change response bytes and
+// therefore feeds the ETag.
+var optionParams = map[string]bool{
+	"preset": true, "reorder": true, "infer": true, "nsmerge": true, "procorder": true,
+}
+
+// responseParams canonicalizes the response-shaping parameters (the query
+// retrofit set, legacy ?chare=, anything future) into a stable string:
+// url.Values.Encode sorts by key.
+func responseParams(q url.Values) string {
+	v := url.Values{}
+	for k, vals := range q {
+		if !optionParams[k] {
+			v[k] = vals
+		}
+	}
+	return v.Encode()
+}
+
+// strongETag is the content address of one analysis response:
+// sha256(trace digest ‖ options fingerprint ‖ canonical request params).
+// Every input is known before extraction runs, so a revalidation hit never
+// touches the pipeline.
+func strongETag(digest, fingerprint, params string) string {
+	h := sha256.New()
+	io.WriteString(h, digest)
+	h.Write([]byte{0})
+	io.WriteString(h, fingerprint)
+	h.Write([]byte{0})
+	io.WriteString(h, params)
+	return `"` + hex.EncodeToString(h.Sum(nil)) + `"`
+}
+
+// notModified stamps the caching headers of an immutable digest-addressed
+// response (strong ETag, long-lived Cache-Control) and reports whether
+// If-None-Match already matched — in which case it has written the 304 and
+// the handler is done, having skipped extraction entirely. Unknown
+// digests get no validator and fall through to the usual 404.
+func (s *Server) notModified(w http.ResponseWriter, r *http.Request, digest, fingerprint string) bool {
+	s.mu.RLock()
+	_, known := s.traces[digest]
+	s.mu.RUnlock()
+	if !known {
+		return false
+	}
+	etag := strongETag(digest, fingerprint, responseParams(r.URL.Query()))
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "public, max-age=31536000, immutable")
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return true
+	}
+	return false
+}
+
+// etagMatch implements the If-None-Match comparison: a comma-separated
+// list of entity tags, compared weakly (a W/ prefix is ignored — for a
+// 304 the weak comparison is the correct one), with "*" matching any.
+func etagMatch(header, etag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == etag || part == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- response compression ---------------------------------------------
+
+// acceptsGzip reports whether the client advertised gzip support.
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc, q, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if (enc == "gzip" || enc == "*") && strings.TrimSpace(q) != "q=0" {
+			return true
+		}
+	}
+	return false
+}
+
+// gzipResponseWriter compresses the response body lazily: the encoder and
+// the Content-Encoding header appear only when a compressible status is
+// written, so 304/204 responses (no body by definition) pass through
+// byte-free and error paths stay inspectable. The JSON bytes fed into the
+// encoder are exactly the uncompressed response — compression never
+// changes response identity, only transfer encoding.
+type gzipResponseWriter struct {
+	http.ResponseWriter
+	zw          *gzip.Writer
+	wroteHeader bool
+	passthrough bool
+}
+
+func (g *gzipResponseWriter) WriteHeader(code int) {
+	if !g.wroteHeader {
+		g.wroteHeader = true
+		if code == http.StatusNoContent || code == http.StatusNotModified ||
+			g.Header().Get("Content-Encoding") != "" {
+			g.passthrough = true
+		} else {
+			g.Header().Set("Content-Encoding", "gzip")
+			g.Header().Del("Content-Length")
+		}
+	}
+	g.ResponseWriter.WriteHeader(code)
+}
+
+func (g *gzipResponseWriter) Write(p []byte) (int, error) {
+	if !g.wroteHeader {
+		g.WriteHeader(http.StatusOK)
+	}
+	if g.passthrough {
+		return g.ResponseWriter.Write(p)
+	}
+	if g.zw == nil {
+		g.zw = gzip.NewWriter(g.ResponseWriter)
+	}
+	return g.zw.Write(p)
+}
+
+// Close flushes the compressed stream; a writer that never saw a body
+// emits nothing.
+func (g *gzipResponseWriter) Close() {
+	if g.zw != nil {
+		g.zw.Close()
+	}
+}

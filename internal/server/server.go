@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"charmtrace/internal/core"
+	"charmtrace/internal/query"
 	"charmtrace/internal/resultcache"
 	"charmtrace/internal/telemetry"
 	"charmtrace/internal/trace"
@@ -103,6 +104,7 @@ type Server struct {
 	reg       *telemetry.Registry
 	collector *telemetry.Collector
 	cache     *resultcache.Cache
+	engine    *query.Engine
 	mux       *http.ServeMux
 
 	mu     sync.RWMutex
@@ -147,6 +149,7 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: %w", err)
 		}
 	}
+	engine := query.NewEngine(reg)
 	cache, err := resultcache.New(resultcache.Config{
 		Dir:             resultDir,
 		MaxMemEntries:   cfg.MaxMemEntries,
@@ -154,6 +157,10 @@ func New(cfg Config) (*Server, error) {
 		DetachedTimeout: cfg.DetachedTimeout,
 		Metrics:         reg,
 		Extract:         cfg.extract,
+		Index: func(st *core.Structure) (any, int64) {
+			idx := engine.Index(st)
+			return idx, idx.Bytes()
+		},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
@@ -162,6 +169,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:         cfg,
 		reg:         reg,
 		cache:       cache,
+		engine:      engine,
 		traces:      make(map[string]*traceEntry),
 		inflightG:   reg.Gauge("server.inflight"),
 		requests:    reg.Counter("server.requests"),
@@ -305,6 +313,7 @@ func (s *Server) routes() {
 	handle("GET /v1/traces/{digest}/structure", "structure", s.handleStructure)
 	handle("GET /v1/traces/{digest}/steps", "steps", s.handleSteps)
 	handle("GET /v1/traces/{digest}/metrics", "metrics", s.handleMetrics)
+	handle("POST /v1/traces/{digest}/query", "query", s.handleQuery)
 	handle("GET /v1/structdiff", "structdiff", s.handleStructDiff)
 	handle("GET /debug/stats", "stats", s.handleStats)
 	handle("GET /debug/selftrace", "selftrace", s.handleSelfTrace)
@@ -318,11 +327,15 @@ func (s *Server) routes() {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // instrument wraps a handler with the serving telemetry (request counter,
-// in-flight gauge, per-route latency histogram, status-class counters) and
-// the per-request timeout context.
+// in-flight gauge, per-route latency histogram, status-class counters),
+// the per-request timeout context, and transparent response compression.
+// Every response carries Vary: Accept-Encoding because its transfer
+// encoding depends on that request header; the body bytes fed into the
+// compressor are identical to the uncompressed response.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	latency := s.reg.Histogram("server.latency_ms." + route)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Vary", "Accept-Encoding")
 		if s.closing.Load() {
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusServiceUnavailable)
@@ -336,8 +349,17 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		var rw http.ResponseWriter = sw
+		var gz *gzipResponseWriter
+		if acceptsGzip(r) {
+			gz = &gzipResponseWriter{ResponseWriter: sw}
+			rw = gz
+		}
 		start := time.Now()
-		h(sw, r.WithContext(ctx))
+		h(rw, r.WithContext(ctx))
+		if gz != nil {
+			gz.Close()
+		}
 		latency.Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
 		s.reg.Counter(fmt.Sprintf("server.status.%dxx", sw.code/100)).Add(1)
 	})
@@ -367,13 +389,16 @@ func (e *overloadError) Error() string {
 }
 
 // httpError writes a JSON error body with the status mapped from err:
-// unknown digests are 404, malformed traces and bad parameters 400,
-// oversized uploads 413, shed requests 429 (with Retry-After), timeouts
-// 504, a draining server 503, everything else 500.
+// unknown digests are 404, malformed traces, bad parameters and invalid
+// query specs 400 (specs with the offending field named), oversized
+// uploads 413, shed requests 429 (with Retry-After), timeouts 504, a
+// draining server 503, everything else 500.
 func httpError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
+	body := map[string]string{"error": err.Error()}
 	var maxBytes *http.MaxBytesError
 	var overload *overloadError
+	var specErr *query.Error
 	switch {
 	case errors.As(err, &maxBytes):
 		code = http.StatusRequestEntityTooLarge
@@ -384,6 +409,9 @@ func httpError(w http.ResponseWriter, err error) {
 			secs = 1
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	case errors.As(err, &specErr):
+		code = http.StatusBadRequest
+		body["field"] = specErr.Field
 	case errors.Is(err, errUnknownTrace):
 		code = http.StatusNotFound
 	case errors.Is(err, tracefile.ErrMalformed), errors.Is(err, errBadRequest):
@@ -395,7 +423,7 @@ func httpError(w http.ResponseWriter, err error) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	json.NewEncoder(w).Encode(body)
 }
 
 // errBadRequest tags parameter-validation failures.

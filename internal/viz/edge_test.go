@@ -1,0 +1,184 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"charmtrace/internal/core"
+	"charmtrace/internal/metrics"
+	"charmtrace/internal/trace"
+)
+
+// emptyStructure extracts a valid trace with zero events: MaxStep is -1
+// and there are no phases.
+func emptyStructure(t *testing.T) *core.Structure {
+	t.Helper()
+	b := trace.NewBuilder(1)
+	b.AddRuntimeChare("main", 0)
+	tr, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.Extract(tr, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// singleChareStructure extracts a one-chare trace (a chare messaging
+// itself across two serial blocks).
+func singleChareStructure(t *testing.T) *core.Structure {
+	t.Helper()
+	b := trace.NewBuilder(1)
+	c := b.AddChare("solo[0]", 0, 0, 0)
+	e := b.AddEntry("work")
+	m := b.NewMsg()
+	b.BeginBlock(c, 0, e, 0)
+	b.Send(c, m, 1)
+	b.EndBlock(c, 2)
+	b.BeginBlock(c, 0, e, 3)
+	b.Recv(c, m, 4)
+	b.EndBlock(c, 5)
+	tr, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.Extract(tr, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestEmptyStructureRenders(t *testing.T) {
+	s := emptyStructure(t)
+	if got := Logical(s); got != "(empty structure)\n" {
+		t.Errorf("Logical = %q", got)
+	}
+	if got := LogicalMetric(s, nil); got != "(empty structure)\n" {
+		t.Errorf("LogicalMetric = %q", got)
+	}
+	if got := LogicalClustered(s, nil); got != "(empty structure)\n" {
+		t.Errorf("LogicalClustered = %q", got)
+	}
+	if got := LogicalClusteredWindow(s, nil, 0, 10); got != "(empty window)\n" {
+		t.Errorf("LogicalClusteredWindow = %q", got)
+	}
+	// An event-free trace also has an empty physical span.
+	if got := Physical(s.Trace, s, 10); got != "(empty trace)\n" {
+		t.Errorf("Physical = %q", got)
+	}
+}
+
+func TestSingleChareRenders(t *testing.T) {
+	s := singleChareStructure(t)
+	out := Logical(s)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + ruler + one chare row
+		t.Fatalf("lines = %d, want 3:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[2], "solo[0]") {
+		t.Errorf("row label: %q", lines[2])
+	}
+	if !strings.ContainsAny(lines[2], phaseSymbols) {
+		t.Errorf("no events rendered: %q", lines[2])
+	}
+	// Clustering a single chare into one row works too.
+	rows := []ClusterRow{{Representative: 0, Label: "solo[0] x1"}}
+	win := LogicalClusteredWindow(s, rows, 0, s.MaxStep())
+	if !strings.Contains(win, "solo[0] x1") {
+		t.Errorf("clustered window missing row:\n%s", win)
+	}
+}
+
+// TestLogicalMetricShortSlice: a metric slice shorter than the event
+// table shades the tail as zero instead of panicking — and a full-length
+// slice of zeros renders identically.
+func TestLogicalMetricShortSlice(t *testing.T) {
+	s := structure(t)
+	r := metrics.Compute(s)
+	if len(r.DifferentialDuration) != len(s.Trace.Events) {
+		t.Fatalf("metric length %d != events %d", len(r.DifferentialDuration), len(s.Trace.Events))
+	}
+
+	short := LogicalMetric(s, r.DifferentialDuration[:10])
+	if !strings.Contains(short, "metric max") {
+		t.Fatalf("short-slice render lost its header:\n%s", short)
+	}
+	if len(strings.Split(short, "\n")) != len(strings.Split(LogicalMetric(s, r.DifferentialDuration), "\n")) {
+		t.Error("short metric slice changed the grid shape")
+	}
+
+	// nil metric = all zeros: every event cell renders as '0'. Only the
+	// grid columns count — chare labels legitimately contain digits.
+	var cells strings.Builder
+	for _, line := range strings.Split(LogicalMetric(s, nil), "\n")[1:] {
+		if len(line) > 17 {
+			cells.WriteString(line[17:])
+		}
+	}
+	if strings.ContainsAny(cells.String(), "123456789") {
+		t.Error("nil metric produced non-zero shading")
+	}
+	if !strings.Contains(cells.String(), "0") {
+		t.Error("nil metric rendered no cells")
+	}
+
+	// A short slice whose retained prefix is all the trace has matches the
+	// full render padded with zeros.
+	padded := make([]trace.Time, len(s.Trace.Events))
+	copy(padded, r.DifferentialDuration[:10])
+	if got, want := LogicalMetric(s, r.DifferentialDuration[:10]), LogicalMetric(s, padded); got != want {
+		t.Error("short slice renders differently from its zero-padded equivalent")
+	}
+}
+
+// TestClusteredWindowSlicesFullGrid: the [0, MaxStep] window renders
+// exactly the rows of the unwindowed clustered grid, and interior windows
+// are column slices of it.
+func TestClusteredWindowSlicesFullGrid(t *testing.T) {
+	s := structure(t)
+	rows := []ClusterRow{
+		{Representative: 0, Label: "jacobi[0] x4"},
+		{Representative: 5, Label: "jacobi[5] x12"},
+	}
+	fullRows := strings.Split(strings.TrimRight(LogicalClustered(s, rows), "\n"), "\n")[1:]
+	winRows := strings.Split(strings.TrimRight(LogicalClusteredWindow(s, rows, 0, s.MaxStep()), "\n"), "\n")[1:]
+	if strings.Join(fullRows, "\n") != strings.Join(winRows, "\n") {
+		t.Error("full-range window differs from the unwindowed render")
+	}
+
+	// An interior window is the same rows with the step columns sliced.
+	const label = 24
+	from, to := int32(10), int32(30)
+	winRows = strings.Split(strings.TrimRight(LogicalClusteredWindow(s, rows, from, to), "\n"), "\n")[1:]
+	for i, wr := range winRows {
+		want := fullRows[i][:label+1] + fullRows[i][label+1+int(from):label+1+int(to)+1]
+		if wr != want {
+			t.Errorf("row %d:\n got %q\nwant %q", i, wr, want)
+		}
+	}
+
+	// Out-of-range bounds clamp instead of panicking; inverted windows are
+	// empty.
+	if got := LogicalClusteredWindow(s, rows, -5, 1<<30); !strings.Contains(got, "steps 0..") {
+		t.Errorf("clamped window header wrong:\n%s", got)
+	}
+	if got := LogicalClusteredWindow(s, rows, 20, 10); got != "(empty window)\n" {
+		t.Errorf("inverted window = %q", got)
+	}
+	if got := LogicalClusteredWindow(s, rows, s.MaxStep()+5, s.MaxStep()+9); got != "(empty window)\n" {
+		t.Errorf("past-the-end window = %q", got)
+	}
+}
+
+func TestSymbolWraps(t *testing.T) {
+	if Symbol(0) != 'A' || Symbol(1) != 'B' {
+		t.Errorf("Symbol(0)=%c Symbol(1)=%c", Symbol(0), Symbol(1))
+	}
+	n := int32(len(phaseSymbols))
+	if Symbol(n) != Symbol(0) || Symbol(n+3) != Symbol(3) {
+		t.Error("Symbol does not wrap around the alphabet")
+	}
+}

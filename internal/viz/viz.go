@@ -24,6 +24,11 @@ func symbol(phase int32) byte {
 	return phaseSymbols[int(phase)%len(phaseSymbols)]
 }
 
+// Symbol returns the display character for a phase — exported so the
+// query engine's windowed timelines render with the same alphabet as the
+// full grids.
+func Symbol(phase int32) byte { return symbol(phase) }
+
 // chareRows orders chares for display: application chares first (by array,
 // then index), runtime chares grouped at the bottom (as in the paper's
 // figures).
@@ -105,7 +110,9 @@ func Logical(s *core.Structure) string {
 
 // LogicalMetric renders the logical grid shaded by a per-event metric:
 // digits 1-9 scale with the metric value relative to its maximum; '0' marks
-// a zero-metric event.
+// a zero-metric event. A metric slice shorter than the event table treats
+// the missing entries as zero instead of failing (partial overlays happen
+// when a caller computes a metric over a trace prefix).
 func LogicalMetric(s *core.Structure, metric []trace.Time) string {
 	tr := s.Trace
 	maxStep := int(s.MaxStep())
@@ -127,7 +134,10 @@ func LogicalMetric(s *core.Structure, metric []trace.Time) string {
 			row[i] = '.'
 		}
 		for _, e := range s.EventsOfChare(c) {
-			v := metric[e]
+			var v trace.Time
+			if int(e) < len(metric) {
+				v = metric[e]
+			}
 			switch {
 			case max == 0 || v == 0:
 				row[s.Step[e]] = '0'
@@ -235,6 +245,47 @@ func LogicalClustered(s *core.Structure, rows []ClusterRow) string {
 type ClusterRow struct {
 	Representative trace.ChareID
 	Label          string
+}
+
+// LogicalClusteredWindow renders the clustered logical view restricted to
+// the inclusive global-step window [from, to] — the render behind the
+// query engine's select=viz, which serves a step slice of a large
+// structure without shipping the full grid. An inverted or out-of-range
+// window renders as empty.
+func LogicalClusteredWindow(s *core.Structure, rows []ClusterRow, from, to int32) string {
+	maxStep := s.MaxStep()
+	if from < 0 {
+		from = 0
+	}
+	if to > maxStep {
+		to = maxStep
+	}
+	if maxStep < 0 || to < from {
+		return "(empty window)\n"
+	}
+	const label = 24
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s steps %d..%d of 0..%d, %d rows for %d chares\n",
+		label, "", from, to, maxStep, len(rows), len(s.Trace.Chares))
+	for _, cr := range rows {
+		row := make([]byte, int(to-from)+1)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, e := range s.EventsOfChare(cr.Representative) {
+			if st := s.Step[e]; st >= from && st <= to {
+				row[st-from] = symbol(s.PhaseOf[e])
+			}
+		}
+		name := cr.Label
+		if len(name) > label {
+			name = name[:label]
+		}
+		fmt.Fprintf(&b, "%-*s ", label, name)
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
 
 // svg layout constants.
