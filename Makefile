@@ -11,11 +11,13 @@ test:
 # verify is the tier-1 recipe (see README "Testing" and
 # .claude/skills/verify/SKILL.md), plus a -race leg over the concurrent
 # serving packages (result cache singleflight, HTTP handlers, query
-# engine).
+# engine) and over the conformance harness + adversarial generators
+# (parallel extraction sweeps at three worker counts).
 verify: build test
 	$(GO) vet ./...
 	$(GO) test -race ./internal/core ./internal/partition ./internal/tracefile
 	$(GO) test -race ./internal/resultcache ./internal/server ./internal/query
+	$(GO) test -race ./internal/conformance ./internal/apps/lbmigrate ./internal/apps/faultsim ./internal/apps/ordstress
 
 # lint runs staticcheck when it is installed (CI installs it; offline dev
 # boxes may not have it — the gate keeps `make lint` usable everywhere).
@@ -26,11 +28,14 @@ lint:
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 
-# fuzz is the CI smoke leg: a short coverage-guided run over the
-# untrusted-input decoders (ReadAuto/ReadAutoDigest). The checked-in corpus
-# under internal/tracefile/testdata/fuzz replays on every plain `go test`.
+# fuzz is the CI smoke leg: short coverage-guided runs over the
+# untrusted-input decoders — format sniffing (ReadAuto) and the Projections
+# log reader. The checked-in corpora under internal/tracefile/testdata/fuzz
+# replay on every plain `go test`. Each run targets one fuzz function:
+# `go test -fuzz` requires the pattern to match exactly one target.
 fuzz:
 	$(GO) test -fuzz=FuzzReadAuto -fuzztime=20s -fuzzminimizetime=1s ./internal/tracefile
+	$(GO) test -fuzz=FuzzReadProjections -fuzztime=20s -fuzzminimizetime=1s ./internal/tracefile
 
 # bench regenerates BENCH_extract.json, the machine-readable perf
 # trajectory (merge-tree extraction + ExtractBatch at parallelism 1/2/4).

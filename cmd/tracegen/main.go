@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"charmtrace/internal/cli"
+	"charmtrace/internal/trace"
 	"charmtrace/internal/tracefile"
 )
 
@@ -23,7 +24,8 @@ func main() {
 	scale := flag.Int("scale", 0, "size override (0 = workload default)")
 	seed := flag.Int64("seed", 0, "seed override (0 = workload default)")
 	noRed := flag.Bool("no-reduction-tracing", false, "disable the §5 reduction tracing additions")
-	bin := flag.Bool("binary", false, "write the compact binary format instead of text")
+	bin := flag.Bool("binary", false, "shorthand for -format binary")
+	format := flag.String("format", "text", "output format: text, binary, or projections")
 	list := flag.Bool("list", false, "list available workloads")
 	tele := cli.NewProfiling("tracegen", flag.CommandLine)
 	flag.Parse()
@@ -47,9 +49,20 @@ func main() {
 	if path == "" {
 		path = *app + ".trace"
 	}
-	write := tracefile.WriteFile
 	if *bin {
+		*format = "binary"
+	}
+	var write func(string, *trace.Trace) error
+	switch *format {
+	case "text":
+		write = tracefile.WriteFile
+	case "binary":
 		write = tracefile.WriteFileBinary
+	case "projections":
+		write = tracefile.WriteFileProjections
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown format %q (want text, binary, or projections)\n", *format)
+		os.Exit(1)
 	}
 	if err := write(path, tr); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)

@@ -1,0 +1,56 @@
+package faultsim
+
+import (
+	"strings"
+	"testing"
+
+	"charmtrace/internal/core"
+)
+
+// countBlocksOf returns how many serial blocks executed the entry whose
+// name has the given suffix.
+func countBlocksOf(t *testing.T, cfg Config, suffix string) int {
+	t.Helper()
+	tr := MustTrace(cfg)
+	n := 0
+	for _, b := range tr.Blocks {
+		if strings.HasSuffix(tr.Entries[b.Entry].Name, suffix) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestRestartReleasesTheStall(t *testing.T) {
+	cfg := DefaultConfig()
+	if got := countBlocksOf(t, cfg, "restartmgr::restart"); got != 1 {
+		t.Fatalf("restart manager ran %d times, want 1", got)
+	}
+	if got := countBlocksOf(t, cfg, "ring::rollback"); got != cfg.Chares {
+		t.Fatalf("rollback reached %d chares, want %d", got, cfg.Chares)
+	}
+	// The run continues past the failure iteration: every chare's final
+	// resume for the last iteration must exist.
+	if got := countBlocksOf(t, cfg, "ring::resume"); got != cfg.Chares*cfg.Iterations {
+		t.Fatalf("resume ran %d times, want %d", got, cfg.Chares*cfg.Iterations)
+	}
+}
+
+func TestFailureFreeRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FailAt = cfg.Iterations // never fails
+	tr := MustTrace(cfg)
+	if _, err := core.Extract(tr, core.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtracts(t *testing.T) {
+	s, err := core.Extract(MustTrace(DefaultConfig()), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPhases() == 0 {
+		t.Fatal("no phases recovered")
+	}
+}

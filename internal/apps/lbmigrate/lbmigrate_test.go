@@ -1,0 +1,47 @@
+package lbmigrate
+
+import (
+	"testing"
+
+	"charmtrace/internal/core"
+	"charmtrace/internal/trace"
+)
+
+func TestMigrationHappensMidRun(t *testing.T) {
+	tr := MustTrace(DefaultConfig())
+	if !tr.Indexed() {
+		t.Fatal("trace not indexed")
+	}
+	// Every third chare migrates: it must own blocks on more than one
+	// processor, and the late blocks must sit off its home PE.
+	moved := 0
+	for _, c := range tr.Chares {
+		if c.Runtime || c.Index%3 != 1 {
+			continue
+		}
+		pes := map[trace.PE]bool{}
+		for _, b := range tr.BlocksOfChare(c.ID) {
+			pes[tr.Blocks[b].PE] = true
+		}
+		if len(pes) > 1 {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no chare ever executed off its home processor")
+	}
+}
+
+func TestExtracts(t *testing.T) {
+	for _, disableLB := range []bool{false, true} {
+		cfg := DefaultConfig()
+		cfg.DisableLB = disableLB
+		s, err := core.Extract(MustTrace(cfg), core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("DisableLB=%v: %v", disableLB, err)
+		}
+		if s.NumPhases() < cfg.Iterations {
+			t.Fatalf("DisableLB=%v: %d phases for %d iterations", disableLB, s.NumPhases(), cfg.Iterations)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package ordstress is an adversarial orderability stresser: it emits
+// legal-but-pathological interleavings designed to work the §3.1.4
+// enforce-orderability loop and the §3.2.1 fragment reordering as hard as a
+// small trace can. Network jitter is zero and local and remote latencies
+// are equal, so deliveries tie constantly; scheduler priorities invert the
+// send order; straggler sends arrive waves after they were posted;
+// untraced control messages start blocks with no recorded incoming
+// dependency mid-trace; and self-sends fold a chare's own timeline back
+// onto itself. All interleavings stay legal — every receive has a matching
+// send and serial blocks never overlap — but the wave partitions share
+// chares aggressively, forcing repeated orderability rounds.
+package ordstress
+
+import (
+	"charmtrace/internal/sim"
+	"charmtrace/internal/trace"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Chares is the number of stresser chares.
+	Chares int
+	// NumPE is the processor count; keeping it small packs unrelated chares
+	// onto shared processors, which is what makes interleavings pathological.
+	NumPE int
+	// Waves bounds the per-chare send budget: each chare fires 4*Waves
+	// messages before going quiet.
+	Waves int
+	// StragglerDelay is the extra delivery delay of the straggler sends,
+	// sized to span whole waves.
+	StragglerDelay sim.Time
+	// Seed feeds the simulator RNG (inert at zero jitter, kept for API
+	// uniformity with the other workloads).
+	Seed int64
+}
+
+// DefaultConfig is a 6-chare run packed onto 2 processors.
+func DefaultConfig() Config {
+	return Config{Chares: 6, NumPE: 2, Waves: 3, StragglerDelay: 5000, Seed: 1}
+}
+
+// state is per-chare simulation state.
+type state struct {
+	sent int // fire() invocations spent, out of 4*Waves
+}
+
+// Trace runs the stresser and returns its event trace.
+func Trace(cfg Config) (*trace.Trace, error) {
+	n := cfg.Chares
+	simCfg := sim.DefaultConfig(cfg.NumPE)
+	simCfg.Seed = cfg.Seed
+	// Zero jitter and equal latencies: every co-scheduled delivery ties in
+	// virtual time, the worst case for time-based tie-breaking.
+	simCfg.NetJitter = 0
+	simCfg.NetLatency = simCfg.LocalLatency
+	rt := sim.New(simCfg)
+
+	arr := rt.NewArray("stress", n, nil, func(i int) any { return &state{} })
+
+	var work, ctl sim.EntryRef
+	budget := 4 * cfg.Waves
+
+	// fire spends one unit of the chare's send budget on a rotating
+	// repertoire of pathological send patterns.
+	fire := func(ctx *sim.Ctx) {
+		st := ctx.State().(*state)
+		if st.sent >= budget {
+			return
+		}
+		st.sent++
+		i := ctx.Index()
+		switch st.sent % 4 {
+		case 1:
+			// Priority inversion: the later-posted message is dequeued first.
+			ctx.SendPrio(arr.At((i+1)%n), work, nil, 1)
+			ctx.SendPrio(arr.At((i+2)%n), work, nil, -1)
+		case 2:
+			// Self-send: the chare's timeline folds back onto itself.
+			ctx.Send(arr.At(i), work, nil)
+		case 3:
+			// Straggler: posted now, delivered waves later.
+			ctx.SendDelayed(arr.At((i+3)%n), work, nil, cfg.StragglerDelay)
+		case 0:
+			// Invisible control flow: the receiver's block records no
+			// incoming dependency (the Figure 24 situation, mid-trace).
+			ctx.SendUntraced(arr.At((i+1)%n), ctl, nil)
+		}
+	}
+
+	// the seed serial starting every chare's first wave.
+	kick := arr.RegisterSDAG("serial_0", 0, false, func(ctx *sim.Ctx, m sim.Message) {
+		ctx.Compute(10)
+		fire(ctx)
+		fire(ctx)
+	})
+	// the wave worker: every delivery spends more budget.
+	work = arr.RegisterSDAG("work", 2, true, func(ctx *sim.Ctx, m sim.Message) {
+		ctx.Compute(10)
+		fire(ctx)
+	})
+	// the control entry reached only by untraced sends; its block has no
+	// recorded receive but emits fresh traced dependencies.
+	ctl = arr.Register("ctl", func(ctx *sim.Ctx, m sim.Message) {
+		ctx.Compute(5)
+		st := ctx.State().(*state)
+		if st.sent < budget {
+			st.sent++
+			ctx.Send(arr.At((ctx.Index()+2)%n), work, nil)
+		}
+	})
+
+	for i := 0; i < n; i++ {
+		rt.Spawn(arr.At(i), kick, nil)
+	}
+	return rt.Run()
+}
+
+// MustTrace is Trace that panics on error.
+func MustTrace(cfg Config) *trace.Trace {
+	t, err := Trace(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,81 @@
+package ordstress
+
+import (
+	"strings"
+	"testing"
+
+	"charmtrace/internal/core"
+	"charmtrace/internal/trace"
+	"charmtrace/internal/viz"
+)
+
+func TestPathologiesArePresent(t *testing.T) {
+	tr := MustTrace(DefaultConfig())
+	if !tr.Indexed() {
+		t.Fatal("trace not indexed")
+	}
+	// Equal-time ties: with zero jitter and equal latencies, distinct events
+	// must collide in virtual time.
+	byTime := map[trace.Time]int{}
+	ties := 0
+	for _, ev := range tr.Events {
+		byTime[ev.Time]++
+		if byTime[ev.Time] == 2 {
+			ties++
+		}
+	}
+	if ties == 0 {
+		t.Error("no equal-time event ties — the stresser lost its worst case")
+	}
+	// Invisible control flow: ctl blocks record no receive yet emit sends.
+	ctlSources := 0
+	for _, b := range tr.Blocks {
+		if !strings.HasSuffix(tr.Entries[b.Entry].Name, "::ctl") {
+			continue
+		}
+		hasRecv := false
+		for _, e := range b.Events {
+			if tr.Events[e].Kind == trace.Recv {
+				hasRecv = true
+			}
+		}
+		if !hasRecv {
+			ctlSources++
+		}
+	}
+	if ctlSources == 0 {
+		t.Error("no untraced-source ctl blocks recorded")
+	}
+	// Self-dependencies: some message's send and receive share a chare.
+	selfMsgs := 0
+	for _, ev := range tr.Events {
+		if ev.Kind != trace.Recv {
+			continue
+		}
+		if s := tr.SendOf(ev.Msg); s != trace.NoEvent && tr.Events[s].Chare == ev.Chare {
+			selfMsgs++
+		}
+	}
+	if selfMsgs == 0 {
+		t.Error("no self-sends recorded")
+	}
+}
+
+func TestExtractionIsParallelismInvariant(t *testing.T) {
+	tr := MustTrace(DefaultConfig())
+	seq := core.DefaultOptions()
+	seq.Parallelism = 1
+	par := core.DefaultOptions()
+	par.Parallelism = 4
+	s1, err := core.Extract(tr, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, err := core.Extract(tr, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viz.Logical(s1) != viz.Logical(s4) {
+		t.Fatal("adversarial interleavings broke parallelism invariance")
+	}
+}

@@ -8,11 +8,14 @@ import (
 	"sort"
 	"strings"
 
+	"charmtrace/internal/apps/faultsim"
 	"charmtrace/internal/apps/jacobi"
 	"charmtrace/internal/apps/lassen"
+	"charmtrace/internal/apps/lbmigrate"
 	"charmtrace/internal/apps/lulesh"
 	"charmtrace/internal/apps/mergetree"
 	"charmtrace/internal/apps/nasbt"
+	"charmtrace/internal/apps/ordstress"
 	"charmtrace/internal/apps/pdes"
 	"charmtrace/internal/core"
 	"charmtrace/internal/trace"
@@ -162,6 +165,41 @@ var workloads = map[string]workload{
 			cfg.Seed = pick(p.Seed, cfg.Seed)
 			cfg.TraceDetectorCall = true
 			return pdes.Trace(cfg)
+		},
+		opts: core.DefaultOptions,
+	},
+	"lbmigrate": {
+		desc: "1D stencil with a mid-run load-balancing step migrating chares",
+		gen: func(p Params) (*trace.Trace, error) {
+			cfg := lbmigrate.DefaultConfig()
+			cfg.Iterations = pick(p.Iterations, cfg.Iterations)
+			cfg.Chares = pick(p.Scale, cfg.Chares)
+			cfg.Seed = pick(p.Seed, cfg.Seed)
+			cfg.TraceReductions = !p.NoReductionTracing
+			return lbmigrate.Trace(cfg)
+		},
+		opts: core.DefaultOptions,
+	},
+	"faultsim": {
+		desc: "ring with a fail-stop chare, quiescence-triggered rollback and replay",
+		gen: func(p Params) (*trace.Trace, error) {
+			cfg := faultsim.DefaultConfig()
+			cfg.Iterations = pick(p.Iterations, cfg.Iterations)
+			cfg.Chares = pick(p.Scale, cfg.Chares)
+			cfg.Seed = pick(p.Seed, cfg.Seed)
+			cfg.TraceReductions = !p.NoReductionTracing
+			return faultsim.Trace(cfg)
+		},
+		opts: core.DefaultOptions,
+	},
+	"ordstress": {
+		desc: "adversarial orderability stresser: ties, priority inversion, stragglers",
+		gen: func(p Params) (*trace.Trace, error) {
+			cfg := ordstress.DefaultConfig()
+			cfg.Waves = pick(p.Iterations, cfg.Waves)
+			cfg.Chares = pick(p.Scale, cfg.Chares)
+			cfg.Seed = pick(p.Seed, cfg.Seed)
+			return ordstress.Trace(cfg)
 		},
 		opts: core.DefaultOptions,
 	},

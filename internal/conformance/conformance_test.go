@@ -1,0 +1,177 @@
+package conformance
+
+// The differential conformance suite: every zoo workload is extracted at
+// parallelism 1, 2 and 4, checked against the replay-clock oracle built
+// from the generator's ground truth, and then re-extracted after each
+// metamorphic trace rewrite to confirm the recovered structure is
+// byte-identical. This is the repo's strongest end-to-end statement: the
+// pipeline's output is a function of the trace's logical content only —
+// not of worker scheduling, processor numbering, clock speed, or event
+// labeling.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"charmtrace/internal/core"
+	"charmtrace/internal/trace"
+	"charmtrace/internal/tracefile"
+	"charmtrace/internal/viz"
+)
+
+// extract runs the pipeline at a given parallelism, failing the test on error.
+func extract(t *testing.T, tr *trace.Trace, opts core.Options, par int) *core.Structure {
+	t.Helper()
+	opts.Parallelism = par
+	s, err := core.Extract(tr, opts)
+	if err != nil {
+		t.Fatalf("extract (parallelism %d): %v", par, err)
+	}
+	return s
+}
+
+// TestDifferentialConformance sweeps the zoo: at each parallelism level the
+// recovered structure must satisfy the replay-clock oracle, and all levels
+// must render byte-identically.
+func TestDifferentialConformance(t *testing.T) {
+	for _, w := range Zoo() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			tr := w.MustGen()
+			o, err := NewOracle(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ""
+			for _, par := range []int{1, 2, 4} {
+				s := extract(t, tr, w.Opts, par)
+				if err := o.Verify(s, 4096, 1); err != nil {
+					t.Fatalf("parallelism %d: oracle: %v", par, err)
+				}
+				got := viz.Logical(s)
+				if want == "" {
+					want = got
+				} else if got != want {
+					t.Fatalf("parallelism %d: structure differs from parallelism 1", par)
+				}
+			}
+		})
+	}
+}
+
+// TestMetamorphicPERenumbering: processor numbers are correlation keys, not
+// inputs to any ordering decision — reversing them must leave the rendered
+// structure byte-identical.
+func TestMetamorphicPERenumbering(t *testing.T) {
+	for _, w := range Zoo() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			tr := w.MustGen()
+			perm := make([]trace.PE, tr.NumPE)
+			for i := range perm {
+				perm[i] = trace.PE(tr.NumPE - 1 - i)
+			}
+			renum, err := RenumberPEs(tr, perm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := extract(t, tr, w.Opts, 2)
+			got := extract(t, renum, w.Opts, 2)
+			if viz.Logical(got) != viz.Logical(base) {
+				t.Fatal("PE renumbering changed the recovered structure")
+			}
+		})
+	}
+}
+
+// TestMetamorphicTimeJitter: any monotone tie-preserving clock remap — the
+// worst-case model of phase-boundary jitter — must leave the structure
+// byte-identical, because the pipeline only ever compares times.
+func TestMetamorphicTimeJitter(t *testing.T) {
+	for _, w := range Zoo() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			tr := w.MustGen()
+			base := extract(t, tr, w.Opts, 2)
+			for _, seed := range []int64{1, 42} {
+				jit, err := JitterTimes(tr, rand.New(rand.NewSource(seed)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := extract(t, jit, w.Opts, 2)
+				if viz.Logical(got) != viz.Logical(base) {
+					t.Fatalf("seed %d: time jitter changed the recovered structure", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestMetamorphicEventIDPermutation: relabeling event IDs while preserving
+// the relative order of equal-time events must reproduce every placement
+// (phase up to a consistent bijection, steps exactly) under the relabeling.
+func TestMetamorphicEventIDPermutation(t *testing.T) {
+	for _, w := range Zoo() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			tr := w.MustGen()
+			base := extract(t, tr, w.Opts, 2)
+			perm2, perm, err := PermuteEventIDs(tr, rand.New(rand.NewSource(7)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := extract(t, perm2, w.Opts, 2)
+			if got.NumPhases() != base.NumPhases() {
+				t.Fatalf("phase counts differ: %d vs %d", got.NumPhases(), base.NumPhases())
+			}
+			fwd := map[int32]int32{}
+			rev := map[int32]int32{}
+			for e := range tr.Events {
+				pe := perm[e]
+				if got.Step[pe] != base.Step[e] || got.LocalStep[pe] != base.LocalStep[e] {
+					t.Fatalf("event %d (relabeled %d): steps %d/%d differ from %d/%d",
+						e, pe, got.Step[pe], got.LocalStep[pe], base.Step[e], base.LocalStep[e])
+				}
+				bp, gp := base.PhaseOf[e], got.PhaseOf[pe]
+				if m, ok := fwd[bp]; ok && m != gp {
+					t.Fatalf("phase %d maps to both %d and %d", bp, m, gp)
+				}
+				if m, ok := rev[gp]; ok && m != bp {
+					t.Fatalf("phases %d and %d collapse onto %d", m, bp, gp)
+				}
+				fwd[bp], rev[gp] = gp, bp
+			}
+		})
+	}
+}
+
+// TestProjectionsRoundTripStructure is the reader acceptance criterion: a
+// Projections-format serialization read back through ReadAuto must extract
+// to a byte-identical structure versus the native in-memory trace.
+func TestProjectionsRoundTripStructure(t *testing.T) {
+	for _, w := range Zoo() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			tr := w.MustGen()
+			var buf bytes.Buffer
+			if err := tracefile.WriteProjections(&buf, tr); err != nil {
+				t.Fatal(err)
+			}
+			rt, err := tracefile.ReadAuto(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := extract(t, tr, w.Opts, 2)
+			got := extract(t, rt, w.Opts, 2)
+			if viz.Logical(got) != viz.Logical(base) {
+				t.Fatal("Projections round trip changed the recovered structure")
+			}
+		})
+	}
+}

@@ -1,0 +1,84 @@
+package conformance
+
+// Golden locks for the three adversarial generators: a checked-in binary
+// trace plus the text rendering of its recovered structure. A generator or
+// pipeline change that alters either shows up as a golden diff to be
+// reviewed (and deliberately regenerated with
+// `go test ./internal/conformance -run Golden -update`), never as a silent
+// drift.
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"charmtrace/internal/core"
+	"charmtrace/internal/tracefile"
+	"charmtrace/internal/viz"
+)
+
+var update = flag.Bool("update", false, "regenerate golden trace and structure files")
+
+// goldenZoo returns the zoo members with checked-in goldens: the three
+// generators this harness introduced. The six paper proxies are already
+// locked by their own package tests and the tracefile goldens.
+func goldenZoo() []Workload {
+	var out []Workload
+	for _, w := range Zoo() {
+		switch w.Name {
+		case "lbmigrate", "faultsim", "ordstress":
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func TestGoldenAdversarialWorkloads(t *testing.T) {
+	for _, w := range goldenZoo() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			binPath := filepath.Join("testdata", w.Name+".trace.bin")
+			structPath := filepath.Join("testdata", w.Name+".structure.txt")
+			tr := w.MustGen()
+			s, err := core.Extract(tr, w.Opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rendered := viz.Logical(s)
+			if *update {
+				if err := tracefile.WriteFileBinary(binPath, tr); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(structPath, []byte(rendered), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Log("golden files regenerated")
+			}
+			// The generator must still produce the checked-in trace...
+			golden, err := tracefile.ReadFile(binPath)
+			if err != nil {
+				t.Fatalf("ReadFile(%s): %v", binPath, err)
+			}
+			if len(golden.Events) != len(tr.Events) || len(golden.Blocks) != len(tr.Blocks) ||
+				len(golden.Chares) != len(tr.Chares) || golden.NumPE != tr.NumPE {
+				t.Fatalf("generator drifted from golden: %d/%d events, %d/%d blocks, %d/%d chares, %d/%d PEs",
+					len(tr.Events), len(golden.Events), len(tr.Blocks), len(golden.Blocks),
+					len(tr.Chares), len(golden.Chares), tr.NumPE, golden.NumPE)
+			}
+			// ...and the checked-in trace must still recover the checked-in
+			// structure, byte for byte.
+			gs, err := core.Extract(golden, w.Opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(structPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := viz.Logical(gs); got != string(want) {
+				t.Errorf("recovered structure drifted from %s:\ngot:\n%swant:\n%s", structPath, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,58 @@
+package conformance
+
+import (
+	"fmt"
+
+	"charmtrace/internal/apps/faultsim"
+	"charmtrace/internal/apps/jacobi"
+	"charmtrace/internal/apps/lassen"
+	"charmtrace/internal/apps/lbmigrate"
+	"charmtrace/internal/apps/lulesh"
+	"charmtrace/internal/apps/mergetree"
+	"charmtrace/internal/apps/nasbt"
+	"charmtrace/internal/apps/ordstress"
+	"charmtrace/internal/apps/pdes"
+	"charmtrace/internal/core"
+	"charmtrace/internal/trace"
+)
+
+// Workload is one zoo member: a deterministic trace generator plus the
+// extraction options matching its programming model.
+type Workload struct {
+	Name string
+	Gen  func() (*trace.Trace, error)
+	Opts core.Options
+}
+
+// MustGen generates the workload's trace or panics; the zoo generators are
+// deterministic, so failure is a programming error, not an input condition.
+func (w Workload) MustGen() *trace.Trace {
+	tr, err := w.Gen()
+	if err != nil {
+		panic(fmt.Sprintf("conformance: workload %s: %v", w.Name, err))
+	}
+	return tr
+}
+
+// Zoo returns the nine representative workloads the conformance harness
+// sweeps: the six paper proxies plus the three adversarial generators
+// (mid-run migration, fail-stop + restart, orderability stress). The merge
+// tree is scaled down from the paper's 1,024 processes so the full sweep at
+// three parallelism levels stays fast under -race.
+func Zoo() []Workload {
+	return []Workload{
+		{"jacobi", func() (*trace.Trace, error) { return jacobi.Trace(jacobi.DefaultConfig()) }, core.DefaultOptions()},
+		{"lulesh-charm", func() (*trace.Trace, error) { return lulesh.CharmTrace(lulesh.DefaultConfig()) }, core.DefaultOptions()},
+		{"lassen", func() (*trace.Trace, error) { return lassen.CharmTrace(lassen.DefaultConfig()) }, core.DefaultOptions()},
+		{"mergetree", func() (*trace.Trace, error) {
+			cfg := mergetree.DefaultConfig()
+			cfg.Procs = 64
+			return mergetree.Trace(cfg)
+		}, core.MessagePassingOptions()},
+		{"nasbt", func() (*trace.Trace, error) { return nasbt.Trace(nasbt.DefaultConfig()) }, core.MessagePassingOptions()},
+		{"pdes", func() (*trace.Trace, error) { return pdes.Trace(pdes.DefaultConfig()) }, core.DefaultOptions()},
+		{"lbmigrate", func() (*trace.Trace, error) { return lbmigrate.Trace(lbmigrate.DefaultConfig()) }, core.DefaultOptions()},
+		{"faultsim", func() (*trace.Trace, error) { return faultsim.Trace(faultsim.DefaultConfig()) }, core.DefaultOptions()},
+		{"ordstress", func() (*trace.Trace, error) { return ordstress.Trace(ordstress.DefaultConfig()) }, core.DefaultOptions()},
+	}
+}

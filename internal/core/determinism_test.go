@@ -9,11 +9,14 @@ package core_test
 import (
 	"testing"
 
+	"charmtrace/internal/apps/faultsim"
 	"charmtrace/internal/apps/jacobi"
 	"charmtrace/internal/apps/lassen"
+	"charmtrace/internal/apps/lbmigrate"
 	"charmtrace/internal/apps/lulesh"
 	"charmtrace/internal/apps/mergetree"
 	"charmtrace/internal/apps/nasbt"
+	"charmtrace/internal/apps/ordstress"
 	"charmtrace/internal/apps/pdes"
 	"charmtrace/internal/core"
 	"charmtrace/internal/telemetry"
@@ -41,6 +44,9 @@ var proxyWorkloads = []struct {
 	}, core.MessagePassingOptions()},
 	{"pdes", func() (*trace.Trace, error) { return pdes.Trace(pdes.DefaultConfig()) }, core.DefaultOptions()},
 	{"nasbt", func() (*trace.Trace, error) { return nasbt.Trace(nasbt.DefaultConfig()) }, core.MessagePassingOptions()},
+	{"lbmigrate", func() (*trace.Trace, error) { return lbmigrate.Trace(lbmigrate.DefaultConfig()) }, core.DefaultOptions()},
+	{"faultsim", func() (*trace.Trace, error) { return faultsim.Trace(faultsim.DefaultConfig()) }, core.DefaultOptions()},
+	{"ordstress", func() (*trace.Trace, error) { return ordstress.Trace(ordstress.DefaultConfig()) }, core.DefaultOptions()},
 }
 
 // TestExtractParallelismInvariance: extraction output is byte-identical

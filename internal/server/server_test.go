@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"charmtrace/internal/apps/jacobi"
+	"charmtrace/internal/conformance"
 	"charmtrace/internal/core"
 	"charmtrace/internal/telemetry"
 	"charmtrace/internal/tracefile"
@@ -360,5 +361,74 @@ func TestHealthAndSelfTrace(t *testing.T) {
 	}
 	if !found {
 		t.Error("selftrace has no extract span")
+	}
+}
+
+// TestFormatMisdetectionUploadsAre400s: the ReadAuto misdetection table
+// from the tracefile package, driven end to end through the upload
+// endpoint — every sniffing failure must surface as a client error (400),
+// never a 500, and a well-formed Projections-format upload must be accepted
+// and analyzable like any native-format trace.
+func TestFormatMisdetectionUploadsAre400s(t *testing.T) {
+	_, ts := newTestServer(t, Config{DataDir: t.TempDir()})
+	post := func(body []byte) int {
+		resp, err := http.Post(ts.URL+"/v1/traces", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	bin := encodedJacobi(t, 0)
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"empty body", nil},
+		{"truncated binary magic", []byte("CTR")},
+		{"truncated projections magic", []byte("PROJECTIONS-REC")},
+		{"projections header with binary body", append([]byte("PROJECTIONS-RECORD 1\n"), bin...)},
+		{"projections bad version", []byte("PROJECTIONS-RECORD 99\n")},
+		{"binary magic with text body", append([]byte("CTRB"), []byte("charmtrace 1\n")...)},
+	}
+	for _, tc := range cases {
+		if code := post(tc.body); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, code)
+		}
+	}
+
+	var proj bytes.Buffer
+	if err := tracefile.WriteProjections(&proj, jacobi.MustTrace(jacobi.DefaultConfig())); err != nil {
+		t.Fatal(err)
+	}
+	digest := upload(t, ts, proj.Bytes())
+	mustGet(t, ts, "/v1/traces/"+digest+"/structure")
+}
+
+// TestZooEndToEndMatrix: every conformance-zoo workload — the six paper
+// proxies and the three adversarial generators — uploads and analyzes
+// through the full charmd stack, and the cache-hit response is
+// byte-identical to the extraction response. This keeps the serving layer
+// honest on exactly the traces the differential harness certifies.
+func TestZooEndToEndMatrix(t *testing.T) {
+	_, ts := newTestServer(t, Config{DataDir: t.TempDir(), Parallelism: 2})
+	for _, w := range conformance.Zoo() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := tracefile.WriteBinary(&buf, w.MustGen()); err != nil {
+				t.Fatal(err)
+			}
+			digest := upload(t, ts, buf.Bytes())
+			path := "/v1/traces/" + digest + "/structure"
+			if w.Opts.ProcessOrderDeps {
+				path += "?preset=mp"
+			}
+			miss := mustGet(t, ts, path)
+			if hit := mustGet(t, ts, path); !bytes.Equal(hit, miss) {
+				t.Error("cache-hit response differs from extraction response")
+			}
+		})
 	}
 }

@@ -368,7 +368,7 @@ func (c *Ctx) Migrate(toPE int) {
 // Send invokes an entry method on another chare: the marshalled parameters
 // become a message routed to the destination chare's processor.
 func (c *Ctx) Send(to ChareRef, entry EntryRef, data any) {
-	c.sendPrio(to, entry, data, true, 0)
+	c.send(to, entry, data, true, 0, 0)
 }
 
 // SendPrio is Send with a Charm++-style scheduler priority: among the
@@ -377,17 +377,29 @@ func (c *Ctx) Send(to ChareRef, entry EntryRef, data any) {
 // dependencies, one of the non-deterministic factors the §3.2.1 reordering
 // is designed to see through.
 func (c *Ctx) SendPrio(to ChareRef, entry EntryRef, data any, prio int32) {
-	c.sendPrio(to, entry, data, true, prio)
+	c.send(to, entry, data, true, prio, 0)
 }
 
 // SendUntraced delivers like Send but records neither the send nor the
 // receive — a control dependency invisible to the tracing framework, like
 // the PDES completion-detector call of Section 7.1.
 func (c *Ctx) SendUntraced(to ChareRef, entry EntryRef, data any) {
-	c.sendPrio(to, entry, data, false, 0)
+	c.send(to, entry, data, false, 0, 0)
 }
 
-func (c *Ctx) sendPrio(to ChareRef, entry EntryRef, data any, traced bool, prio int32) {
+// SendDelayed is Send with extra delivery delay on top of the drawn network
+// latency — a straggler message (deep network buffering, a slow NIC) that
+// can arrive rounds after it was sent. The send event is still recorded at
+// the current time; only the delivery moves, so recovered structure must be
+// invariant to the delay.
+func (c *Ctx) SendDelayed(to ChareRef, entry EntryRef, data any, extra Time) {
+	if extra < 0 {
+		panic("sim: negative send delay")
+	}
+	c.send(to, entry, data, true, 0, extra)
+}
+
+func (c *Ctx) send(to ChareRef, entry EntryRef, data any, traced bool, prio int32, extra Time) {
 	if to.arr != entry.arr {
 		panic("sim: Send entry belongs to a different array")
 	}
@@ -401,7 +413,7 @@ func (c *Ctx) sendPrio(to ChareRef, entry EntryRef, data any, traced bool, prio 
 		from: c.elem.chare, prio: prio,
 	}
 	c.sent = append(c.sent, env)
-	c.rt.eng.deliver(c.cursor+c.rt.latency(c.elem.pe, dst.pe), dst.pe, env)
+	c.rt.eng.deliver(c.cursor+c.rt.latency(c.elem.pe, dst.pe)+extra, dst.pe, env)
 }
 
 // Broadcast invokes an entry method on every element of an array through a

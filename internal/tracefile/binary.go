@@ -275,16 +275,26 @@ func ReadBinary(r io.Reader) (*trace.Trace, error) {
 	return t, nil
 }
 
-// ReadAuto detects the format (text header or binary magic) and parses
-// accordingly. Decode failures carry the ErrMalformed tag (see errors.go).
+// ReadAuto detects the format (text header, binary magic or the
+// Projections-style magic line) and parses accordingly. Decode failures
+// carry the ErrMalformed tag (see errors.go).
 func ReadAuto(r io.Reader) (*trace.Trace, error) {
 	br := bufio.NewReader(r)
-	head, err := br.Peek(4)
-	if err != nil {
+	// Peek the longest magic; a short read still yields whatever prefix is
+	// available, which is enough to dispatch (a stream shorter than every
+	// magic can only be the text format, whose reader rejects it).
+	head, err := br.Peek(len(projectionsMagic))
+	if len(head) == 0 {
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
 		return nil, malformed(fmt.Errorf("tracefile: %w", err))
 	}
-	if [4]byte(head) == binaryMagic {
+	if len(head) >= len(binaryMagic) && [4]byte(head[:4]) == binaryMagic {
 		return ReadBinary(br)
+	}
+	if string(head) == projectionsMagic {
+		return ReadProjections(br)
 	}
 	return Read(br)
 }

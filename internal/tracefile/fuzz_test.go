@@ -68,9 +68,14 @@ func FuzzReadAuto(f *testing.F) {
 	if err := WriteBinary(&binSmall, jacobi.MustTrace(small)); err != nil {
 		f.Fatal(err)
 	}
+	var proj bytes.Buffer
+	if err := WriteProjections(&proj, jacobi.MustTrace(small)); err != nil {
+		f.Fatal(err)
+	}
 	f.Add(binSmall.Bytes())
 	f.Add(bin.Bytes())
 	f.Add(txt.Bytes())
+	f.Add(proj.Bytes())
 
 	// Malformed neighborhoods: each known rejection class seeds the corpus
 	// so mutation explores the boundaries around it.
@@ -87,6 +92,12 @@ func FuzzReadAuto(f *testing.F) {
 	f.Add([]byte("charmtrace 1\npe 1\nbogus 1 2 3\n"))         // unknown record
 	f.Add([]byte("charmtrace 1\npe 1\nblock 0 0\n"))           // short record
 	f.Add([]byte("charmtrace 1\npe 1\nev 0 send 5 0 0 3 0\n")) // event into unknown block
+	f.Add([]byte("PROJECTIONS-REC"))                           // truncated projections magic
+	f.Add([]byte("PROJECTIONS-RECORD 1\n"))                    // header, no sections
+	f.Add([]byte("PROJECTIONS-RECORD 99\n"))                   // unsupported version
+	projTrunc := proj.Bytes()[:len(proj.Bytes())/2]            // truncated mid-log
+	f.Add(projTrunc)
+	f.Add(append([]byte("PROJECTIONS-RECORD 1\n"), bin.Bytes()...)) // projections header, binary body
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr1, err1 := ReadAuto(bytes.NewReader(data))
