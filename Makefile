@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify lint fuzz bench bench-overhead fmt serve
+.PHONY: build test verify lint fuzz bench bench-check bench-overhead fmt serve
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,15 @@ fuzz:
 # trajectory (merge-tree extraction + ExtractBatch at parallelism 1/2/4).
 bench:
 	$(GO) run ./cmd/experiments -bench-json BENCH_extract.json
+
+# bench-check is the perf-regression guard: a fresh bench run compared
+# against the committed baseline by cmd/benchdiff, failing on >30% wall
+# or >20% alloc growth in the enforced rows (Fig10MergeTree, Serve). CI
+# runs it as an advisory leg; run it locally before re-recording the
+# baseline. BENCH_fresh.json is scratch output (gitignored).
+bench-check:
+	$(GO) run ./cmd/experiments -bench-json BENCH_fresh.json
+	$(GO) run ./cmd/benchdiff -new BENCH_fresh.json
 
 # bench-overhead checks the telemetry off/nop/recording cost (DESIGN.md §3b).
 bench-overhead:

@@ -1,0 +1,222 @@
+// Command benchdiff compares two BENCH_extract.json benchmark exports and
+// fails when an enforced row regresses past its thresholds — the repo's
+// perf-regression guard:
+//
+//	go run ./cmd/experiments -bench-json BENCH_fresh.json
+//	go run ./cmd/benchdiff -new BENCH_fresh.json
+//
+// Every row is reported; only rows matching an -enforce name prefix gate
+// the exit status. The defaults guard the paper-scale extraction benchmark
+// (Fig10MergeTree) and the serving path (Serve) against >30% wall-time or
+// >20% allocation growth, while leaving the noisier rows advisory.
+// Missing enforced rows fail too — a benchmark that silently disappears is
+// not a passing benchmark. -markdown renders the table for a CI step
+// summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"charmtrace/internal/telemetry"
+)
+
+// row is one benchmark's comparison: the baseline and fresh measurements
+// with their relative deltas, and the verdict the thresholds imply.
+type row struct {
+	Name       string
+	BaseNs     int64
+	NewNs      int64
+	WallDelta  float64 // (new-base)/base; 0 when either side is missing
+	BaseAlloc  int64
+	NewAlloc   int64
+	AllocDelta float64
+	Enforced   bool
+	Status     string // ok, improved, REGRESSION, missing, new
+}
+
+// thresholds carries the per-run regression bounds.
+type thresholds struct {
+	maxWall  float64 // relative wall-time growth an enforced row may show
+	maxAlloc float64 // relative allocs/op growth an enforced row may show
+}
+
+// enforcedBy reports whether name matches any of the enforced name
+// prefixes (a prefix matches the benchmark and its sub-benchmarks:
+// "Serve" matches "Serve/miss").
+func enforcedBy(name string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if p == "" {
+			continue
+		}
+		if name == p || strings.HasPrefix(name, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// rel computes (new-base)/base, guarding the degenerate baseline.
+func rel(base, new int64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return float64(new-base) / float64(base)
+}
+
+// compare joins the two exports by benchmark name and applies the
+// thresholds. Rows come out in baseline order with new-only rows appended,
+// so the table diff is stable across runs.
+func compare(base, fresh *telemetry.BenchExport, enforce []string, th thresholds) []row {
+	freshBy := make(map[string]telemetry.BenchResult, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		freshBy[b.Name] = b
+	}
+	baseNames := make(map[string]bool, len(base.Benchmarks))
+	var rows []row
+	for _, b := range base.Benchmarks {
+		baseNames[b.Name] = true
+		r := row{
+			Name:      b.Name,
+			BaseNs:    b.NsPerOp,
+			BaseAlloc: b.AllocsPerOp,
+			Enforced:  enforcedBy(b.Name, enforce),
+		}
+		f, ok := freshBy[b.Name]
+		if !ok {
+			r.Status = "missing"
+			rows = append(rows, r)
+			continue
+		}
+		r.NewNs = f.NsPerOp
+		r.NewAlloc = f.AllocsPerOp
+		r.WallDelta = rel(b.NsPerOp, f.NsPerOp)
+		r.AllocDelta = rel(b.AllocsPerOp, f.AllocsPerOp)
+		switch {
+		case r.WallDelta > th.maxWall || r.AllocDelta > th.maxAlloc:
+			r.Status = "REGRESSION"
+		case r.WallDelta < -0.05:
+			r.Status = "improved"
+		default:
+			r.Status = "ok"
+		}
+		rows = append(rows, r)
+	}
+	var extra []row
+	for name, f := range freshBy {
+		if baseNames[name] {
+			continue
+		}
+		extra = append(extra, row{
+			Name: name, NewNs: f.NsPerOp, NewAlloc: f.AllocsPerOp,
+			Enforced: enforcedBy(name, enforce), Status: "new",
+		})
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i].Name < extra[j].Name })
+	return append(rows, extra...)
+}
+
+// failing reports whether any enforced row gates the exit status: a
+// REGRESSION past the thresholds, or an enforced baseline row the fresh
+// run no longer produces.
+func failing(rows []row) []row {
+	var bad []row
+	for _, r := range rows {
+		if r.Enforced && (r.Status == "REGRESSION" || r.Status == "missing") {
+			bad = append(bad, r)
+		}
+	}
+	return bad
+}
+
+// pct renders a relative delta as a signed percentage.
+func pct(v float64) string { return fmt.Sprintf("%+.1f%%", v*100) }
+
+// writeTable renders the comparison, plain for terminals or as a GitHub
+// markdown table for CI step summaries.
+func writeTable(w io.Writer, rows []row, markdown bool) {
+	if markdown {
+		fmt.Fprintln(w, "| benchmark | base ns/op | new ns/op | wall | base allocs | new allocs | allocs | gate | status |")
+		fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---:|:---:|---|")
+	} else {
+		fmt.Fprintf(w, "%-28s %14s %14s %8s %12s %12s %8s  %-8s %s\n",
+			"benchmark", "base ns/op", "new ns/op", "wall", "base allocs", "new allocs", "allocs", "gate", "status")
+	}
+	for _, r := range rows {
+		gate := ""
+		if r.Enforced {
+			gate = "enforced"
+		}
+		wall, alloc := pct(r.WallDelta), pct(r.AllocDelta)
+		if r.Status == "missing" || r.Status == "new" {
+			wall, alloc = "-", "-"
+		}
+		if markdown {
+			fmt.Fprintf(w, "| %s | %d | %d | %s | %d | %d | %s | %s | %s |\n",
+				r.Name, r.BaseNs, r.NewNs, wall, r.BaseAlloc, r.NewAlloc, alloc, gate, r.Status)
+		} else {
+			fmt.Fprintf(w, "%-28s %14d %14d %8s %12d %12d %8s  %-8s %s\n",
+				r.Name, r.BaseNs, r.NewNs, wall, r.BaseAlloc, r.NewAlloc, alloc, gate, r.Status)
+		}
+	}
+}
+
+// run is main without the process exit, for tests: parse flags, compare,
+// render, and return the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baseline := fs.String("baseline", "BENCH_extract.json", "committed baseline bench export")
+	fresh := fs.String("new", "", "fresh bench export to compare (required)")
+	maxWall := fs.Float64("max-wall", 0.30, "enforced rows fail past this relative wall-time growth")
+	maxAlloc := fs.Float64("max-alloc", 0.20, "enforced rows fail past this relative allocs/op growth")
+	enforce := fs.String("enforce", "Fig10MergeTree,Serve", "comma-separated benchmark name prefixes that gate the exit status")
+	markdown := fs.Bool("markdown", false, "render a GitHub markdown table (for CI step summaries)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *fresh == "" {
+		fmt.Fprintln(stderr, "benchdiff: -new is required")
+		fs.Usage()
+		return 2
+	}
+	base, err := telemetry.ReadBenchFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	newExp, err := telemetry.ReadBenchFile(*fresh)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	var prefixes []string
+	for _, p := range strings.Split(*enforce, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			prefixes = append(prefixes, p)
+		}
+	}
+	rows := compare(base, newExp, prefixes, thresholds{maxWall: *maxWall, maxAlloc: *maxAlloc})
+	writeTable(stdout, rows, *markdown)
+	if bad := failing(rows); len(bad) > 0 {
+		fmt.Fprintf(stderr, "benchdiff: %d enforced benchmark(s) failed (wall > %+.0f%% or allocs > %+.0f%%):\n",
+			len(bad), *maxWall*100, *maxAlloc*100)
+		for _, r := range bad {
+			if r.Status == "missing" {
+				fmt.Fprintf(stderr, "  %s: missing from the fresh run\n", r.Name)
+				continue
+			}
+			fmt.Fprintf(stderr, "  %s: wall %s, allocs %s\n", r.Name, pct(r.WallDelta), pct(r.AllocDelta))
+		}
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"charmtrace/internal/telemetry"
+)
+
+// writeBench materializes a bench export fixture on disk.
+func writeBench(t *testing.T, dir, name string, rows map[string][2]int64) string {
+	t.Helper()
+	e := telemetry.NewBenchExport("test")
+	// Deterministic row order keeps table assertions simple.
+	for _, n := range []string{"Fig10MergeTree/par=1", "Serve/miss", "Query/cold", "ExtractBatch/par=1"} {
+		if v, ok := rows[n]; ok {
+			e.Add(n, 100, v[0], 0, v[1])
+		}
+	}
+	path := filepath.Join(dir, name)
+	if err := e.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+var baseRows = map[string][2]int64{
+	"Fig10MergeTree/par=1": {10_000_000, 80_000},
+	"Serve/miss":           {2_000_000, 11_000},
+	"Query/cold":           {500_000, 4_000},
+	"ExtractBatch/par=1":   {50_000_000, 200_000},
+}
+
+func runDiff(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestNoChangePasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", baseRows)
+	fresh := writeBench(t, dir, "fresh.json", baseRows)
+	code, out, errb := runDiff(t, "-baseline", base, "-new", fresh)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "Fig10MergeTree/par=1") || !strings.Contains(out, "ok") {
+		t.Fatalf("table missing expected rows:\n%s", out)
+	}
+}
+
+func TestEnforcedWallRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", baseRows)
+	reg := map[string][2]int64{}
+	for k, v := range baseRows {
+		reg[k] = v
+	}
+	// 40% wall-time regression on an enforced row: past the 30% threshold.
+	reg["Fig10MergeTree/par=1"] = [2]int64{14_000_000, 80_000}
+	fresh := writeBench(t, dir, "fresh.json", reg)
+	code, out, errb := runDiff(t, "-baseline", base, "-new", fresh)
+	if code == 0 {
+		t.Fatalf("40%% wall regression on enforced row must fail\n%s", out)
+	}
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(errb, "Fig10MergeTree/par=1") {
+		t.Fatalf("missing regression report\nstdout: %s\nstderr: %s", out, errb)
+	}
+}
+
+func TestEnforcedAllocRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", baseRows)
+	reg := map[string][2]int64{}
+	for k, v := range baseRows {
+		reg[k] = v
+	}
+	// 25% alloc growth on Serve/miss: past the 20% threshold.
+	reg["Serve/miss"] = [2]int64{2_000_000, 13_750}
+	fresh := writeBench(t, dir, "fresh.json", reg)
+	if code, out, _ := runDiff(t, "-baseline", base, "-new", fresh); code == 0 {
+		t.Fatalf("25%% alloc regression on enforced row must fail\n%s", out)
+	}
+}
+
+func TestUnenforcedRegressionIsAdvisory(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", baseRows)
+	reg := map[string][2]int64{}
+	for k, v := range baseRows {
+		reg[k] = v
+	}
+	// Query and ExtractBatch are not in the default enforce set: a 2x
+	// regression there reports but does not gate.
+	reg["Query/cold"] = [2]int64{1_000_000, 8_000}
+	reg["ExtractBatch/par=1"] = [2]int64{100_000_000, 400_000}
+	fresh := writeBench(t, dir, "fresh.json", reg)
+	code, out, _ := runDiff(t, "-baseline", base, "-new", fresh)
+	if code != 0 {
+		t.Fatalf("unenforced regressions must not gate, got exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("advisory regression must still be reported\n%s", out)
+	}
+}
+
+func TestMissingEnforcedRowFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", baseRows)
+	partial := map[string][2]int64{}
+	for k, v := range baseRows {
+		if k != "Serve/miss" {
+			partial[k] = v
+		}
+	}
+	fresh := writeBench(t, dir, "fresh.json", partial)
+	code, out, errb := runDiff(t, "-baseline", base, "-new", fresh)
+	if code == 0 {
+		t.Fatalf("missing enforced row must fail\n%s", out)
+	}
+	if !strings.Contains(errb, "missing") {
+		t.Fatalf("stderr should name the missing row: %s", errb)
+	}
+}
+
+func TestThresholdFlagsOverride(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", baseRows)
+	reg := map[string][2]int64{}
+	for k, v := range baseRows {
+		reg[k] = v
+	}
+	reg["Fig10MergeTree/par=1"] = [2]int64{11_000_000, 80_000} // +10%
+	fresh := writeBench(t, dir, "fresh.json", reg)
+	if code, out, _ := runDiff(t, "-baseline", base, "-new", fresh); code != 0 {
+		t.Fatalf("+10%% is inside the default 30%% bound\n%s", out)
+	}
+	if code, _, _ := runDiff(t, "-baseline", base, "-new", fresh, "-max-wall", "0.05"); code == 0 {
+		t.Fatal("+10% must fail a 5% bound")
+	}
+}
+
+func TestMarkdownOutput(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", baseRows)
+	fresh := writeBench(t, dir, "fresh.json", baseRows)
+	code, out, _ := runDiff(t, "-baseline", base, "-new", fresh, "-markdown")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.HasPrefix(out, "| benchmark |") || !strings.Contains(out, "| Serve/miss |") {
+		t.Fatalf("not a markdown table:\n%s", out)
+	}
+}
+
+func TestMissingNewFlag(t *testing.T) {
+	if code, _, _ := runDiff(t); code != 2 {
+		t.Fatal("missing -new must be a usage error")
+	}
+}
+
+func TestCommittedBaselineReadable(t *testing.T) {
+	// The committed baseline must stay readable by the guard itself.
+	if _, err := telemetry.ReadBenchFile("../../BENCH_extract.json"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -45,11 +45,19 @@ func main() {
 	queueWait := flag.Duration("queue-wait", time.Second, "how long a request queues for an extraction slot before a 429 + Retry-After")
 	detachedTimeout := flag.Duration("detached-timeout", 0, "hard cap on an extraction every requester abandoned (0 = 5m, negative = uncapped)")
 	maxResultBytes := flag.Int64("max-result-bytes", 0, "on-disk result cache bound in bytes; least-recently-modified entries are GCed past it (0 = unbounded)")
-	selfTrace := flag.Bool("self-trace", false, "record extraction spans and serve them at /debug/selftrace (unbounded memory; debugging only)")
+	selfTrace := flag.Bool("self-trace", false, "record extraction spans and serve them at /debug/selftrace (bounded by -selftrace-max-spans; debugging only)")
+	selfTraceMaxSpans := flag.Int("selftrace-max-spans", 0, "self-trace span retention cap (0 = default ~1M, negative = unbounded); spans past it are dropped and counted")
+	debugUnsafe := flag.Bool("debug-unsafe", false, "enable mutating debug operations (?reset=1 on /debug/stats and /debug/selftrace)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	logging := cli.NewLogging("json", flag.CommandLine)
 	tele := cli.NewProfiling("charmd", flag.CommandLine)
 	flag.Parse()
 	if err := tele.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "charmd:", err)
+		os.Exit(1)
+	}
+	accessLog, err := logging.Logger(os.Stderr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "charmd:", err)
 		os.Exit(1)
 	}
@@ -65,6 +73,9 @@ func main() {
 		DetachedTimeout:          *detachedTimeout,
 		MaxResultBytes:           *maxResultBytes,
 		SelfTrace:                *selfTrace,
+		SelfTraceMaxSpans:        *selfTraceMaxSpans,
+		AccessLog:                accessLog,
+		DebugUnsafe:              *debugUnsafe,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "charmd:", err)

@@ -1,0 +1,63 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Logging bundles the -log-format / -log-level flags shared by the
+// command-line tools. The format default is per-tool: charmd defaults to
+// JSON (one machine-parseable object per request, the shape log shippers
+// ingest), while the batch CLIs default to text (a human is watching).
+// Construct with NewLogging after deciding the default, call Logger after
+// flag parsing.
+type Logging struct {
+	// Format is "json" or "text"; Level is a slog level name (debug, info,
+	// warn, error). RegisterFlags binds them.
+	Format string
+	Level  string
+}
+
+// NewLogging registers -log-format and -log-level on fs with the given
+// format default ("json" or "text").
+func NewLogging(defaultFormat string, fs *flag.FlagSet) *Logging {
+	l := &Logging{}
+	fs.StringVar(&l.Format, "log-format", defaultFormat, "log line format: json or text")
+	fs.StringVar(&l.Level, "log-level", "info", "minimum log level: debug, info, warn or error")
+	return l
+}
+
+// ParseLogLevel maps a level name to its slog.Level, case-insensitively.
+func ParseLogLevel(name string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("cli: unknown log level %q (want debug, info, warn or error)", name)
+}
+
+// Logger builds the slog logger the flags describe, writing to w. Call
+// after flag parsing; an unknown format or level is a flag-usage error.
+func (l *Logging) Logger(w io.Writer) (*slog.Logger, error) {
+	level, err := ParseLogLevel(l.Level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(strings.TrimSpace(l.Format)) {
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("cli: unknown log format %q (want json or text)", l.Format)
+}

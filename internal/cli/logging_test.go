@@ -1,0 +1,93 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestLoggingFlagRegistration(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	l := NewLogging("json", fs)
+	if err := fs.Parse([]string{"-log-format", "text", "-log-level", "debug"}); err != nil {
+		t.Fatal(err)
+	}
+	if l.Format != "text" || l.Level != "debug" {
+		t.Fatalf("flags not bound: %+v", l)
+	}
+}
+
+func TestLoggingDefaults(t *testing.T) {
+	for _, def := range []string{"json", "text"} {
+		fs := flag.NewFlagSet("x", flag.ContinueOnError)
+		l := NewLogging(def, fs)
+		if err := fs.Parse(nil); err != nil {
+			t.Fatal(err)
+		}
+		if l.Format != def || l.Level != "info" {
+			t.Fatalf("default %s: %+v", def, l)
+		}
+	}
+}
+
+func TestLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	l := &Logging{Format: "json", Level: "info"}
+	log, err := l.Logger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hello", "k", "v")
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("json handler emitted non-JSON %q: %v", buf.String(), err)
+	}
+	if m["msg"] != "hello" || m["k"] != "v" {
+		t.Fatalf("line %v", m)
+	}
+
+	buf.Reset()
+	l = &Logging{Format: "text", Level: "warn"}
+	log, err = l.Logger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("dropped")
+	log.Warn("kept")
+	out := buf.String()
+	if strings.Contains(out, "dropped") || !strings.Contains(out, "kept") {
+		t.Fatalf("level filtering wrong: %q", out)
+	}
+	if json.Valid([]byte(out)) {
+		t.Fatalf("text handler emitted JSON: %q", out)
+	}
+}
+
+func TestLoggerRejectsUnknown(t *testing.T) {
+	if _, err := (&Logging{Format: "xml", Level: "info"}).Logger(io.Discard); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if _, err := (&Logging{Format: "json", Level: "loud"}).Logger(io.Discard); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"WARN": slog.LevelWarn, "warning": slog.LevelWarn, "Error": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLogLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLogLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLogLevel("verbose"); err == nil {
+		t.Error("unknown level accepted")
+	}
+}

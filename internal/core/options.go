@@ -108,6 +108,15 @@ type Options struct {
 	// in 3D space) are more intuitive than tie-breaking by chare ID.
 	ChareRank []int32
 
+	// Progress, when non-nil, receives live position updates: the running
+	// stage and per-stage loop counters, updated lock-free at worker-chunk
+	// granularity. The result cache attaches one per extraction flight and
+	// charmd serves it at /debug/flights. Like the telemetry sinks this is
+	// an execution-only knob: it is excluded from Fingerprint and never
+	// changes the recovered Structure, and a nil Progress costs one pointer
+	// check per chunk.
+	Progress *Progress
+
 	// Context, when non-nil, cancels the extraction cooperatively: the
 	// pipeline polls it at every stage boundary, between worker chunks of
 	// the parallel sweeps, at every enforce-orderability round and before

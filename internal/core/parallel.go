@@ -85,12 +85,25 @@ func parallelFor(n, workers int, f func(i int)) {
 // boundary converts the cancellation into an error and discards
 // everything.
 func (t *tel) parallelSpans(name string, n, workers int, f func(idx, lo, hi int)) {
+	prog := t.prog
+	if prog != nil {
+		// Per-chunk progress: the loop size is declared up front and each
+		// chunk reports its width on completion, so /debug/flights shows
+		// "items scanned / total" for the stage's dominant loop at the
+		// granularity cancellation already polls at. nil Progress costs one
+		// pointer check per chunk — the same shape as the Enabled gate on
+		// spans, preserving the disabled-path overhead guard.
+		prog.StartLoop(int64(n))
+	}
 	if !t.rec.Enabled() {
 		parallelSpans(n, workers, func(idx, lo, hi int) {
 			if t.cancelled() {
 				return
 			}
 			f(idx, lo, hi)
+			if prog != nil {
+				prog.Add(int64(hi - lo))
+			}
 		})
 		return
 	}
@@ -103,6 +116,9 @@ func (t *tel) parallelSpans(name string, n, workers int, f func(idx, lo, hi int)
 			telemetry.Int("lo", int64(lo)), telemetry.Int("hi", int64(hi)))
 		f(idx, lo, hi)
 		t.rec.EndSpan(sp)
+		if prog != nil {
+			prog.Add(int64(hi - lo))
+		}
 	})
 }
 

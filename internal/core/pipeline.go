@@ -18,10 +18,11 @@ import (
 // spans). cur is only written between parallel sections, so worker
 // goroutines read it race-free.
 type tel struct {
-	rec telemetry.Recorder
-	reg *telemetry.Registry
-	ctx context.Context // nil = never cancelled
-	cur telemetry.SpanID
+	rec  telemetry.Recorder
+	reg  *telemetry.Registry
+	ctx  context.Context // nil = never cancelled
+	prog *Progress       // nil = no live progress reporting
+	cur  telemetry.SpanID
 }
 
 // cancelled reports whether the extraction's context has expired. Safe to
@@ -44,10 +45,20 @@ func Extract(tr *trace.Trace, opt Options) (*Structure, error) {
 	if rec == nil {
 		rec = telemetry.Disabled
 	}
-	t := &tel{rec: rec, reg: telemetry.NewRegistry(), ctx: opt.Context}
-	root := rec.StartSpan("extract", telemetry.NoSpan,
+	t := &tel{rec: rec, reg: telemetry.NewRegistry(), ctx: opt.Context, prog: opt.Progress}
+	rootAttrs := []telemetry.Attr{
 		telemetry.Int("events", int64(len(tr.Events))),
-		telemetry.Int("workers", int64(workers)))
+		telemetry.Int("workers", int64(workers)),
+	}
+	if rec.Enabled() {
+		// The request id (threaded through the context by charmd's access-log
+		// middleware via the flight's detached context) joins the extraction's
+		// root span to the HTTP request that caused it.
+		if id := telemetry.RequestID(opt.Context); id != "" {
+			rootAttrs = append(rootAttrs, telemetry.String("request_id", id))
+		}
+	}
+	root := rec.StartSpan("extract", telemetry.NoSpan, rootAttrs...)
 	t.reg.Gauge("trace.events").Set(float64(len(tr.Events)))
 	t.reg.Gauge("trace.blocks").Set(float64(len(tr.Blocks)))
 	t.reg.Gauge("trace.chares").Set(float64(len(tr.Chares)))
@@ -71,6 +82,9 @@ func Extract(tr *trace.Trace, opt Options) (*Structure, error) {
 		if err := opt.ctxErr(); err != nil {
 			cancelErr = err
 			return
+		}
+		if t.prog != nil {
+			t.prog.SetStage(name)
 		}
 		t.cur = rec.StartSpan(name, root)
 		if memOn {

@@ -1,0 +1,95 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"charmtrace/internal/apps/jacobi"
+	"charmtrace/internal/core"
+)
+
+// TestProgressObservesExtraction: a Progress attached to a real extraction
+// ends on the final pipeline stage with its loop fully scanned, and — the
+// observability invariant — attaching it changes nothing about the output.
+func TestProgressObservesExtraction(t *testing.T) {
+	tr, err := jacobi.Trace(jacobi.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4} {
+		opt := core.DefaultOptions()
+		opt.Parallelism = par
+		base, err := core.Extract(tr, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		prog := core.NewProgress()
+		opt.Progress = prog
+		got, err := core.Extract(tr, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		snap := prog.Snapshot()
+		if snap.Stage != "step-assignment" {
+			t.Fatalf("par=%d: final stage %q, want step-assignment", par, snap.Stage)
+		}
+		if snap.Total == 0 || snap.Scanned != snap.Total {
+			t.Fatalf("par=%d: final stage scanned %d/%d, want a completed loop",
+				par, snap.Scanned, snap.Total)
+		}
+		if snap.Elapsed <= 0 {
+			t.Fatalf("par=%d: elapsed %v", par, snap.Elapsed)
+		}
+
+		var a, b bytes.Buffer
+		if err := core.EncodeStructure(&a, base); err != nil {
+			t.Fatal(err)
+		}
+		if err := core.EncodeStructure(&b, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("par=%d: attaching Progress changed the output", par)
+		}
+	}
+}
+
+// TestProgressExcludedFromFingerprint: Progress is an execution-only knob,
+// so it must not change the cache key.
+func TestProgressExcludedFromFingerprint(t *testing.T) {
+	a := core.DefaultOptions()
+	b := core.DefaultOptions()
+	b.Progress = core.NewProgress()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("Progress must be excluded from Options.Fingerprint")
+	}
+}
+
+// TestProgressNilSnapshot: a nil Progress snapshots to the zero value, so
+// callers never nil-check before rendering.
+func TestProgressNilSnapshot(t *testing.T) {
+	var p *core.Progress
+	if snap := p.Snapshot(); snap != (core.ProgressSnapshot{}) {
+		t.Fatalf("nil snapshot = %+v, want zero", snap)
+	}
+}
+
+// TestProgressManualDriving pins the exported mutators substituted
+// extractors use to publish progress.
+func TestProgressManualDriving(t *testing.T) {
+	p := core.NewProgress()
+	p.SetStage("dependency-merge")
+	p.StartLoop(100)
+	p.Add(37)
+	snap := p.Snapshot()
+	if snap.Stage != "dependency-merge" || snap.Scanned != 37 || snap.Total != 100 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	p.SetStage("leap-merge")
+	snap = p.Snapshot()
+	if snap.Stage != "leap-merge" || snap.Scanned != 0 || snap.Total != 0 {
+		t.Fatalf("SetStage must reset the loop counters: %+v", snap)
+	}
+}

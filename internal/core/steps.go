@@ -128,6 +128,11 @@ func assignSteps(tr *trace.Trace, opt Options, a *atoms, t *tel) *Structure {
 	}
 	recording := t.rec.Enabled()
 	parent := t.cur
+	if t.prog != nil {
+		// Phases are the ordering stage's work items: /debug/flights shows
+		// "phases ordered / total" while step assignment runs.
+		t.prog.StartLoop(int64(len(v.Parts)))
+	}
 	// tracedOrderPhase wraps one phase with a span on the given worker
 	// lane: per-phase spans are what expose ordering-stage imbalance (one
 	// huge phase pinning a lane while the others drain) in a self-trace.
@@ -145,6 +150,9 @@ func assignSteps(tr *trace.Trace, opt Options, a *atoms, t *tel) *Structure {
 			defer t.rec.EndSpan(sp)
 		}
 		orderPhase(pi)
+		if t.prog != nil {
+			t.prog.Add(1)
+		}
 	}
 	if workers > 1 && len(v.Parts) > 1 {
 		var wg sync.WaitGroup

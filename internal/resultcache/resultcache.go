@@ -50,6 +50,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"charmtrace/internal/core"
@@ -128,6 +129,7 @@ type Cache struct {
 	extractMS     *telemetry.Histogram
 	memEntries    *telemetry.Gauge
 	indexBytes    *telemetry.Gauge // estimated bytes held by resident indexes
+	flightsG      *telemetry.Gauge // in-progress extraction flights (cache.flights)
 
 	mu            sync.Mutex
 	closed        bool
@@ -157,12 +159,23 @@ type entry struct {
 
 // flight is one in-progress extraction other requests can join. The
 // extraction runs on a cache-owned goroutine under its own detached
-// context; cancel aborts it (the hard cap and Close both use it).
+// context; cancel aborts it (the hard cap and Close both use it). The
+// identity, start time, live Progress and waiter count feed Flights() —
+// charmd's /debug/flights. outcome (OutcomeDisk or OutcomeMiss) is written
+// by the flight goroutine before done closes, so readers past the channel
+// see it race-free.
 type flight struct {
-	done   chan struct{}
-	cancel context.CancelFunc
-	s      *core.Structure
-	err    error
+	done    chan struct{}
+	cancel  context.CancelFunc
+	s       *core.Structure
+	err     error
+	outcome string
+
+	digest  string
+	fp      string
+	start   time.Time
+	prog    *core.Progress
+	waiters atomic.Int64
 }
 
 // New opens a cache, creating the disk directory if configured.
@@ -218,6 +231,7 @@ func New(cfg Config) (*Cache, error) {
 		extractMS:       reg.Histogram("cache.extract_ms"),
 		memEntries:      reg.Gauge("cache.mem_entries"),
 		indexBytes:      reg.Gauge("cache.index_bytes"),
+		flightsG:        reg.Gauge("cache.flights"),
 		entries:         make(map[string]*list.Element),
 		lru:             list.New(),
 		flights:         make(map[string]*flight),
@@ -373,43 +387,66 @@ func (c *Cache) Get(ctx context.Context, traceDigest string, tr *trace.Trace, op
 		c.mu.Unlock()
 		c.hits.Add(1)
 		c.memHits.Add(1)
+		RecordOutcome(ctx, OutcomeMem)
 		return el.Value.(*entry).s, nil
 	}
 	fl, joined := c.flights[id]
 	if !joined {
-		fl = c.launchFlightLocked(id, tr, opt)
+		fl = c.launchFlightLocked(ctx, id, traceDigest, tr, opt)
 	}
+	fl.waiters.Add(1)
 	c.mu.Unlock()
+	defer fl.waiters.Add(-1)
 	if joined {
 		c.coalesced.Add(1)
 	}
 	select {
 	case <-fl.done:
+		if fl.err == nil {
+			if joined {
+				RecordOutcome(ctx, OutcomeCoalesced)
+			} else {
+				RecordOutcome(ctx, fl.outcome)
+			}
+		}
 		return fl.s, fl.err
 	case <-ctx.Done():
+		RecordOutcome(ctx, OutcomeDetached)
 		return nil, ctx.Err()
 	}
 }
 
 // launchFlightLocked registers and starts the detached flight for a key.
-// Caller holds c.mu.
-func (c *Cache) launchFlightLocked(id string, tr *trace.Trace, opt core.Options) *flight {
-	fctx := context.Background()
+// Caller holds c.mu. callerCtx is the leader's request context: only its
+// request id (if any) is copied onto the flight's detached context, so a
+// -self-trace span of the extraction is attributable to the HTTP request
+// that triggered it even after that request detaches.
+func (c *Cache) launchFlightLocked(callerCtx context.Context, id, traceDigest string, tr *trace.Trace, opt core.Options) *flight {
+	fctx := telemetry.WithRequestID(context.Background(), telemetry.RequestID(callerCtx))
 	var cancel context.CancelFunc
 	if c.detachedTimeout > 0 {
 		fctx, cancel = context.WithTimeout(fctx, c.detachedTimeout)
 	} else {
 		fctx, cancel = context.WithCancel(fctx)
 	}
-	fl := &flight{done: make(chan struct{}), cancel: cancel}
+	fl := &flight{
+		done:   make(chan struct{}),
+		cancel: cancel,
+		digest: traceDigest,
+		fp:     opt.Fingerprint(),
+		start:  time.Now(),
+		prog:   core.NewProgress(),
+	}
 	c.flights[id] = fl
+	c.flightsG.Set(float64(len(c.flights)))
 	c.flightWG.Add(1)
 	go func() {
 		defer c.flightWG.Done()
 		defer cancel()
-		fl.s, fl.err = c.fill(fctx, id, tr, opt)
+		fl.s, fl.outcome, fl.err = c.fill(fctx, id, fl.prog, tr, opt)
 		c.mu.Lock()
 		delete(c.flights, id)
+		c.flightsG.Set(float64(len(c.flights)))
 		if fl.err == nil {
 			c.insertLocked(id, fl.s)
 		}
@@ -417,6 +454,46 @@ func (c *Cache) launchFlightLocked(id string, tr *trace.Trace, opt core.Options)
 		close(fl.done)
 	}()
 	return fl
+}
+
+// FlightInfo is one in-progress extraction flight as reported by Flights:
+// its content address, how long it has been running, how many requests are
+// waiting on it (0 = fully detached), and the pipeline's live position.
+type FlightInfo struct {
+	TraceDigest string                `json:"digest"`
+	Fingerprint string                `json:"fingerprint"`
+	ElapsedMS   float64               `json:"elapsed_ms"`
+	Waiters     int64                 `json:"waiters"`
+	Progress    core.ProgressSnapshot `json:"progress"`
+}
+
+// Flights reports every in-progress extraction, sorted by (digest,
+// fingerprint) for stable output. This is the data behind charmd's
+// GET /debug/flights.
+func (c *Cache) Flights() []FlightInfo {
+	c.mu.Lock()
+	fls := make([]*flight, 0, len(c.flights))
+	for _, fl := range c.flights {
+		fls = append(fls, fl)
+	}
+	c.mu.Unlock()
+	out := make([]FlightInfo, 0, len(fls))
+	for _, fl := range fls {
+		out = append(out, FlightInfo{
+			TraceDigest: fl.digest,
+			Fingerprint: fl.fp,
+			ElapsedMS:   float64(time.Since(fl.start).Nanoseconds()) / 1e6,
+			Waiters:     fl.waiters.Load(),
+			Progress:    fl.prog.Snapshot(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TraceDigest != out[j].TraceDigest {
+			return out[i].TraceDigest < out[j].TraceDigest
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	return out
 }
 
 // Close drains the cache for shutdown: new Gets fail with ErrClosed, and
@@ -450,8 +527,9 @@ func (c *Cache) Close(ctx context.Context) error {
 }
 
 // fill resolves a memory miss as the flight leader: disk, then extraction
-// under the flight's detached context.
-func (c *Cache) fill(ctx context.Context, id string, tr *trace.Trace, opt core.Options) (*core.Structure, error) {
+// under the flight's detached context. The returned outcome (OutcomeDisk or
+// OutcomeMiss) labels which layer answered.
+func (c *Cache) fill(ctx context.Context, id string, prog *core.Progress, tr *trace.Trace, opt core.Options) (*core.Structure, string, error) {
 	wantFP := opt.Fingerprint()
 	path := ""
 	if c.dir != "" {
@@ -461,7 +539,7 @@ func (c *Cache) fill(ctx context.Context, id string, tr *trace.Trace, opt core.O
 			if err == nil && fp == wantFP {
 				c.hits.Add(1)
 				c.diskHits.Add(1)
-				return s, nil
+				return s, OutcomeDisk, nil
 			}
 			// A corrupt or stale entry self-heals: count it, re-extract,
 			// overwrite.
@@ -472,13 +550,14 @@ func (c *Cache) fill(ctx context.Context, id string, tr *trace.Trace, opt core.O
 	c.misses.Add(1)
 	start := time.Now()
 	opt.Context = ctx
+	opt.Progress = prog
 	s, err := c.extract(tr, opt)
 	if err != nil {
 		if ctx.Err() != nil {
 			// The detached flight itself was cancelled (hard cap or Close).
 			c.cancelled.Add(1)
 		}
-		return nil, fmt.Errorf("resultcache: extract: %w", err)
+		return nil, OutcomeMiss, fmt.Errorf("resultcache: extract: %w", err)
 	}
 	c.extractMS.Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
 	if path != "" {
@@ -490,7 +569,7 @@ func (c *Cache) fill(ctx context.Context, id string, tr *trace.Trace, opt core.O
 			c.gcDisk()
 		}
 	}
-	return s, nil
+	return s, OutcomeMiss, nil
 }
 
 // readDisk reads a cache entry, retrying exactly once on a transient

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"charmtrace/internal/resultcache"
+	"charmtrace/internal/telemetry"
+)
+
+// This file is charmd's request-correlation and exposition layer: the
+// request-ID contract, the structured access log, the Prometheus endpoint
+// and the live flight listing. Everything here observes; none of it changes
+// response bytes (the determinism invariant the cache depends on).
+
+// maxRequestIDLen bounds an inbound X-Request-ID; anything longer (or
+// containing non-printable bytes) is replaced rather than echoed.
+const maxRequestIDLen = 128
+
+// requestIDFor honors an inbound X-Request-ID so charmd joins a caller's
+// existing correlation chain, and mints a fresh one otherwise. The accepted
+// charset is printable ASCII — an uncontrolled value is never echoed into a
+// response header or a log line.
+func requestIDFor(r *http.Request) string {
+	id := r.Header.Get("X-Request-ID")
+	if id != "" && len(id) <= maxRequestIDLen {
+		ok := true
+		for i := 0; i < len(id); i++ {
+			if id[i] < 0x21 || id[i] > 0x7e {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return id
+		}
+	}
+	var b [8]byte
+	rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// logAccess emits one structured line per completed request: correlation id,
+// route, digest and cache outcome when the request had them, status, wall
+// latency and bytes on the wire. 5xx log at error, 4xx at warn (429 lines
+// carry the Retry-After hint the client saw), everything else at info.
+func (s *Server) logAccess(r *http.Request, route, reqID string, outcome *resultcache.OutcomeRecorder, sw *statusWriter, elapsed time.Duration) {
+	log := s.cfg.AccessLog
+	if log == nil {
+		return
+	}
+	attrs := make([]slog.Attr, 0, 10)
+	attrs = append(attrs,
+		slog.String("id", reqID),
+		slog.String("route", route),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+	)
+	if d := r.PathValue("digest"); d != "" {
+		attrs = append(attrs, slog.String("digest", d))
+	}
+	if o := outcome.Outcome(); o != "" {
+		attrs = append(attrs, slog.String("cache", o))
+	}
+	attrs = append(attrs,
+		slog.Int("status", sw.code),
+		slog.Float64("latency_ms", float64(elapsed.Nanoseconds())/1e6),
+		slog.Int64("bytes", sw.bytes),
+	)
+	if sw.code == http.StatusTooManyRequests {
+		if ra := sw.Header().Get("Retry-After"); ra != "" {
+			attrs = append(attrs, slog.String("retry_after", ra))
+		}
+	}
+	level := slog.LevelInfo
+	switch {
+	case sw.code >= 500:
+		level = slog.LevelError
+	case sw.code >= 400:
+		level = slog.LevelWarn
+	}
+	log.LogAttrs(context.Background(), level, "request", attrs...)
+}
+
+// handleProm serves the registry — the same one behind /debug/stats — in
+// the Prometheus text exposition format, followed by the Go runtime
+// families and, when self-tracing is on, the collector's depth and drop
+// counters.
+func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", telemetry.PromContentType)
+	telemetry.WritePrometheus(w, s.reg)
+	telemetry.WriteGoRuntimeMetrics(w)
+	if s.collector != nil {
+		telemetry.PromGauge(w, "charmd_selftrace_spans",
+			"spans retained by the self-trace collector", float64(s.collector.Len()))
+		telemetry.PromCounter(w, "charmd_selftrace_dropped_spans_total",
+			"spans discarded by the self-trace retention cap", float64(s.collector.Dropped()))
+	}
+}
+
+// handleFlights lists every in-progress extraction flight with its live
+// per-stage progress — which trace, which option fingerprint, how far the
+// current stage has scanned, and how many requests are waiting on it.
+func (s *Server) handleFlights(w http.ResponseWriter, r *http.Request) {
+	flights := s.cache.Flights()
+	if flights == nil {
+		flights = []resultcache.FlightInfo{}
+	}
+	writeJSON(w, struct {
+		Flights []resultcache.FlightInfo `json:"flights"`
+	}{Flights: flights})
+}
+
+// resetRequested implements the ?reset=1 guard shared by /debug/stats and
+// /debug/selftrace: resetting live counters on a shared server is a
+// debugging action, so it requires -debug-unsafe. When requested but not
+// allowed it has already written the 403 and the handler must return.
+func (s *Server) resetRequested(w http.ResponseWriter, r *http.Request) (requested, allowed bool) {
+	if r.URL.Query().Get("reset") != "1" {
+		return false, false
+	}
+	if !s.cfg.DebugUnsafe {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusForbidden)
+		json.NewEncoder(w).Encode(map[string]string{"error": "reset requires charmd -debug-unsafe"})
+		return true, false
+	}
+	return true, true
+}

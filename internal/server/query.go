@@ -12,6 +12,7 @@ import (
 
 	"charmtrace/internal/core"
 	"charmtrace/internal/query"
+	"charmtrace/internal/resultcache"
 )
 
 // queryResponse wraps one executed query page with the request's content
@@ -72,6 +73,7 @@ func (s *Server) indexedStructureFor(ctx context.Context, digest string, opt cor
 		return nil, nil, err
 	}
 	if st, idx, ok := s.cache.LookupIndexed(digest, opt); ok {
+		resultcache.RecordOutcome(ctx, resultcache.OutcomeMem)
 		return st, idx.(*query.Index), nil
 	}
 	release, err := s.acquireSlot(ctx)

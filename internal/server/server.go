@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -80,6 +81,18 @@ type Config struct {
 	// /debug/selftrace. Spans accumulate for the life of the process, so
 	// this is a debugging switch, not a production default.
 	SelfTrace bool
+	// SelfTraceMaxSpans caps the span collector's retention
+	// (0 = telemetry.DefaultSpanLimit; negative = unbounded). Spans past
+	// the cap are dropped and counted in /debug/stats' spans_dropped.
+	SelfTraceMaxSpans int
+	// AccessLog receives one structured line per completed request (nil
+	// disables access logging). cmd/charmd wires a JSON slog logger by
+	// default; see -log-format.
+	AccessLog *slog.Logger
+	// DebugUnsafe enables mutating debug operations — ?reset=1 on
+	// /debug/stats and /debug/selftrace. Off by default: a shared server's
+	// counters should not be clearable by any client that can reach it.
+	DebugUnsafe bool
 
 	// extract substitutes the cache's extraction function in tests
 	// (instrumented stubs that block or count). nil = core.Extract.
@@ -181,7 +194,11 @@ func New(cfg Config) (*Server, error) {
 		s.sem = make(chan struct{}, cfg.MaxConcurrentExtractions)
 	}
 	if cfg.SelfTrace {
-		s.collector = telemetry.NewCollector()
+		limit := cfg.SelfTraceMaxSpans
+		if limit == 0 {
+			limit = telemetry.DefaultSpanLimit
+		}
+		s.collector = telemetry.NewCollectorLimit(limit)
 	}
 	if cfg.DataDir != "" {
 		if err := s.indexTraceDir(); err != nil {
@@ -315,8 +332,10 @@ func (s *Server) routes() {
 	handle("GET /v1/traces/{digest}/metrics", "metrics", s.handleMetrics)
 	handle("POST /v1/traces/{digest}/query", "query", s.handleQuery)
 	handle("GET /v1/structdiff", "structdiff", s.handleStructDiff)
+	handle("GET /metrics", "prom", s.handleProm)
 	handle("GET /debug/stats", "stats", s.handleStats)
 	handle("GET /debug/selftrace", "selftrace", s.handleSelfTrace)
+	handle("GET /debug/flights", "flights", s.handleFlights)
 	handle("GET /healthz", "healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"status":"ok"}`)
@@ -328,47 +347,60 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // instrument wraps a handler with the serving telemetry (request counter,
 // in-flight gauge, per-route latency histogram, status-class counters),
-// the per-request timeout context, and transparent response compression.
-// Every response carries Vary: Accept-Encoding because its transfer
-// encoding depends on that request header; the body bytes fed into the
-// compressor are identical to the uncompressed response.
+// request correlation (X-Request-ID honored or minted, echoed, and carried
+// by context into extraction spans and access-log lines), the per-request
+// timeout context, and transparent response compression. Every response
+// carries Vary: Accept-Encoding because its transfer encoding depends on
+// that request header; the body bytes fed into the compressor are identical
+// to the uncompressed response.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	latency := s.reg.Histogram("server.latency_ms." + route)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Vary", "Accept-Encoding")
+		reqID := requestIDFor(r)
+		w.Header().Set("X-Request-ID", reqID)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		rctx := telemetry.WithRequestID(r.Context(), reqID)
+		rctx, outcome := resultcache.WithOutcomeRecorder(rctx)
+		start := time.Now()
 		if s.closing.Load() {
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(http.StatusServiceUnavailable)
-			json.NewEncoder(w).Encode(map[string]string{"error": "server shutting down"})
+			sw.Header().Set("Content-Type", "application/json")
+			sw.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(sw).Encode(map[string]string{"error": "server shutting down"})
+			s.logAccess(r, route, reqID, outcome, sw, time.Since(start))
 			return
 		}
 		s.requests.Add(1)
 		s.inflightG.Set(float64(s.inflight.Add(1)))
 		defer func() { s.inflightG.Set(float64(s.inflight.Add(-1))) }()
 
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		ctx, cancel := context.WithTimeout(rctx, s.cfg.RequestTimeout)
 		defer cancel()
-		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		var rw http.ResponseWriter = sw
 		var gz *gzipResponseWriter
 		if acceptsGzip(r) {
 			gz = &gzipResponseWriter{ResponseWriter: sw}
 			rw = gz
 		}
-		start := time.Now()
-		h(rw, r.WithContext(ctx))
+		r = r.WithContext(ctx)
+		h(rw, r)
 		if gz != nil {
 			gz.Close()
 		}
-		latency.Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
+		elapsed := time.Since(start)
+		latency.Observe(float64(elapsed.Nanoseconds()) / 1e6)
 		s.reg.Counter(fmt.Sprintf("server.status.%dxx", sw.code/100)).Add(1)
+		s.logAccess(r, route, reqID, outcome, sw, elapsed)
 	})
 }
 
-// statusWriter records the response code for the status-class counters.
+// statusWriter records the response code and body byte count for the
+// status-class counters and the access log. With compression enabled it
+// sits under the gzip writer, so bytes counts what went on the wire.
 type statusWriter struct {
 	http.ResponseWriter
 	code  int
+	bytes int64
 	wrote bool
 }
 
@@ -378,6 +410,12 @@ func (w *statusWriter) WriteHeader(code int) {
 		w.wrote = true
 	}
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
 }
 
 // overloadError reports a request shed by admission control, carrying the
@@ -522,6 +560,7 @@ func (s *Server) structureFor(ctx context.Context, digest string, opt core.Optio
 		return nil, err
 	}
 	if st, ok := s.cache.Lookup(digest, opt); ok {
+		resultcache.RecordOutcome(ctx, resultcache.OutcomeMem)
 		return st, nil
 	}
 	release, err := s.acquireSlot(ctx)

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -29,26 +30,66 @@ type Span struct {
 	Attrs []Attr
 }
 
-// Collector is the recording Recorder: it retains every span (with
-// monotonic timestamps relative to its creation) for export as a Chrome
-// trace-event file. Safe for concurrent use.
+// DefaultSpanLimit bounds a Collector's retained spans unless overridden:
+// a long-lived charmd with -self-trace records spans for the life of the
+// process, so an unbounded collector is a slow memory leak. A span is ~100
+// bytes, so the default caps retention around 100 MiB.
+const DefaultSpanLimit = 1 << 20
+
+// Collector is the recording Recorder: it retains spans (with monotonic
+// timestamps relative to its creation) for export as a Chrome trace-event
+// file, up to a configurable cap — spans past the cap are dropped and
+// counted, never retained. Safe for concurrent use.
 type Collector struct {
-	t0    time.Time
-	mu    sync.Mutex
-	spans []Span
-	roots int64
+	t0      time.Time
+	limit   int
+	dropped atomic.Int64
+	mu      sync.Mutex
+	spans   []Span
+	roots   int64
 }
 
-// NewCollector returns a Collector whose epoch is now.
-func NewCollector() *Collector { return &Collector{t0: time.Now()} }
+// NewCollector returns a Collector whose epoch is now, capped at
+// DefaultSpanLimit spans.
+func NewCollector() *Collector { return NewCollectorLimit(DefaultSpanLimit) }
+
+// NewCollectorLimit returns a Collector retaining at most limit spans
+// (limit <= 0 means unbounded). Spans recorded past the cap return NoSpan
+// and increment Dropped.
+func NewCollectorLimit(limit int) *Collector {
+	return &Collector{t0: time.Now(), limit: limit}
+}
+
+// Dropped reports how many spans the cap has discarded since creation (or
+// the last Reset).
+func (c *Collector) Dropped() int64 { return c.dropped.Load() }
+
+// Len reports how many spans are currently retained.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.spans)
+}
+
+// Reset discards every retained span, zeroes the dropped counter and
+// rebases the epoch to now. In-flight spans started before the reset end as
+// no-ops (their ids no longer resolve).
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.spans = nil
+	c.roots = 0
+	c.t0 = time.Now()
+	c.mu.Unlock()
+	c.dropped.Store(0)
+}
 
 // Enabled reports true: the collector records.
 func (c *Collector) Enabled() bool { return true }
 
 // StartSpan records a span opening. The reserved Lane attribute, if
 // present, selects the worker lane; other attributes are retained verbatim.
+// Past the span cap it records nothing and returns NoSpan.
 func (c *Collector) StartSpan(name string, parent SpanID, attrs ...Attr) SpanID {
-	start := time.Since(c.t0)
 	lane := int64(-1)
 	kept := attrs
 	for i, a := range attrs {
@@ -63,6 +104,11 @@ func (c *Collector) StartSpan(name string, parent SpanID, attrs ...Attr) SpanID 
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.limit > 0 && len(c.spans) >= c.limit {
+		c.dropped.Add(1)
+		return NoSpan
+	}
+	start := time.Since(c.t0)
 	var base int64
 	switch {
 	case parent >= 0 && int(parent) < len(c.spans):
@@ -92,8 +138,8 @@ func (c *Collector) StartSpan(name string, parent SpanID, attrs ...Attr) SpanID 
 
 // EndSpan records a span closing. Unknown and NoSpan ids are ignored.
 func (c *Collector) EndSpan(id SpanID) {
-	end := time.Since(c.t0)
 	c.mu.Lock()
+	end := time.Since(c.t0)
 	if id >= 0 && int(id) < len(c.spans) && c.spans[id].Dur < 0 {
 		c.spans[id].Dur = end - c.spans[id].Start
 	}
@@ -103,8 +149,8 @@ func (c *Collector) EndSpan(id SpanID) {
 // Spans returns a copy of every recorded span. Spans still open are
 // reported as ending now, so an export mid-run stays well-formed.
 func (c *Collector) Spans() []Span {
-	now := time.Since(c.t0)
 	c.mu.Lock()
+	now := time.Since(c.t0)
 	out := make([]Span, len(c.spans))
 	copy(out, c.spans)
 	c.mu.Unlock()

@@ -1,0 +1,228 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"server.requests":        "server_requests",
+		"cache.mem_hits":         "cache_mem_hits",
+		"server.latency_ms.prom": "server_latency_ms_prom",
+		"already_fine":           "already_fine",
+		"with:colon":             "with:colon",
+		"weird-Name.9":           "weird_Name_9",
+		"9leading":               "_9leading",
+		"ünïcode":                "_n_code", // one underscore per rune
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+		if !validPromName(PromName(in)) {
+			t.Errorf("PromName(%q) = %q is not a valid prom name", in, PromName(in))
+		}
+	}
+}
+
+// TestWritePrometheusRoundTrip is the exporter's contract: every metric in
+// a populated registry must survive the strict parser with its value
+// intact, correct family type, and (for histograms) cumulative buckets that
+// reconcile with _count.
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("server.requests").Add(42)
+	reg.Counter("cache.mem_hits").Add(7)
+	reg.Counter("weird.name-total").Add(1) // sanitizes and gains _total
+	reg.Gauge("server.inflight").Set(3)
+	reg.Gauge("cache.index_bytes").Set(1.5e6)
+	h := reg.Histogram("server.latency_ms.structure")
+	for _, v := range []float64{0.1, 0.5, 1, 2, 4, 8, 1024, 0.25} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePromText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exporter output rejected by strict parser: %v\n%s", err, buf.String())
+	}
+
+	counter := func(name string, want float64) {
+		t.Helper()
+		f := fams[name]
+		if f == nil || f.Type != "counter" {
+			t.Fatalf("missing counter %s (families: %v)", name, famNames(fams))
+		}
+		if f.Samples[0].Value != want {
+			t.Fatalf("%s = %v, want %v", name, f.Samples[0].Value, want)
+		}
+	}
+	counter("server_requests_total", 42)
+	counter("cache_mem_hits_total", 7)
+	counter("weird_name_total", 1)
+
+	g := fams["server_inflight"]
+	if g == nil || g.Type != "gauge" || g.Samples[0].Value != 3 {
+		t.Fatalf("gauge server_inflight wrong: %+v", g)
+	}
+	if fams["cache_index_bytes"].Samples[0].Value != 1.5e6 {
+		t.Fatal("gauge cache_index_bytes wrong")
+	}
+
+	hist := fams["server_latency_ms_structure"]
+	if hist == nil || hist.Type != "histogram" {
+		t.Fatal("missing histogram family")
+	}
+	if hist.Count != 8 {
+		t.Fatalf("histogram count %d, want 8", hist.Count)
+	}
+	wantSum := 0.1 + 0.5 + 1 + 2 + 4 + 8 + 1024 + 0.25
+	if math.Abs(hist.Sum-wantSum) > 1e-9 {
+		t.Fatalf("histogram sum %v, want %v", hist.Sum, wantSum)
+	}
+	last := hist.Samples[len(hist.Samples)-1]
+	if !math.IsInf(last.Le, 1) || int64(last.Value) != hist.Count {
+		t.Fatalf("+Inf bucket %v != count %d", last.Value, hist.Count)
+	}
+}
+
+func famNames(fams map[string]*PromFamily) []string {
+	out := make([]string, 0, len(fams))
+	for n := range fams {
+		out = append(out, n)
+	}
+	return out
+}
+
+func TestWriteGoRuntimeMetricsParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteGoRuntimeMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePromText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("runtime metrics rejected: %v\n%s", err, buf.String())
+	}
+	for _, name := range []string{
+		"go_goroutines", "go_memstats_heap_alloc_bytes",
+		"go_memstats_alloc_bytes_total", "go_gc_cycles_total",
+		"go_gc_pause_seconds_total",
+	} {
+		if fams[name] == nil {
+			t.Errorf("missing runtime family %s", name)
+		}
+	}
+	if fams["go_goroutines"].Samples[0].Value < 1 {
+		t.Error("go_goroutines must be at least 1")
+	}
+}
+
+func TestParsePromTextRejections(t *testing.T) {
+	cases := map[string]string{
+		"sample before TYPE":    "foo 1\n",
+		"TYPE without HELP":     "# TYPE foo counter\nfoo 1\n",
+		"duplicate family":      "# HELP foo a\n# TYPE foo counter\nfoo 1\n# HELP foo b\n",
+		"unknown type":          "# HELP foo a\n# TYPE foo summary\nfoo 1\n",
+		"bad name":              "# HELP fo-o a\n# TYPE fo-o counter\nfo-o 1\n",
+		"duplicate sample":      "# HELP foo a\n# TYPE foo gauge\nfoo 1\nfoo 2\n",
+		"le on a gauge":         "# HELP foo a\n# TYPE foo gauge\nfoo{le=\"1\"} 2\n",
+		"non-monotonic bounds":  "# HELP h a\n# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n",
+		"non-cumulative counts": "# HELP h a\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 3\nh_count 5\n",
+		"missing +Inf":          "# HELP h a\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"+Inf != count":         "# HELP h a\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 5\n",
+		"missing sum":           "# HELP h a\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+		"HELP without TYPE":     "# HELP foo a\n",
+	}
+	for name, doc := range cases {
+		if _, err := ParsePromText(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: parser accepted invalid document:\n%s", name, doc)
+		}
+	}
+}
+
+func TestParsePromTextAcceptsValid(t *testing.T) {
+	doc := "# HELP h latency\n# TYPE h histogram\n" +
+		"h_bucket{le=\"1\"} 2\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n" +
+		"h_sum 7.5\nh_count 5\n" +
+		"# HELP c requests\n# TYPE c counter\nc 9\n"
+	fams, err := ParsePromText(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fams["h"].Count != 5 || fams["c"].Samples[0].Value != 9 {
+		t.Fatalf("parsed values wrong: %+v", fams)
+	}
+}
+
+// TestRegistryResetInPlace pins the Reset contract /debug/stats?reset=1
+// depends on: handles cached before the reset keep working after it.
+func TestRegistryResetInPlace(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("server.requests")
+	g := reg.Gauge("server.inflight")
+	h := reg.Histogram("server.latency_ms.x")
+	c.Add(10)
+	g.Set(4)
+	h.Observe(2.5)
+	reg.Reset()
+	snap := reg.Snapshot()
+	if snap.Counters["server.requests"] != 0 {
+		t.Fatal("counter not zeroed")
+	}
+	if snap.Gauges["server.inflight"] != 0 {
+		t.Fatal("gauge not zeroed")
+	}
+	if hs := snap.Histograms["server.latency_ms.x"]; hs.Count != 0 || hs.Sum != 0 {
+		t.Fatalf("histogram not zeroed: %+v", hs)
+	}
+	// The pre-reset handles must still feed the same registry slots.
+	c.Add(3)
+	g.Set(1)
+	h.Observe(1)
+	snap = reg.Snapshot()
+	if snap.Counters["server.requests"] != 3 || snap.Gauges["server.inflight"] != 1 ||
+		snap.Histograms["server.latency_ms.x"].Count != 1 {
+		t.Fatalf("pre-reset handles detached from registry: %+v", snap)
+	}
+}
+
+func TestCollectorLimitDropsAndCounts(t *testing.T) {
+	c := NewCollectorLimit(2)
+	a := c.StartSpan("a", NoSpan)
+	b := c.StartSpan("b", a)
+	dropped := c.StartSpan("c", b)
+	if dropped != NoSpan {
+		t.Fatal("span past the cap must return NoSpan")
+	}
+	if c.Len() != 2 || c.Dropped() != 1 {
+		t.Fatalf("len=%d dropped=%d, want 2/1", c.Len(), c.Dropped())
+	}
+	c.EndSpan(b)
+	c.EndSpan(a)
+	c.Reset()
+	if c.Len() != 0 || c.Dropped() != 0 {
+		t.Fatal("Reset must clear spans and the dropped counter")
+	}
+	if id := c.StartSpan("after", NoSpan); id == NoSpan {
+		t.Fatal("collector must record again after Reset")
+	}
+}
+
+func TestRequestIDContext(t *testing.T) {
+	if RequestID(nil) != "" {
+		t.Fatal("nil context must yield empty id")
+	}
+	ctx := WithRequestID(t.Context(), "req-123")
+	if got := RequestID(ctx); got != "req-123" {
+		t.Fatalf("got %q", got)
+	}
+	if WithRequestID(t.Context(), "") != t.Context() {
+		// Empty ids are not stored; the same context comes back.
+		t.Fatal("empty id should not allocate a context")
+	}
+}

@@ -200,6 +200,41 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// Reset zeroes every metric in place. Handles returned by
+// Counter/Gauge/Histogram stay valid — holders keep updating the same
+// metrics after the reset, which is what lets charmd's ?reset=1 debug
+// switch rebase /debug/stats without tearing down the server's cached
+// metric pointers.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+	for _, c := range counters {
+		c.v.Store(0)
+	}
+	for _, g := range gauges {
+		g.bits.Store(0)
+	}
+	for _, h := range hists {
+		h.mu.Lock()
+		h.count, h.sum = 0, 0
+		h.min, h.max = math.Inf(1), math.Inf(-1)
+		h.buckets = [histBuckets]int64{}
+		h.mu.Unlock()
+	}
+}
+
 // MergeInto accumulates this registry into dst: counters add, gauges take
 // the source's value, histogram summaries and buckets combine. Used to roll
 // per-extraction registries up into a CLI-wide one; safe under concurrent

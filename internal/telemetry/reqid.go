@@ -1,0 +1,32 @@
+package telemetry
+
+import "context"
+
+// The request-ID context key lives in telemetry because it is read on both
+// sides of the serving/pipeline boundary: charmd's access-log middleware
+// stamps every request context, the result cache copies the id onto a
+// detached flight's context when that request becomes the flight leader,
+// and core.Extract attaches it to the extraction's root span — which is
+// what lets a slow span in -self-trace output be joined back to the access
+// log line (and the X-Request-ID the client saw) that caused it.
+
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying the request id. Empty ids are
+// not stored.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID returns the context's request id, or "". A nil context is safe
+// (core.Options.Context may be nil).
+func RequestID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

@@ -35,6 +35,9 @@ type StatsExport struct {
 	// SpanCount is the number of spans the run recorded (0 when only
 	// metrics were collected).
 	SpanCount int `json:"span_count,omitempty"`
+	// SpansDropped counts spans discarded by the collector's retention cap
+	// (see Collector). Additive, schema-compatible: absent when zero.
+	SpansDropped int64 `json:"spans_dropped,omitempty"`
 }
 
 // StageStats is one pipeline stage's row in the export.
