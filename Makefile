@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify lint fuzz bench bench-check bench-overhead fmt serve
+.PHONY: build test verify lint fuzz bench bench-check bench-overhead fmt serve cluster
 
 build:
 	$(GO) build ./...
@@ -11,12 +11,13 @@ test:
 # verify is the tier-1 recipe (see README "Testing" and
 # .claude/skills/verify/SKILL.md), plus a -race leg over the concurrent
 # serving packages (result cache singleflight, HTTP handlers, query
-# engine) and over the conformance harness + adversarial generators
-# (parallel extraction sweeps at three worker counts).
+# engine, the cluster gateway + multi-node E2E harness) and over the
+# conformance harness + adversarial generators (parallel extraction
+# sweeps at three worker counts).
 verify: build test
 	$(GO) vet ./...
 	$(GO) test -race ./internal/core ./internal/partition ./internal/tracefile
-	$(GO) test -race ./internal/resultcache ./internal/server ./internal/query
+	$(GO) test -race ./internal/resultcache ./internal/server ./internal/query ./internal/cluster
 	$(GO) test -race ./internal/conformance ./internal/apps/lbmigrate ./internal/apps/faultsim ./internal/apps/ordstress
 
 # lint runs staticcheck when it is installed (CI installs it; offline dev
@@ -59,6 +60,18 @@ bench-overhead:
 # .charmd-cache/ (gitignored). See README "Serving".
 serve:
 	$(GO) run ./cmd/charmd -addr :8080 -data-dir .charmd-cache
+
+# cluster starts a 3-node charmd fleet (:8081-:8083) plus the
+# consistent-hash gateway on :8090, all on this machine — the quickest way
+# to try sharded routing, peer cache fill and hedging. Ctrl-C stops all
+# four. See README "Clustering".
+cluster: build
+	@trap 'kill 0' INT TERM; \
+	$(GO) run ./cmd/charmd -addr :8081 -data-dir .charmd-n0 -node-name n0 -peers 'n0=http://127.0.0.1:8081,n1=http://127.0.0.1:8082,n2=http://127.0.0.1:8083' & \
+	$(GO) run ./cmd/charmd -addr :8082 -data-dir .charmd-n1 -node-name n1 -peers 'n0=http://127.0.0.1:8081,n1=http://127.0.0.1:8082,n2=http://127.0.0.1:8083' & \
+	$(GO) run ./cmd/charmd -addr :8083 -data-dir .charmd-n2 -node-name n2 -peers 'n0=http://127.0.0.1:8081,n1=http://127.0.0.1:8082,n2=http://127.0.0.1:8083' & \
+	$(GO) run ./cmd/charm-gateway -addr :8090 -peers 'n0=http://127.0.0.1:8081,n1=http://127.0.0.1:8082,n2=http://127.0.0.1:8083' & \
+	wait
 
 fmt:
 	gofmt -l -w .

@@ -26,7 +26,7 @@ import (
 	"charmtrace/internal/apps/mergetree"
 	"charmtrace/internal/apps/nasbt"
 	"charmtrace/internal/apps/pdes"
-	"charmtrace/internal/cluster"
+	"charmtrace/internal/charegroup"
 	"charmtrace/internal/core"
 	"charmtrace/internal/metrics"
 	"charmtrace/internal/profile"
@@ -134,15 +134,15 @@ func RenderSVG(s *Structure) string { return viz.LogicalSVG(s) }
 func PhaseSummary(s *Structure) string { return viz.PhaseSummary(s) }
 
 // ChareCluster groups behaviourally equivalent chares for scalable renders.
-type ChareCluster = cluster.Cluster
+type ChareCluster = charegroup.Cluster
 
 // ClusterExact groups chares whose logical timelines are identical (same
 // steps, kinds and phase-relative positions).
-func ClusterExact(s *Structure) []ChareCluster { return cluster.Exact(s) }
+func ClusterExact(s *Structure) []ChareCluster { return charegroup.Exact(s) }
 
 // ClusterByPhaseShape groups chares by the coarser per-phase shape of their
 // timelines, merging symmetric concurrent phases.
-func ClusterByPhaseShape(s *Structure) []ChareCluster { return cluster.ByPhaseShape(s) }
+func ClusterByPhaseShape(s *Structure) []ChareCluster { return charegroup.ByPhaseShape(s) }
 
 // RenderLogicalClustered renders one row per cluster — the scalable view
 // the paper's conclusion calls for at large chare counts.

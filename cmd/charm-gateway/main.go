@@ -1,0 +1,121 @@
+// Command charm-gateway fronts a fleet of charmd nodes with a
+// consistent-hash router: every trace digest maps to R ring successors, so
+// uploads land on the nodes that will serve them, repeat reads of one
+// trace hit the same warm caches, and a node loss moves only ~1/N of the
+// keyspace. Slow primaries are hedged — after an adaptive delay the same
+// read is raced against the next replica and the first answer wins — and
+// cache misses are replicated to the remaining successors in the
+// background.
+//
+// Usage:
+//
+//	charm-gateway -addr :8090 -peers n0=http://h0:8080,n1=http://h1:8080,n2=http://h2:8080
+//
+//	curl -sS --data-binary @jacobi.trace localhost:8090/v1/traces
+//	curl -sS localhost:8090/v1/traces/<digest>/structure
+//	curl -sS localhost:8090/cluster
+//	curl -sS localhost:8090/nodes/n1/debug/stats
+//
+// The member list is static (-peers or -peers-config); liveness is probed
+// continuously via each node's /readyz.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"charmtrace/internal/cli"
+	"charmtrace/internal/cluster"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	peers := flag.String("peers", "", "cluster member list as name=url,name=url")
+	peersConfig := flag.String("peers-config", "", "path to a JSON cluster member file (alternative to -peers)")
+	replication := flag.Int("replication", 0, "replicas per trace digest, R (0 = 2; clamped to the member count)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "fixed hedge delay (0 = adapt to the p95 proxy latency)")
+	hedgeMax := flag.Duration("hedge-max", 0, "upper clamp on the adaptive hedge delay (0 = 2s, negative = hedging off)")
+	probeInterval := flag.Duration("probe-interval", 0, "liveness probe period against each node's /readyz (0 = 2s)")
+	maxUpload := flag.Int64("max-upload", 256<<20, "maximum trace upload size in bytes")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	logging := cli.NewLogging("json", flag.CommandLine)
+	flag.Parse()
+
+	accessLog, err := logging.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "charm-gateway:", err)
+		os.Exit(1)
+	}
+
+	var members []cluster.Member
+	switch {
+	case *peers != "" && *peersConfig != "":
+		err = errors.New("-peers and -peers-config are mutually exclusive")
+	case *peers != "":
+		members, err = cluster.ParsePeers(*peers)
+	case *peersConfig != "":
+		members, err = cluster.LoadMembersFile(*peersConfig)
+	default:
+		err = errors.New("a member list is required (-peers or -peers-config)")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "charm-gateway:", err)
+		os.Exit(1)
+	}
+
+	gw, err := cluster.NewGateway(cluster.GatewayConfig{
+		Members:        members,
+		Replication:    *replication,
+		HedgeAfter:     *hedgeAfter,
+		HedgeMax:       *hedgeMax,
+		ProbeInterval:  *probeInterval,
+		MaxUploadBytes: *maxUpload,
+		AccessLog:      accessLog,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "charm-gateway:", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           gw,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	r := *replication
+	if r <= 0 {
+		r = cluster.DefaultReplication
+	}
+	if r > len(members) {
+		r = len(members)
+	}
+	fmt.Printf("charm-gateway: serving on %s (%d members, R=%d)\n", *addr, len(members), r)
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "charm-gateway: signal received, draining")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "charm-gateway: shutdown:", err)
+		}
+		gw.Close()
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "charm-gateway:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	"charmtrace/internal/cli"
+	"charmtrace/internal/cluster"
 	"charmtrace/internal/server"
 )
 
@@ -48,6 +50,10 @@ func main() {
 	selfTrace := flag.Bool("self-trace", false, "record extraction spans and serve them at /debug/selftrace (bounded by -selftrace-max-spans; debugging only)")
 	selfTraceMaxSpans := flag.Int("selftrace-max-spans", 0, "self-trace span retention cap (0 = default ~1M, negative = unbounded); spans past it are dropped and counted")
 	debugUnsafe := flag.Bool("debug-unsafe", false, "enable mutating debug operations (?reset=1 on /debug/stats and /debug/selftrace)")
+	nodeName := flag.String("node-name", "", "this node's cluster member name (labels metrics and logs; required with -peers)")
+	peers := flag.String("peers", "", "cluster member list as name=url,name=url (must include -node-name; enables peer cache fill)")
+	peersConfig := flag.String("peers-config", "", "path to a JSON cluster member file (alternative to -peers)")
+	peerFanout := flag.Int("peer-fanout", 0, "ring siblings asked per peer fill (0 = 2)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	logging := cli.NewLogging("json", flag.CommandLine)
 	tele := cli.NewProfiling("charmd", flag.CommandLine)
@@ -62,7 +68,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		DataDir:                  *dataDir,
 		MaxMemEntries:            *memEntries,
 		MaxUploadBytes:           *maxUpload,
@@ -76,10 +82,48 @@ func main() {
 		SelfTraceMaxSpans:        *selfTraceMaxSpans,
 		AccessLog:                accessLog,
 		DebugUnsafe:              *debugUnsafe,
-	})
+		NodeName:                 *nodeName,
+	}
+	// The peer client is built after the server so its counters land in the
+	// server's registry; the config closures bind late, and nothing calls
+	// them until the listener below starts accepting requests.
+	var pc *cluster.Peers
+	clustered := *peers != "" || *peersConfig != ""
+	if clustered {
+		cfg.PeerFetch = func(ctx context.Context, traceDigest, key string) (io.ReadCloser, error) {
+			return pc.FetchResult(ctx, traceDigest, key)
+		}
+		cfg.TraceFetch = func(ctx context.Context, digest string) (io.ReadCloser, error) {
+			return pc.FetchTrace(ctx, digest)
+		}
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "charmd:", err)
 		os.Exit(1)
+	}
+	if clustered {
+		var members []cluster.Member
+		switch {
+		case *peers != "" && *peersConfig != "":
+			err = errors.New("-peers and -peers-config are mutually exclusive")
+		case *peers != "":
+			members, err = cluster.ParsePeers(*peers)
+		default:
+			members, err = cluster.LoadMembersFile(*peersConfig)
+		}
+		if err == nil {
+			pc, err = cluster.NewPeers(cluster.PeersConfig{
+				Self:    *nodeName,
+				Members: members,
+				Fanout:  *peerFanout,
+				Metrics: srv.Registry(),
+			})
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "charmd:", err)
+			os.Exit(1)
+		}
 	}
 
 	httpSrv := &http.Server{

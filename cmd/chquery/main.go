@@ -74,6 +74,7 @@ func run() error {
 	cursor := flag.String("cursor", "", "resume after this page cursor")
 	all := flag.Bool("all", false, "follow cursors and print the concatenated result")
 	rawSpec := flag.String("spec", "", "raw JSON query spec (@file to read from a file); overrides the filter flags")
+	retries := flag.Int("retries", 3, "remote mode: extra attempts after a 429 or 503 (Retry-After honored, exponential backoff otherwise)")
 	tele := cli.NewTelemetry("chquery", flag.CommandLine)
 	flag.Parse()
 	if err := tele.Start(); err != nil {
@@ -92,6 +93,7 @@ func run() error {
 	fetch, err := newFetcher(fetcherConfig{
 		in: *in, app: *app, server: *server, digest: *digest, mp: *mp,
 		iters: *iters, scale: *scale, seed: *seed, parallelism: *parallelism,
+		retries: *retries,
 	})
 	if err != nil {
 		return err
@@ -167,6 +169,7 @@ type fetcherConfig struct {
 	iters, scale            int
 	seed                    int64
 	parallelism             int
+	retries                 int
 }
 
 // newFetcher resolves the query target into a page-fetching function:
@@ -182,7 +185,8 @@ func newFetcher(cfg fetcherConfig) (func(query.Spec) (*page, error), error) {
 		if cfg.mp {
 			target += "?preset=mp"
 		}
-		return func(spec query.Spec) (*page, error) { return postPage(target, spec) }, nil
+		rt := newRetrier(cfg.retries)
+		return func(spec query.Spec) (*page, error) { return postPage(target, spec, rt) }, nil
 	}
 
 	var tr *trace.Trace
@@ -226,13 +230,16 @@ func newFetcher(cfg fetcherConfig) (func(query.Spec) (*page, error), error) {
 	}, nil
 }
 
-// postPage fetches one page from a charmd query endpoint.
-func postPage(target string, spec query.Spec) (*page, error) {
+// postPage fetches one page from a charmd query endpoint, retrying
+// transient pressure (429/503) per the retrier's policy.
+func postPage(target string, spec query.Spec, rt *retrier) (*page, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := http.Post(target, "application/json", bytes.NewReader(body))
+	resp, err := rt.do(func() (*http.Response, error) {
+		return http.Post(target, "application/json", bytes.NewReader(body))
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// charmd signals transient pressure two ways: a 429 with a Retry-After
+// hint when the extraction queue is full, and a 503 while a node drains
+// or its cache is closed. Both mean "the same request will likely succeed
+// shortly", so chquery retries them — bounded, with the server's hint
+// honored when present and capped exponential backoff plus jitter when
+// not. Every other status is the final answer.
+
+const (
+	retryBase = 250 * time.Millisecond
+	retryMax  = 10 * time.Second
+)
+
+// retrier re-runs an HTTP call on 429/503 up to `retries` extra attempts.
+// sleep and jitter are injectable so tests run instantly and
+// deterministically.
+type retrier struct {
+	retries int
+	base    time.Duration
+	max     time.Duration
+	sleep   func(time.Duration)
+	jitter  func() float64 // uniform [0,1)
+}
+
+func newRetrier(retries int) *retrier {
+	return &retrier{
+		retries: retries,
+		base:    retryBase,
+		max:     retryMax,
+		sleep:   time.Sleep,
+		jitter:  rand.Float64,
+	}
+}
+
+// retryable reports whether a status is worth another attempt.
+func retryable(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// delay computes the wait before retry `attempt` (0-based). A parseable
+// Retry-After wins — the server knows its queue better than any backoff
+// curve — clamped to max so a confused server cannot park the client.
+// Otherwise: capped exponential with full-range jitter in [d/2, d), which
+// keeps a burst of identical clients from re-synchronizing on the server.
+func (r *retrier) delay(attempt int, retryAfter string) time.Duration {
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs >= 0 {
+		d := time.Duration(secs) * time.Second
+		if d > r.max {
+			d = r.max
+		}
+		return d
+	}
+	d := r.base
+	for i := 0; i < attempt && d < r.max; i++ {
+		d *= 2
+	}
+	if d > r.max {
+		d = r.max
+	}
+	half := d / 2
+	return half + time.Duration(r.jitter()*float64(half))
+}
+
+// do runs fn until it yields a non-retryable response or the attempt
+// budget is spent; the last response is returned either way. Transport
+// errors are not retried — they are config or network problems, not the
+// load signals this retrier exists for. Retried response bodies are
+// drained so the underlying connection is reused.
+func (r *retrier) do(fn func() (*http.Response, error)) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := fn()
+		if err != nil {
+			return nil, err
+		}
+		if !retryable(resp.StatusCode) || attempt >= r.retries {
+			return resp, nil
+		}
+		ra := resp.Header.Get("Retry-After")
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		r.sleep(r.delay(attempt, ra))
+	}
+}

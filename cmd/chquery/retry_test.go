@@ -1,0 +1,126 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"charmtrace/internal/query"
+)
+
+// instant returns a retrier that never sleeps and records each computed
+// delay, with a fixed mid-range jitter draw.
+func instant(retries int) (*retrier, *[]time.Duration) {
+	slept := &[]time.Duration{}
+	r := newRetrier(retries)
+	r.sleep = func(d time.Duration) { *slept = append(*slept, d) }
+	r.jitter = func() float64 { return 0.5 }
+	return r, slept
+}
+
+func TestRetryEventualSuccess(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+		case 2:
+			http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+		default:
+			w.Write([]byte(`{"select":"structure","total_rows":1,"rows":[{"id":0}]}`))
+		}
+	}))
+	defer srv.Close()
+
+	rt, slept := instant(3)
+	p, err := postPage(srv.URL, query.Spec{Select: "structure"}, rt)
+	if err != nil {
+		t.Fatalf("postPage: %v", err)
+	}
+	if p.TotalRows != 1 || len(p.Rows) != 1 {
+		t.Fatalf("page = %+v", p)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(*slept))
+	}
+	// First backoff honored the server's Retry-After: 0 verbatim.
+	if (*slept)[0] != 0 {
+		t.Fatalf("first delay = %v, want 0 (Retry-After honored)", (*slept)[0])
+	}
+	// Second had no hint: exponential base doubled once, with jitter in
+	// [d/2, d) for d = 2*base.
+	d := (*slept)[1]
+	if d < retryBase || d >= 2*retryBase {
+		t.Fatalf("second delay = %v, want in [%v, %v)", d, retryBase, 2*retryBase)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "0")
+		http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	rt, _ := instant(2)
+	_, err := postPage(srv.URL, query.Spec{Select: "structure"}, rt)
+	if err == nil {
+		t.Fatal("want error after budget exhausted")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (1 try + 2 retries)", got)
+	}
+}
+
+func TestRetryNonRetryableIsFinal(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"unknown trace digest"}`, http.StatusNotFound)
+	}))
+	defer srv.Close()
+
+	rt, _ := instant(3)
+	_, err := postPage(srv.URL, query.Spec{Select: "structure"}, rt)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (404 is final)", got)
+	}
+}
+
+func TestRetryDelayPolicy(t *testing.T) {
+	r := newRetrier(3)
+	r.jitter = func() float64 { return 0 } // delay = d/2 exactly
+	// Retry-After wins and is clamped to max.
+	if got := r.delay(0, "2"); got != 2*time.Second {
+		t.Fatalf("Retry-After 2 → %v, want 2s", got)
+	}
+	if got := r.delay(0, "3600"); got != retryMax {
+		t.Fatalf("Retry-After 3600 → %v, want clamp %v", got, retryMax)
+	}
+	// Garbage hints fall back to the exponential curve.
+	prev := time.Duration(0)
+	for attempt := 0; attempt < 10; attempt++ {
+		d := r.delay(attempt, "soon")
+		if d < prev {
+			t.Fatalf("attempt %d: delay %v shrank from %v", attempt, d, prev)
+		}
+		if d > retryMax {
+			t.Fatalf("attempt %d: delay %v exceeds cap", attempt, d)
+		}
+		prev = d
+	}
+	if prev != retryMax/2 {
+		t.Fatalf("late-attempt delay = %v, want capped %v (zero jitter)", prev, retryMax/2)
+	}
+}

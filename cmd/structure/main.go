@@ -15,8 +15,8 @@ import (
 	"fmt"
 	"os"
 
+	"charmtrace/internal/charegroup"
 	"charmtrace/internal/cli"
-	"charmtrace/internal/cluster"
 	"charmtrace/internal/core"
 	"charmtrace/internal/trace"
 	"charmtrace/internal/tracefile"
@@ -141,7 +141,7 @@ func main() {
 	case "logical":
 		fmt.Print(viz.Logical(s))
 	case "clustered":
-		clusters := cluster.Exact(s)
+		clusters := charegroup.Exact(s)
 		rows := make([]viz.ClusterRow, len(clusters))
 		for i := range clusters {
 			rows[i] = viz.ClusterRow{

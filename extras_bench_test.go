@@ -8,7 +8,7 @@ import (
 	"testing"
 
 	"charmtrace/internal/apps/lassen"
-	"charmtrace/internal/cluster"
+	"charmtrace/internal/charegroup"
 	"charmtrace/internal/core"
 	"charmtrace/internal/profile"
 	"charmtrace/internal/skew"
@@ -32,7 +32,7 @@ func BenchmarkClusterExact(b *testing.B) {
 	s := lassenFineStructure(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cluster.Exact(s)
+		charegroup.Exact(s)
 	}
 }
 

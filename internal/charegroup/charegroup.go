@@ -1,4 +1,4 @@
-// Package cluster groups chares with equivalent logical behaviour, the
+// Package charegroup groups chares with equivalent logical behaviour, the
 // scalability direction the paper's conclusion calls for ("new
 // visualization techniques are needed that scale to large numbers of
 // parallel tasks"). Chares whose timelines are indistinguishable in the
@@ -6,7 +6,7 @@
 // collapse into one cluster, so a 13,824-chare LULESH renders as a handful
 // of behavioural rows (corners, edges, faces, interior) instead of
 // thousands.
-package cluster
+package charegroup
 
 import (
 	"fmt"

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"charmtrace/internal/telemetry"
+)
+
+// DefaultProbeInterval is how often Health.Run probes each member when the
+// caller passes no interval.
+const DefaultProbeInterval = 2 * time.Second
+
+// defaultProbeTimeout bounds one readiness probe.
+const defaultProbeTimeout = 2 * time.Second
+
+// Health tracks which cluster members are believed alive. Members start
+// alive (optimistic: a gateway that boots before its nodes should try
+// them, not blackhole them), transition to dead on a failed /readyz probe
+// or an explicit MarkDead from a caller that just watched a transport
+// error, and come back on the next successful probe. Safe for concurrent
+// use.
+type Health struct {
+	client  *http.Client
+	members []Member
+
+	probeFails *telemetry.Counter // cluster.probe_failures
+	aliveG     *telemetry.Gauge   // cluster.members_alive
+
+	mu    sync.Mutex
+	alive map[string]bool
+}
+
+// NewHealth builds a tracker for members. client nil uses a private client
+// with the probe timeout; reg nil uses a private registry.
+func NewHealth(members []Member, client *http.Client, reg *telemetry.Registry) *Health {
+	if client == nil {
+		client = &http.Client{Timeout: defaultProbeTimeout}
+	}
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	h := &Health{
+		client:     client,
+		members:    append([]Member(nil), members...),
+		probeFails: reg.Counter("cluster.probe_failures"),
+		aliveG:     reg.Gauge("cluster.members_alive"),
+		alive:      make(map[string]bool, len(members)),
+	}
+	for _, m := range members {
+		h.alive[m.Name] = true
+	}
+	h.aliveG.Set(float64(len(members)))
+	return h
+}
+
+// Alive reports whether name is believed reachable. Unknown names are dead.
+func (h *Health) Alive(name string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.alive[name]
+}
+
+// AliveCount returns how many members are believed reachable.
+func (h *Health) AliveCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, ok := range h.alive {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// MarkDead records a member observed unreachable (a transport error on a
+// proxied request): routing skips it until a probe brings it back.
+func (h *Health) MarkDead(name string) { h.set(name, false) }
+
+// MarkAlive records a member observed healthy.
+func (h *Health) MarkAlive(name string) { h.set(name, true) }
+
+func (h *Health) set(name string, ok bool) {
+	h.mu.Lock()
+	if _, known := h.alive[name]; known {
+		h.alive[name] = ok
+	}
+	n := 0
+	for _, a := range h.alive {
+		if a {
+			n++
+		}
+	}
+	h.mu.Unlock()
+	h.aliveG.Set(float64(n))
+}
+
+// ProbeOnce probes every member's /readyz concurrently and updates the
+// liveness map. A member is alive iff the probe returns 200.
+func (h *Health) ProbeOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, m := range h.members {
+		wg.Add(1)
+		go func(m Member) {
+			defer wg.Done()
+			ok := h.probe(ctx, m)
+			if !ok {
+				h.probeFails.Add(1)
+			}
+			h.set(m.Name, ok)
+		}(m)
+	}
+	wg.Wait()
+}
+
+func (h *Health) probe(ctx context.Context, m Member) bool {
+	pctx, cancel := context.WithTimeout(ctx, defaultProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, m.URL+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// Run probes every interval until ctx is cancelled. interval <= 0 selects
+// DefaultProbeInterval.
+func (h *Health) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = DefaultProbeInterval
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			h.ProbeOnce(ctx)
+		}
+	}
+}
+
+// Snapshot returns each member's believed state, in member-list order, for
+// the gateway's /cluster debug payload.
+func (h *Health) Snapshot() []MemberStatus {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]MemberStatus, 0, len(h.members))
+	for _, m := range h.members {
+		out = append(out, MemberStatus{Member: m, Alive: h.alive[m.Name]})
+	}
+	return out
+}
+
+// MemberStatus is one member plus its believed liveness.
+type MemberStatus struct {
+	Member
+	Alive bool `json:"alive"`
+}
+
+// String renders like "2/3 alive" for log lines.
+func (h *Health) String() string {
+	return fmt.Sprintf("%d/%d alive", h.AliveCount(), len(h.members))
+}

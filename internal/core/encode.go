@@ -36,6 +36,11 @@ import (
 // structMagic opens every encoded structure.
 var structMagic = [4]byte{'C', 'S', 'T', 'R'}
 
+// StructMagic is the 4-byte prefix of every encoded structure, exported so
+// transport layers (the cluster's replication writes) can cheaply reject
+// bodies that are not encoded structures before spooling them to disk.
+const StructMagic = "CSTR"
+
 // StructCodecVersion is the current structure-encoding version.
 const StructCodecVersion = 1
 
@@ -79,7 +84,7 @@ func EncodeStructure(w io.Writer, s *Structure) error {
 		return err
 	}
 	b.uv(StructCodecVersion)
-	b.str(s.Opts.Fingerprint())
+	b.str(s.EncodedFingerprint())
 	b.uv(uint64(len(s.Step)))
 	b.uv(uint64(len(s.chareEvents)))
 	b.uv(uint64(len(s.Phases)))
@@ -209,7 +214,7 @@ func DecodeStructure(r io.Reader, tr *trace.Trace) (*Structure, string, error) {
 		return nil, "", fmt.Errorf("core: decode: structure is for %d events/%d chares, trace has %d/%d",
 			nEvents, nChares, len(tr.Events), len(tr.Chares))
 	}
-	s := &Structure{Trace: tr}
+	s := &Structure{Trace: tr, decodedFP: fp}
 	nPhases := b.count("phase", uint64(nEvents)+1)
 	s.Phases = make([]Phase, 0, nPhases)
 	for i := 0; i < nPhases && b.err == nil; i++ {

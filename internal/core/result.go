@@ -55,6 +55,24 @@ type Structure struct {
 
 	// chareEvents lists every chare's events in logical order.
 	chareEvents [][]trace.EventID
+
+	// decodedFP is the options fingerprint read back by DecodeStructure.
+	// Opts cannot always be reconstructed from a fingerprint (ChareRank
+	// participates only through a digest), so re-encoding a decoded
+	// structure uses this instead of Opts.Fingerprint() — keeping
+	// encode(decode(bytes)) byte-identical to the original entry, which is
+	// what lets cluster peers relay entries without re-extraction.
+	decodedFP string
+}
+
+// EncodedFingerprint is the options fingerprint an EncodeStructure of s
+// would embed: the fingerprint decoded from the wire for structures that
+// came through DecodeStructure, Opts.Fingerprint() otherwise.
+func (s *Structure) EncodedFingerprint() string {
+	if s.decodedFP != "" {
+		return s.decodedFP
+	}
+	return s.Opts.Fingerprint()
 }
 
 // Stats instruments the extraction pipeline for the scaling experiments

@@ -45,6 +45,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -101,6 +102,15 @@ type Config struct {
 	// index results. The builder is kept as a func to avoid a
 	// resultcache→query dependency.
 	Index func(s *core.Structure) (val any, bytes int64)
+	// PeerFetch asks cluster peers for an already-encoded entry before the
+	// cache falls back to extraction on a full miss (charmd wires the
+	// ring-successor client here). It receives the trace digest (the
+	// routing key) and the entry's content address, and returns the
+	// encoded-varint bytes a peer served from its disk store. Any error is
+	// a peer-fill miss: the cache counts it and extracts locally. nil
+	// disables peer fill. Kept as a func to avoid a resultcache→cluster
+	// dependency.
+	PeerFetch func(ctx context.Context, traceDigest, key string) (io.ReadCloser, error)
 }
 
 // Cache is the three-layer result cache. Safe for concurrent use.
@@ -111,6 +121,7 @@ type Cache struct {
 	detachedTimeout time.Duration
 	extract         func(tr *trace.Trace, opt core.Options) (*core.Structure, error)
 	index           func(s *core.Structure) (any, int64)
+	peerFetch       func(ctx context.Context, traceDigest, key string) (io.ReadCloser, error)
 	readFile        func(string) ([]byte, error) // os.ReadFile; swapped by fault-injection tests
 
 	reg           *telemetry.Registry
@@ -126,6 +137,9 @@ type Cache struct {
 	diskEvictions *telemetry.Counter // entries GCed to honor MaxDiskBytes
 	indexBuilds   *telemetry.Counter // per-entry index constructions
 	indexHits     *telemetry.Counter // indexed requests served by an already-built index
+	peerHits      *telemetry.Counter // misses filled from a cluster peer (cache.peer_hits)
+	peerMisses    *telemetry.Counter // peer fill attempted, fell back to extraction
+	replicaWrites *telemetry.Counter // entries written through PutEntry (cache.replica_writes)
 	extractMS     *telemetry.Histogram
 	memEntries    *telemetry.Gauge
 	indexBytes    *telemetry.Gauge // estimated bytes held by resident indexes
@@ -214,6 +228,7 @@ func New(cfg Config) (*Cache, error) {
 		detachedTimeout: dt,
 		extract:         ext,
 		index:           cfg.Index,
+		peerFetch:       cfg.PeerFetch,
 		readFile:        os.ReadFile,
 		reg:             reg,
 		hits:            reg.Counter("cache.hits"),
@@ -228,6 +243,9 @@ func New(cfg Config) (*Cache, error) {
 		diskEvictions:   reg.Counter("cache.disk_evictions"),
 		indexBuilds:     reg.Counter("cache.index_builds"),
 		indexHits:       reg.Counter("cache.index_hits"),
+		peerHits:        reg.Counter("cache.peer_hits"),
+		peerMisses:      reg.Counter("cache.peer_misses"),
+		replicaWrites:   reg.Counter("cache.replica_writes"),
 		extractMS:       reg.Histogram("cache.extract_ms"),
 		memEntries:      reg.Gauge("cache.mem_entries"),
 		indexBytes:      reg.Gauge("cache.index_bytes"),
@@ -242,13 +260,35 @@ func New(cfg Config) (*Cache, error) {
 // Registry returns the registry the cache's metrics live in.
 func (c *Cache) Registry() *telemetry.Registry { return c.reg }
 
-// keyID is the content address of one (trace, options) result.
-func keyID(traceDigest, fingerprint string) string {
+// KeyID is the content address of one (trace, options) result:
+// sha256(trace digest ‖ 0 ‖ options fingerprint), hex-encoded. Exported so
+// the cluster layer (gateway replication, node internal endpoints) can name
+// entries on the wire.
+func KeyID(traceDigest, fingerprint string) string {
 	h := sha256.New()
 	h.Write([]byte(traceDigest))
 	h.Write([]byte{0})
 	h.Write([]byte(fingerprint))
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// keyID is the internal alias of KeyID.
+func keyID(traceDigest, fingerprint string) string { return KeyID(traceDigest, fingerprint) }
+
+// ValidKey reports whether key has the shape KeyID produces (64 lowercase
+// hex characters) — the internal endpoints reject anything else before it
+// can touch the filesystem.
+func ValidKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // DiskPath returns where the result for (traceDigest, opt) lives on disk,
@@ -443,7 +483,7 @@ func (c *Cache) launchFlightLocked(callerCtx context.Context, id, traceDigest st
 	go func() {
 		defer c.flightWG.Done()
 		defer cancel()
-		fl.s, fl.outcome, fl.err = c.fill(fctx, id, fl.prog, tr, opt)
+		fl.s, fl.outcome, fl.err = c.fill(fctx, id, traceDigest, fl.prog, tr, opt)
 		c.mu.Lock()
 		delete(c.flights, id)
 		c.flightsG.Set(float64(len(c.flights)))
@@ -526,10 +566,11 @@ func (c *Cache) Close(ctx context.Context) error {
 	}
 }
 
-// fill resolves a memory miss as the flight leader: disk, then extraction
-// under the flight's detached context. The returned outcome (OutcomeDisk or
-// OutcomeMiss) labels which layer answered.
-func (c *Cache) fill(ctx context.Context, id string, prog *core.Progress, tr *trace.Trace, opt core.Options) (*core.Structure, string, error) {
+// fill resolves a memory miss as the flight leader: disk, then cluster
+// peers, then extraction under the flight's detached context. The returned
+// outcome (OutcomeDisk, OutcomePeer or OutcomeMiss) labels which layer
+// answered.
+func (c *Cache) fill(ctx context.Context, id, traceDigest string, prog *core.Progress, tr *trace.Trace, opt core.Options) (*core.Structure, string, error) {
 	wantFP := opt.Fingerprint()
 	path := ""
 	if c.dir != "" {
@@ -544,6 +585,12 @@ func (c *Cache) fill(ctx context.Context, id string, prog *core.Progress, tr *tr
 			// A corrupt or stale entry self-heals: count it, re-extract,
 			// overwrite.
 			c.diskErrors.Add(1)
+		}
+	}
+
+	if c.peerFetch != nil {
+		if s, ok := c.peerFill(ctx, traceDigest, id, path, wantFP, tr); ok {
+			return s, OutcomePeer, nil
 		}
 	}
 
@@ -572,6 +619,43 @@ func (c *Cache) fill(ctx context.Context, id string, prog *core.Progress, tr *tr
 	return s, OutcomeMiss, nil
 }
 
+// peerFill asks the cluster's peers for the encoded entry and, on success,
+// decodes it against the local trace and persists the bytes so the next
+// miss is a plain disk hit. Every failure (no peer has it, transport error,
+// bytes that do not decode to the wanted fingerprint) is one peer-fill miss
+// and the caller falls back to extraction — a lying or stale peer can cost
+// a round trip, never correctness.
+func (c *Cache) peerFill(ctx context.Context, traceDigest, id, path, wantFP string, tr *trace.Trace) (*core.Structure, bool) {
+	rc, err := c.peerFetch(ctx, traceDigest, id)
+	if err != nil {
+		c.peerMisses.Add(1)
+		return nil, false
+	}
+	data, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		c.peerMisses.Add(1)
+		return nil, false
+	}
+	s, fp, err := core.DecodeStructure(bytes.NewReader(data), tr)
+	if err != nil || fp != wantFP {
+		c.peerMisses.Add(1)
+		return nil, false
+	}
+	c.peerHits.Add(1)
+	if path != "" {
+		if err := c.writeDiskFrom(path, func(w io.Writer) error {
+			_, err := w.Write(data)
+			return err
+		}); err != nil {
+			c.diskErrors.Add(1)
+		} else if c.maxDiskBytes > 0 {
+			c.gcDisk()
+		}
+	}
+	return s, true
+}
+
 // readDisk reads a cache entry, retrying exactly once on a transient
 // failure: a missing file is a plain miss, but an EIO/EMFILE-style error on
 // a file that should exist gets one more chance before the entry is
@@ -585,16 +669,21 @@ func (c *Cache) readDisk(path string) ([]byte, error) {
 	return c.readFile(path)
 }
 
-// writeDisk persists an encoded result atomically (temp file + rename), so
-// a crash mid-write never leaves a truncated entry a later decode would
+// writeDisk persists an encoded result atomically.
+func (c *Cache) writeDisk(path string, s *core.Structure) error {
+	return c.writeDiskFrom(path, func(w io.Writer) error { return core.EncodeStructure(w, s) })
+}
+
+// writeDiskFrom persists one entry atomically (temp file + rename), so a
+// crash mid-write never leaves a truncated entry a later decode would
 // reject. The entry is world-readable (0644, not CreateTemp's 0600) so
 // operators and sidecar readers can inspect .cstr files in place.
-func (c *Cache) writeDisk(path string, s *core.Structure) error {
+func (c *Cache) writeDiskFrom(path string, write func(io.Writer) error) error {
 	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
 	if err != nil {
 		return err
 	}
-	if err := core.EncodeStructure(tmp, s); err != nil {
+	if err := write(tmp); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err
@@ -609,6 +698,87 @@ func (c *Cache) writeDisk(path string, s *core.Structure) error {
 		return err
 	}
 	return os.Rename(tmp.Name(), path)
+}
+
+// ErrNoEntry is returned by OpenEntry when the disk store has no entry for
+// a key — because it was never written, was garbage-collected, or the disk
+// layer is disabled. The internal endpoint maps it to 404 and a peer-fill
+// caller falls back to extraction.
+var ErrNoEntry = errors.New("resultcache: no such entry")
+
+// ErrBadEntry tags PutEntry rejections the sender caused — an invalid key,
+// a body that is not an encoded structure, or one past the size limit. The
+// internal endpoint maps it to 400.
+var ErrBadEntry = errors.New("resultcache: bad entry")
+
+// OpenEntry opens the raw encoded bytes of one disk entry for zero-copy
+// serving (no decode, no buffering — the caller streams the file). The
+// returned reader stays valid even if the entry is garbage-collected
+// mid-stream: the open file outlives the unlink, so a concurrent GC sweep
+// can never truncate a response half-way. Any failure to open is ErrNoEntry.
+func (c *Cache) OpenEntry(key string) (io.ReadCloser, int64, error) {
+	if c.dir == "" || !ValidKey(key) {
+		return nil, 0, ErrNoEntry
+	}
+	f, err := os.Open(filepath.Join(c.dir, key+".cstr"))
+	if err != nil {
+		return nil, 0, ErrNoEntry
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, ErrNoEntry
+	}
+	return f, info.Size(), nil
+}
+
+// PutEntry writes one already-encoded entry into the disk store (the
+// replication write path). The body's 4-byte magic is checked before
+// anything is spooled; deeper validation is deliberately deferred to the
+// read path, where DecodeStructure's fingerprint check self-heals any entry
+// that is corrupt past the magic. limit > 0 bounds the accepted size. The
+// write is atomic and GC runs after it when the store is bounded.
+func (c *Cache) PutEntry(key string, r io.Reader, limit int64) (int64, error) {
+	if c.dir == "" {
+		return 0, fmt.Errorf("resultcache: disk store disabled")
+	}
+	if !ValidKey(key) {
+		return 0, fmt.Errorf("%w: invalid key %q", ErrBadEntry, key)
+	}
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return 0, fmt.Errorf("resultcache: entry body: %w", err)
+	}
+	if string(magic[:]) != core.StructMagic {
+		return 0, fmt.Errorf("%w: body is not an encoded structure", ErrBadEntry)
+	}
+	body := io.Reader(r)
+	if limit > 0 {
+		body = io.LimitReader(r, limit+1)
+	}
+	var n int64
+	err := c.writeDiskFrom(filepath.Join(c.dir, key+".cstr"), func(w io.Writer) error {
+		if _, err := w.Write(magic[:]); err != nil {
+			return err
+		}
+		m, err := io.Copy(w, body)
+		n = m + int64(len(magic))
+		if err != nil {
+			return err
+		}
+		if limit > 0 && n > limit {
+			return fmt.Errorf("resultcache: entry exceeds %d bytes", limit)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	c.replicaWrites.Add(1)
+	if c.maxDiskBytes > 0 {
+		c.gcDisk()
+	}
+	return n, nil
 }
 
 // gcDisk enforces MaxDiskBytes: when the .cstr entries outgrow the bound,

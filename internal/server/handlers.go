@@ -135,7 +135,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if s.notModified(w, r, digest, "") {
 		return
 	}
-	tr, err := s.lookupTrace(digest)
+	tr, err := s.lookupTrace(r.Context(), digest)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -409,6 +409,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	e := telemetry.ExportRegistry(s.reg, "charmd", core.StageOrder)
+	if s.cfg.NodeName != "" {
+		e.Labels = map[string]string{"node": s.cfg.NodeName}
+	}
 	if s.collector != nil {
 		e.SpanCount = s.collector.Len()
 		e.SpansDropped = s.collector.Dropped()

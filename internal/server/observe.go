@@ -61,6 +61,12 @@ func (s *Server) logAccess(r *http.Request, route, reqID string, outcome *result
 		slog.String("method", r.Method),
 		slog.String("path", r.URL.Path),
 	)
+	if s.cfg.NodeName != "" {
+		attrs = append(attrs, slog.String("node", s.cfg.NodeName))
+	}
+	if hop := r.Header.Get("X-Charmd-Hop"); hop != "" {
+		attrs = append(attrs, slog.String("hop", hop))
+	}
 	if d := r.PathValue("digest"); d != "" {
 		attrs = append(attrs, slog.String("digest", d))
 	}
@@ -93,13 +99,17 @@ func (s *Server) logAccess(r *http.Request, route, reqID string, outcome *result
 // counters.
 func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", telemetry.PromContentType)
-	telemetry.WritePrometheus(w, s.reg)
+	var labels map[string]string
+	if s.cfg.NodeName != "" {
+		labels = map[string]string{"node": s.cfg.NodeName}
+	}
+	telemetry.WritePrometheusLabels(w, s.reg, labels)
 	telemetry.WriteGoRuntimeMetrics(w)
 	if s.collector != nil {
-		telemetry.PromGauge(w, "charmd_selftrace_spans",
-			"spans retained by the self-trace collector", float64(s.collector.Len()))
-		telemetry.PromCounter(w, "charmd_selftrace_dropped_spans_total",
-			"spans discarded by the self-trace retention cap", float64(s.collector.Dropped()))
+		telemetry.PromGaugeLabels(w, "charmd_selftrace_spans",
+			"spans retained by the self-trace collector", float64(s.collector.Len()), labels)
+		telemetry.PromCounterLabels(w, "charmd_selftrace_dropped_spans_total",
+			"spans discarded by the self-trace retention cap", float64(s.collector.Dropped()), labels)
 	}
 }
 
@@ -112,8 +122,9 @@ func (s *Server) handleFlights(w http.ResponseWriter, r *http.Request) {
 		flights = []resultcache.FlightInfo{}
 	}
 	writeJSON(w, struct {
+		Node    string                   `json:"node,omitempty"`
 		Flights []resultcache.FlightInfo `json:"flights"`
-	}{Flights: flights})
+	}{Node: s.cfg.NodeName, Flights: flights})
 }
 
 // resetRequested implements the ?reset=1 guard shared by /debug/stats and

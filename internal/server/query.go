@@ -68,10 +68,11 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, digest strin
 // milliseconds against extraction's seconds, and building it outside a
 // slot keeps hot paging requests from queueing behind extractions.
 func (s *Server) indexedStructureFor(ctx context.Context, digest string, opt core.Options) (*core.Structure, *query.Index, error) {
-	tr, err := s.lookupTrace(digest)
+	tr, err := s.lookupTrace(ctx, digest)
 	if err != nil {
 		return nil, nil, err
 	}
+	resultcache.RecordKey(ctx, resultcache.KeyID(digest, opt.Fingerprint()))
 	if st, idx, ok := s.cache.LookupIndexed(digest, opt); ok {
 		resultcache.RecordOutcome(ctx, resultcache.OutcomeMem)
 		return st, idx.(*query.Index), nil

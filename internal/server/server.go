@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"os"
@@ -94,6 +95,22 @@ type Config struct {
 	// counters should not be clearable by any client that can reach it.
 	DebugUnsafe bool
 
+	// NodeName identifies this node in a cluster: stamped on every response
+	// (X-Charmd-Node), on access-log lines, in /debug payloads, and as the
+	// node label on /metrics. Empty runs the server unnamed (single-node).
+	NodeName string
+	// PeerFetch asks cluster siblings for an already-encoded result entry
+	// before a cache miss falls back to extraction (cmd/charmd wires
+	// cluster.Peers.FetchResult). nil disables peer cache-fill.
+	PeerFetch func(ctx context.Context, traceDigest, key string) (io.ReadCloser, error)
+	// TraceFetch pulls a raw trace from cluster siblings when a request
+	// names a digest this node has never seen — what lets any node serve a
+	// read after failover. nil disables (unknown digests 404).
+	TraceFetch func(ctx context.Context, digest string) (io.ReadCloser, error)
+	// MaxEntryBytes bounds one replicated result entry accepted by
+	// PUT /v1/internal/results (0 = 64 MiB).
+	MaxEntryBytes int64
+
 	// extract substitutes the cache's extraction function in tests
 	// (instrumented stubs that block or count). nil = core.Extract.
 	extract func(tr *trace.Trace, opt core.Options) (*core.Structure, error)
@@ -128,12 +145,13 @@ type Server struct {
 	sem     chan struct{}
 	closing atomic.Bool
 
-	inflight    atomic.Int64
-	inflightG   *telemetry.Gauge
-	requests    *telemetry.Counter
-	uploads     *telemetry.Counter
-	shed        *telemetry.Counter   // requests rejected with 429 (server.shed)
-	queueWaitMS *telemetry.Histogram // time spent waiting for a slot (server.queue_wait_ms)
+	inflight       atomic.Int64
+	inflightG      *telemetry.Gauge
+	requests       *telemetry.Counter
+	uploads        *telemetry.Counter
+	shed           *telemetry.Counter   // requests rejected with 429 (server.shed)
+	queueWaitMS    *telemetry.Histogram // time spent waiting for a slot (server.queue_wait_ms)
+	tracePeerFills *telemetry.Counter   // traces pulled from cluster siblings (server.trace_peer_fills)
 }
 
 // New builds a server, creating DataDir subdirectories and indexing any
@@ -150,6 +168,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.QueueWait <= 0 {
 		cfg.QueueWait = time.Second
+	}
+	if cfg.MaxEntryBytes <= 0 {
+		cfg.MaxEntryBytes = 64 << 20
 	}
 	reg := cfg.Metrics
 	if reg == nil {
@@ -170,6 +191,7 @@ func New(cfg Config) (*Server, error) {
 		DetachedTimeout: cfg.DetachedTimeout,
 		Metrics:         reg,
 		Extract:         cfg.extract,
+		PeerFetch:       cfg.PeerFetch,
 		Index: func(st *core.Structure) (any, int64) {
 			idx := engine.Index(st)
 			return idx, idx.Bytes()
@@ -179,16 +201,17 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: %w", err)
 	}
 	s := &Server{
-		cfg:         cfg,
-		reg:         reg,
-		cache:       cache,
-		engine:      engine,
-		traces:      make(map[string]*traceEntry),
-		inflightG:   reg.Gauge("server.inflight"),
-		requests:    reg.Counter("server.requests"),
-		uploads:     reg.Counter("server.uploads"),
-		shed:        reg.Counter("server.shed"),
-		queueWaitMS: reg.Histogram("server.queue_wait_ms"),
+		cfg:            cfg,
+		reg:            reg,
+		cache:          cache,
+		engine:         engine,
+		traces:         make(map[string]*traceEntry),
+		inflightG:      reg.Gauge("server.inflight"),
+		requests:       reg.Counter("server.requests"),
+		uploads:        reg.Counter("server.uploads"),
+		shed:           reg.Counter("server.shed"),
+		queueWaitMS:    reg.Histogram("server.queue_wait_ms"),
+		tracePeerFills: reg.Counter("server.trace_peer_fills"),
 	}
 	if cfg.MaxConcurrentExtractions > 0 {
 		s.sem = make(chan struct{}, cfg.MaxConcurrentExtractions)
@@ -265,13 +288,18 @@ func (s *Server) indexTraceDir() error {
 }
 
 // lookupTrace resolves a digest to a decoded, indexed trace, loading it
-// from disk on first use after a restart.
-func (s *Server) lookupTrace(digest string) (*trace.Trace, error) {
+// from disk on first use after a restart, and — in a cluster — pulling it
+// from ring siblings when this node never saw the upload (failover reads,
+// replicas that missed the fan-out). ctx bounds only the peer fetch.
+func (s *Server) lookupTrace(ctx context.Context, digest string) (*trace.Trace, error) {
 	s.mu.RLock()
 	te := s.traces[digest]
 	s.mu.RUnlock()
 	if te == nil {
-		return nil, errUnknownTrace
+		if s.cfg.TraceFetch == nil {
+			return nil, errUnknownTrace
+		}
+		return s.traceFromPeer(ctx, digest)
 	}
 	te.once.Do(func() {
 		if te.tr != nil {
@@ -336,9 +364,24 @@ func (s *Server) routes() {
 	handle("GET /debug/stats", "stats", s.handleStats)
 	handle("GET /debug/selftrace", "selftrace", s.handleSelfTrace)
 	handle("GET /debug/flights", "flights", s.handleFlights)
+	handle("GET /v1/internal/results/{key}", "internal_result", s.handleInternalResultGet)
+	handle("PUT /v1/internal/results/{key}", "internal_result_put", s.handleInternalResultPut)
+	handle("GET /v1/internal/traces/{digest}", "internal_trace", s.handleInternalTraceGet)
 	handle("GET /healthz", "healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	handle("GET /readyz", "readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Readiness differs from liveness exactly during drain: a closing
+		// node answers /healthz but tells the gateway's prober to route
+		// around it here.
+		w.Header().Set("Content-Type", "application/json")
+		if s.closing.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"status":"draining"}`)
+			return
+		}
+		fmt.Fprintln(w, `{"status":"ready"}`)
 	})
 }
 
@@ -359,9 +402,12 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 		w.Header().Set("Vary", "Accept-Encoding")
 		reqID := requestIDFor(r)
 		w.Header().Set("X-Request-ID", reqID)
-		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		if s.cfg.NodeName != "" {
+			w.Header().Set("X-Charmd-Node", s.cfg.NodeName)
+		}
 		rctx := telemetry.WithRequestID(r.Context(), reqID)
 		rctx, outcome := resultcache.WithOutcomeRecorder(rctx)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK, rec: outcome}
 		start := time.Now()
 		if s.closing.Load() {
 			sw.Header().Set("Content-Type", "application/json")
@@ -396,23 +442,39 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 
 // statusWriter records the response code and body byte count for the
 // status-class counters and the access log. With compression enabled it
-// sits under the gzip writer, so bytes counts what went on the wire.
+// sits under the gzip writer, so bytes counts what went on the wire. At
+// the first WriteHeader it stamps the cluster headers from the request's
+// outcome recorder — which cache layer answered (X-Charmd-Cache) and the
+// result's content address (X-Charmd-Result-Key) — because neither is
+// known until the handler has resolved the request, yet both must precede
+// the body: the gateway reads them to count peer fills and to trigger
+// replication.
 type statusWriter struct {
 	http.ResponseWriter
 	code  int
 	bytes int64
 	wrote bool
+	rec   *resultcache.OutcomeRecorder
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	if !w.wrote {
 		w.code = code
 		w.wrote = true
+		if o := w.rec.Outcome(); o != "" {
+			w.Header().Set("X-Charmd-Cache", o)
+		}
+		if k := w.rec.Key(); k != "" {
+			w.Header().Set("X-Charmd-Result-Key", k)
+		}
 	}
 	w.ResponseWriter.WriteHeader(code)
 }
 
 func (w *statusWriter) Write(p []byte) (int, error) {
+	if !w.wrote {
+		w.WriteHeader(http.StatusOK)
+	}
 	n, err := w.ResponseWriter.Write(p)
 	w.bytes += int64(n)
 	return n, err
@@ -555,10 +617,11 @@ func (s *Server) acquireSlot(ctx context.Context) (release func(), err error) {
 // caller whose context dies releases the slot immediately — the detached
 // flight keeps running without it.
 func (s *Server) structureFor(ctx context.Context, digest string, opt core.Options) (*core.Structure, error) {
-	tr, err := s.lookupTrace(digest)
+	tr, err := s.lookupTrace(ctx, digest)
 	if err != nil {
 		return nil, err
 	}
+	resultcache.RecordKey(ctx, resultcache.KeyID(digest, opt.Fingerprint()))
 	if st, ok := s.cache.Lookup(digest, opt); ok {
 		resultcache.RecordOutcome(ctx, resultcache.OutcomeMem)
 		return st, nil

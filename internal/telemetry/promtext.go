@@ -77,18 +77,66 @@ func promFamily(w io.Writer, name, typ, help string) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 }
 
+// promLabelValue escapes a label value per the exposition format.
+func promLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// labelSet renders a constant label set ({k="v",...}) in sorted key order,
+// with extra appended last (histograms pass their le pair). Empty input and
+// empty extra render "".
+func labelSet(labels map[string]string, extra string) string {
+	if len(labels) == 0 && extra == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, PromName(k), promLabelValue(labels[k]))
+	}
+	if extra != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
 // PromGauge writes one self-contained gauge family (header plus a single
 // sample). The serving layer uses it for process-level values that do not
 // live in a Registry (span-collector depth, dropped spans).
 func PromGauge(w io.Writer, name, help string, v float64) {
+	PromGaugeLabels(w, name, help, v, nil)
+}
+
+// PromGaugeLabels is PromGauge with a constant label set on the sample.
+func PromGaugeLabels(w io.Writer, name, help string, v float64, labels map[string]string) {
 	promFamily(w, name, "gauge", help)
-	fmt.Fprintf(w, "%s %s\n", name, promFloat(v))
+	fmt.Fprintf(w, "%s%s %s\n", name, labelSet(labels, ""), promFloat(v))
 }
 
 // PromCounter writes one self-contained counter family.
 func PromCounter(w io.Writer, name, help string, v float64) {
+	PromCounterLabels(w, name, help, v, nil)
+}
+
+// PromCounterLabels is PromCounter with a constant label set on the sample.
+func PromCounterLabels(w io.Writer, name, help string, v float64, labels map[string]string) {
 	promFamily(w, name, "counter", help)
-	fmt.Fprintf(w, "%s %s\n", name, promFloat(v))
+	fmt.Fprintf(w, "%s%s %s\n", name, labelSet(labels, ""), promFloat(v))
 }
 
 // WritePrometheus renders a point-in-time snapshot of the registry in the
@@ -99,7 +147,16 @@ func PromCounter(w io.Writer, name, help string, v float64) {
 // never collides in practice, and a duplicate family would be a format
 // violation.
 func WritePrometheus(w io.Writer, reg *Registry) error {
+	return WritePrometheusLabels(w, reg, nil)
+}
+
+// WritePrometheusLabels is WritePrometheus with a constant label set stamped
+// on every sample — charmd nodes expose node="<name>" so one scrape config
+// over a cluster keeps per-node series apart. Histogram buckets merge the
+// constant labels with their le pair.
+func WritePrometheusLabels(w io.Writer, reg *Registry, labels map[string]string) error {
 	snap := reg.Snapshot()
+	ls := labelSet(labels, "")
 	bw := bufio.NewWriter(w)
 	seen := make(map[string]bool)
 	claim := func(name string) bool {
@@ -128,7 +185,7 @@ func WritePrometheus(w io.Writer, reg *Registry) error {
 			continue
 		}
 		promFamily(bw, c.name, "counter", "charmtrace counter "+strconv.Quote(c.raw))
-		fmt.Fprintf(bw, "%s %d\n", c.name, c.v)
+		fmt.Fprintf(bw, "%s%s %d\n", c.name, ls, c.v)
 	}
 
 	type gaugeRow struct {
@@ -145,7 +202,7 @@ func WritePrometheus(w io.Writer, reg *Registry) error {
 			continue
 		}
 		promFamily(bw, g.name, "gauge", "charmtrace gauge "+strconv.Quote(g.raw))
-		fmt.Fprintf(bw, "%s %s\n", g.name, promFloat(g.v))
+		fmt.Fprintf(bw, "%s%s %s\n", g.name, ls, promFloat(g.v))
 	}
 
 	type histRow struct {
@@ -168,11 +225,11 @@ func WritePrometheus(w io.Writer, reg *Registry) error {
 		cum := int64(0)
 		for _, b := range hr.h.Buckets {
 			cum += b.Count
-			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", hr.name, promFloat(b.UpperBound), cum)
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", hr.name, labelSet(labels, fmt.Sprintf("le=%q", promFloat(b.UpperBound))), cum)
 		}
-		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", hr.name, hr.h.Count)
-		fmt.Fprintf(bw, "%s_sum %s\n", hr.name, promFloat(hr.h.Sum))
-		fmt.Fprintf(bw, "%s_count %d\n", hr.name, hr.h.Count)
+		fmt.Fprintf(bw, "%s_bucket%s %d\n", hr.name, labelSet(labels, `le="+Inf"`), hr.h.Count)
+		fmt.Fprintf(bw, "%s_sum%s %s\n", hr.name, ls, promFloat(hr.h.Sum))
+		fmt.Fprintf(bw, "%s_count%s %d\n", hr.name, ls, hr.h.Count)
 	}
 	return bw.Flush()
 }
@@ -206,11 +263,13 @@ func WriteGoRuntimeMetrics(w io.Writer) error {
 //
 // ParsePromText is the validation half of the exporter: a deliberately
 // strict reader of the subset of the text format WritePrometheus emits
-// (unlabelled samples plus histogram `le` labels). The exposition tests
-// round-trip every registry metric through it, and it rejects everything a
-// lenient scraper would forgive: samples before their # TYPE line,
-// duplicate families, names outside the charset, non-cumulative histogram
-// buckets, and a histogram whose +Inf bucket disagrees with its _count.
+// (samples with an optional constant label set — e.g. the cluster's
+// node="..." — plus histogram `le` labels). The exposition tests round-trip
+// every registry metric through it, and it rejects everything a lenient
+// scraper would forgive: samples before their # TYPE line, duplicate
+// families, names outside the charset, malformed or inconsistent label
+// sets, non-cumulative histogram buckets, and a histogram whose +Inf
+// bucket disagrees with its _count.
 
 // PromSample is one parsed sample line.
 type PromSample struct {
@@ -230,8 +289,103 @@ type PromFamily struct {
 	// Sum/Count are the histogram's _sum/_count samples.
 	Sum   float64
 	Count int64
+	// Labels is the family's constant (non-le) label set. The strict
+	// contract: every sample of one family carries the same constant
+	// labels — which is exactly what WritePrometheusLabels emits, and
+	// what keeps the histogram cumulativity check meaningful.
+	Labels map[string]string
 
+	labelKey         string
+	sawLabels        bool
 	sawSum, sawCount bool
+}
+
+// parseLabelSet parses a `{k="v",...}` label block (braces included) into a
+// map, unescaping \\, \" and \n in values. Strict: names must be valid,
+// unique, values quoted, no trailing comma.
+func parseLabelSet(s string) (map[string]string, error) {
+	if len(s) < 2 || s[0] != '{' || s[len(s)-1] != '}' {
+		return nil, fmt.Errorf("malformed label block")
+	}
+	body := s[1 : len(s)-1]
+	out := make(map[string]string)
+	i := 0
+	for i < len(body) {
+		j := strings.IndexByte(body[i:], '=')
+		if j < 0 {
+			return nil, fmt.Errorf("label without '='")
+		}
+		name := body[i : i+j]
+		if !validPromName(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("duplicate label %q", name)
+		}
+		i += j + 1
+		if i >= len(body) || body[i] != '"' {
+			return nil, fmt.Errorf("label %q value not quoted", name)
+		}
+		i++
+		var val strings.Builder
+		closed := false
+		for i < len(body) {
+			c := body[i]
+			if c == '\\' {
+				if i+1 >= len(body) {
+					return nil, fmt.Errorf("dangling escape in label %q", name)
+				}
+				switch body[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("bad escape in label %q", name)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated value for label %q", name)
+		}
+		out[name] = val.String()
+		if i < len(body) {
+			if body[i] != ',' {
+				return nil, fmt.Errorf("expected ',' between labels")
+			}
+			i++
+			if i == len(body) {
+				return nil, fmt.Errorf("trailing comma in label block")
+			}
+		}
+	}
+	return out, nil
+}
+
+// canonicalLabels serializes a label map in sorted key order for equality
+// comparison across one family's samples.
+func canonicalLabels(m map[string]string) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%q;", k, m[k])
+	}
+	return b.String()
 }
 
 // promNameRe-equivalent check without regexp: [a-zA-Z_:][a-zA-Z0-9_:]*
@@ -332,19 +486,25 @@ func ParsePromText(r io.Reader) (map[string]*PromFamily, error) {
 		}
 		name := nameAndLabels
 		le := math.NaN()
+		var constLabels map[string]string
 		if i := strings.IndexByte(nameAndLabels, '{'); i >= 0 {
 			name = nameAndLabels[:i]
-			labels := nameAndLabels[i:]
-			if !strings.HasPrefix(labels, `{le="`) || !strings.HasSuffix(labels, `"}`) {
-				return fail("unsupported labels (only le is emitted)")
+			labels, lerr := parseLabelSet(nameAndLabels[i:])
+			if lerr != nil {
+				return fail("bad labels: %v", lerr)
 			}
-			leStr := strings.TrimSuffix(strings.TrimPrefix(labels, `{le="`), `"}`)
-			le, err = strconv.ParseFloat(leStr, 64)
-			if err != nil {
-				return fail("bad le bound: %v", err)
+			if leStr, ok := labels["le"]; ok {
+				le, err = strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					return fail("bad le bound: %v", err)
+				}
+				if !strings.HasSuffix(name, "_bucket") {
+					return fail("le label on a non-bucket sample")
+				}
+				delete(labels, "le")
 			}
-			if !strings.HasSuffix(name, "_bucket") {
-				return fail("le label on a non-bucket sample")
+			if len(labels) > 0 {
+				constLabels = labels
 			}
 		}
 		if !validPromName(name) {
@@ -353,6 +513,12 @@ func ParsePromText(r io.Reader) (map[string]*PromFamily, error) {
 		f := owner(name)
 		if f == nil || f.Type == "" {
 			return fail("sample before its # TYPE family")
+		}
+		// Constant (non-le) labels must agree across one family's samples.
+		if key := canonicalLabels(constLabels); !f.sawLabels {
+			f.sawLabels, f.labelKey, f.Labels = true, key, constLabels
+		} else if key != f.labelKey {
+			return fail("inconsistent label sets in family %s", f.Name)
 		}
 		switch {
 		case f.Type == "histogram" && strings.HasSuffix(name, "_bucket"):

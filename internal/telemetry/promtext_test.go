@@ -122,21 +122,77 @@ func TestWriteGoRuntimeMetricsParses(t *testing.T) {
 	}
 }
 
+// TestWritePrometheusLabelsRoundTrip pins the cluster contract: every
+// sample of a node-labeled exposition survives the strict parser with the
+// node label attached to its family, including histogram buckets whose le
+// pair rides alongside the constant label.
+func TestWritePrometheusLabelsRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("gateway.route").Add(11)
+	reg.Gauge("server.inflight").Set(2)
+	h := reg.Histogram("gateway.proxy_ms")
+	for _, v := range []float64{1, 2, 4, 100} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := WritePrometheusLabels(&buf, reg, map[string]string{"node": "n-1"}); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePromText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("labeled exposition rejected by strict parser: %v\n%s", err, buf.String())
+	}
+	for _, name := range []string{"gateway_route_total", "server_inflight", "gateway_proxy_ms"} {
+		f := fams[name]
+		if f == nil {
+			t.Fatalf("missing family %s", name)
+		}
+		if f.Labels["node"] != "n-1" {
+			t.Fatalf("family %s labels = %v, want node=n-1", name, f.Labels)
+		}
+	}
+	if fams["gateway_route_total"].Samples[0].Value != 11 {
+		t.Fatal("labeled counter value lost")
+	}
+	if fams["gateway_proxy_ms"].Count != 4 {
+		t.Fatalf("labeled histogram count %d, want 4", fams["gateway_proxy_ms"].Count)
+	}
+}
+
+// TestParseLabelEscapes pins value unescaping and the strict label grammar.
+func TestParseLabelEscapes(t *testing.T) {
+	doc := "# HELP g a\n# TYPE g gauge\ng{node=\"a\\\\b\\\"c\\nd\"} 1\n"
+	fams, err := ParsePromText(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fams["g"].Labels["node"]; got != "a\\b\"c\nd" {
+		t.Fatalf("unescaped label = %q", got)
+	}
+}
+
 func TestParsePromTextRejections(t *testing.T) {
 	cases := map[string]string{
-		"sample before TYPE":    "foo 1\n",
-		"TYPE without HELP":     "# TYPE foo counter\nfoo 1\n",
-		"duplicate family":      "# HELP foo a\n# TYPE foo counter\nfoo 1\n# HELP foo b\n",
-		"unknown type":          "# HELP foo a\n# TYPE foo summary\nfoo 1\n",
-		"bad name":              "# HELP fo-o a\n# TYPE fo-o counter\nfo-o 1\n",
-		"duplicate sample":      "# HELP foo a\n# TYPE foo gauge\nfoo 1\nfoo 2\n",
-		"le on a gauge":         "# HELP foo a\n# TYPE foo gauge\nfoo{le=\"1\"} 2\n",
-		"non-monotonic bounds":  "# HELP h a\n# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n",
-		"non-cumulative counts": "# HELP h a\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 3\nh_count 5\n",
-		"missing +Inf":          "# HELP h a\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
-		"+Inf != count":         "# HELP h a\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 5\n",
-		"missing sum":           "# HELP h a\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
-		"HELP without TYPE":     "# HELP foo a\n",
+		"bad label name":         "# HELP g a\n# TYPE g gauge\ng{no-de=\"x\"} 1\n",
+		"unterminated value":     "# HELP g a\n# TYPE g gauge\ng{node=\"x} 1\n",
+		"unquoted value":         "# HELP g a\n# TYPE g gauge\ng{node=x} 1\n",
+		"duplicate label":        "# HELP g a\n# TYPE g gauge\ng{node=\"x\",node=\"y\"} 1\n",
+		"trailing comma":         "# HELP g a\n# TYPE g gauge\ng{node=\"x\",} 1\n",
+		"bad escape":             "# HELP g a\n# TYPE g gauge\ng{node=\"\\t\"} 1\n",
+		"inconsistent label set": "# HELP h a\n# TYPE h histogram\nh_bucket{node=\"x\",le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+		"sample before TYPE":     "foo 1\n",
+		"TYPE without HELP":      "# TYPE foo counter\nfoo 1\n",
+		"duplicate family":       "# HELP foo a\n# TYPE foo counter\nfoo 1\n# HELP foo b\n",
+		"unknown type":           "# HELP foo a\n# TYPE foo summary\nfoo 1\n",
+		"bad name":               "# HELP fo-o a\n# TYPE fo-o counter\nfo-o 1\n",
+		"duplicate sample":       "# HELP foo a\n# TYPE foo gauge\nfoo 1\nfoo 2\n",
+		"le on a gauge":          "# HELP foo a\n# TYPE foo gauge\nfoo{le=\"1\"} 2\n",
+		"non-monotonic bounds":   "# HELP h a\n# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n",
+		"non-cumulative counts":  "# HELP h a\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 3\nh_count 5\n",
+		"missing +Inf":           "# HELP h a\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"+Inf != count":          "# HELP h a\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 5\n",
+		"missing sum":            "# HELP h a\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+		"HELP without TYPE":      "# HELP foo a\n",
 	}
 	for name, doc := range cases {
 		if _, err := ParsePromText(strings.NewReader(doc)); err == nil {

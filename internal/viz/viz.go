@@ -208,7 +208,7 @@ func Physical(tr *trace.Trace, s *core.Structure, buckets int) string {
 }
 
 // LogicalClustered renders one row per behavioural cluster instead of per
-// chare (see internal/cluster): the representative chare's timeline stands
+// chare (see internal/charegroup): the representative chare's timeline stands
 // for the whole group, labelled with its multiplicity. This is the
 // scalable rendering the paper's conclusion asks for.
 func LogicalClustered(s *core.Structure, rows []ClusterRow) string {
