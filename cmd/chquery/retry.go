@@ -29,7 +29,8 @@ type retrier struct {
 	base    time.Duration
 	max     time.Duration
 	sleep   func(time.Duration)
-	jitter  func() float64 // uniform [0,1)
+	jitter  func() float64   // uniform [0,1)
+	now     func() time.Time // for HTTP-date Retry-After arithmetic
 }
 
 func newRetrier(retries int) *retrier {
@@ -39,6 +40,7 @@ func newRetrier(retries int) *retrier {
 		max:     retryMax,
 		sleep:   time.Sleep,
 		jitter:  rand.Float64,
+		now:     time.Now,
 	}
 }
 
@@ -50,11 +52,24 @@ func retryable(code int) bool {
 // delay computes the wait before retry `attempt` (0-based). A parseable
 // Retry-After wins — the server knows its queue better than any backoff
 // curve — clamped to max so a confused server cannot park the client.
-// Otherwise: capped exponential with full-range jitter in [d/2, d), which
-// keeps a burst of identical clients from re-synchronizing on the server.
+// RFC 9110 allows both delta-seconds and an HTTP-date; proxies in
+// particular rewrite the delta form into a date, so both are honored (a
+// date already in the past means "now": zero wait). Otherwise: capped
+// exponential with full-range jitter in [d/2, d), which keeps a burst of
+// identical clients from re-synchronizing on the server.
 func (r *retrier) delay(attempt int, retryAfter string) time.Duration {
 	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs >= 0 {
 		d := time.Duration(secs) * time.Second
+		if d > r.max {
+			d = r.max
+		}
+		return d
+	}
+	if t, err := http.ParseTime(strings.TrimSpace(retryAfter)); err == nil {
+		d := t.Sub(r.now())
+		if d < 0 {
+			d = 0
+		}
 		if d > r.max {
 			d = r.max
 		}

@@ -98,6 +98,40 @@ func TestRetryNonRetryableIsFinal(t *testing.T) {
 	}
 }
 
+// TestRetryDelayHTTPDate: RFC 9110's date form of Retry-After — what
+// proxies rewrite delta-seconds into — is honored, with past dates meaning
+// "now" and far-future dates clamped like any other hint.
+func TestRetryDelayHTTPDate(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	r := newRetrier(3)
+	r.now = func() time.Time { return now }
+	r.jitter = func() float64 { return 0 }
+
+	// A date 3 seconds out waits those 3 seconds.
+	if got := r.delay(0, now.Add(3*time.Second).UTC().Format(http.TimeFormat)); got != 3*time.Second {
+		t.Fatalf("date +3s → %v, want 3s", got)
+	}
+	// A date in the past means the window already opened: zero wait, never
+	// a negative duration fed to sleep.
+	if got := r.delay(0, now.Add(-time.Minute).UTC().Format(http.TimeFormat)); got != 0 {
+		t.Fatalf("past date → %v, want 0", got)
+	}
+	// A date far in the future is clamped so a confused server cannot park
+	// the client.
+	if got := r.delay(0, now.Add(time.Hour).UTC().Format(http.TimeFormat)); got != retryMax {
+		t.Fatalf("date +1h → %v, want clamp %v", got, retryMax)
+	}
+	// The obsolete RFC 850 date form http.ParseTime also accepts.
+	if got := r.delay(0, now.Add(2*time.Second).UTC().Format("Monday, 02-Jan-06 15:04:05 GMT")); got != 2*time.Second {
+		t.Fatalf("RFC 850 date +2s → %v, want 2s", got)
+	}
+	// A garbage date still falls back to the exponential curve (jitter 0 →
+	// exactly base/2 on attempt 0).
+	if got := r.delay(0, "Wed, 99 Foo 2026 25:61:61 GMT"); got != retryBase/2 {
+		t.Fatalf("garbage date → %v, want backoff %v", got, retryBase/2)
+	}
+}
+
 func TestRetryDelayPolicy(t *testing.T) {
 	r := newRetrier(3)
 	r.jitter = func() float64 { return 0 } // delay = d/2 exactly

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"charmtrace/internal/partition"
+	"charmtrace/internal/trace"
+)
+
+// extractArena is the per-extraction scratch allocator. Every pipeline
+// stage that used to allocate per-round or per-phase working state (maps,
+// per-partition slices, Kahn queues) instead borrows flat buffers from
+// here. Buffers are sized once against the trace's event/chare/block counts
+// and reused round after round; set-valued state is epoch-marked rather
+// than cleared, so resetting between rounds costs one counter increment.
+//
+// The arena is created with the atoms decomposition and dies with the
+// extraction — nothing in it is referenced by the returned Structure, so an
+// arena bug cannot leak state between extractions. Sequential stages share
+// the singleton buffers; the parallel stages (overlap scan, phase ordering)
+// borrow one laneScratch per worker lane, and the shared per-event arrays
+// are only ever indexed by events of the worker's own phase (phases are
+// disjoint event sets).
+type extractArena struct {
+	nEvents, nChares, nBlocks int
+
+	// buildPartInfo output, reused across enforce rounds.
+	info partInfos
+
+	// inferDependencies: flattened (chare, event, part) source rows.
+	srcChare []trace.ChareID
+	srcEvent []trace.EventID
+	srcPart  []int32
+	srcOrd   []int32
+
+	// leapMerge: (chare, kind) -> representative atom, epoch-guarded.
+	// Slot layout: [0,nChares) application, [nChares,2*nChares) runtime.
+	seenAtom  []partition.ID
+	seenMark  []int32
+	seenEpoch int32
+
+	// enforceCharePaths.
+	lastLeap     []int32 // chare -> nearest later leap containing it
+	coveredMark  []int32
+	coveredEpoch int32
+	wantMark     []int32
+	wantEpoch    int32
+	missChare    []trace.ChareID
+	missLeap     []int32
+	missOrd      []int32
+
+	// fixChareCollision: per-chare phase spans, counting-sorted by chare.
+	spanOff   []int32
+	spanCur   []int32
+	spanPhase []int32
+	spanLo    []int32
+	spanHi    []int32
+	spanOrd   []int32
+
+	// Ordering-stage per-event arrays, shared across phases (disjoint event
+	// sets; each cell is written by its phase before being read).
+	timeKey []int64 // event -> Time*2 + kind: one compare replaces timeOrderLess
+	stepKey []int64 // event -> LocalStep<<32 | chare, for the output sort
+	w       []int32
+	fragOf  []int32 // event -> fragment index within its phase
+	place   []int32 // event -> fragment placement order
+	pos     []int32 // event -> position within its fragment
+	sendDep []trace.EventID
+	indeg   []int32
+	adjOff  []int32 // event -> adjacency region start (stepPhase)
+	adjCur  []int32 // event -> adjacency region end / fill cursor
+
+	// Per-worker-lane scratch, created on demand.
+	lanes []*laneScratch
+}
+
+// partInfos is the struct-of-arrays replacement for the old per-partition
+// map pair: per (partition, chare) earliest events aligned with the view's
+// sorted chare rows, per-partition earliest source times reduced per PE,
+// and per-partition minima. All rows live in flat buffers indexed through
+// chareOff.
+type partInfos struct {
+	chareOff  []int32         // nParts+1: part pi's row is [chareOff[pi], chareOff[pi+1])
+	initEvent []trace.EventID // aligned with v.Parts[pi].Chares
+	minTime   []trace.Time
+	src       []peTime // per part: sources sorted by PE, region [chareOff[pi], srcEnd[pi])
+	srcEnd    []int32
+}
+
+// peTime is one partition-starting source: the earliest source time on one
+// processor.
+type peTime struct {
+	pe trace.PE
+	t  trace.Time
+}
+
+// laneScratch is the working state of one ordering-stage worker lane. Block-
+// and chare-indexed tables are epoch-marked: bumping epoch invalidates the
+// whole table in O(1) when the lane moves to its next phase or leap.
+type laneScratch struct {
+	epoch int32
+
+	// Overlap scan (enforceRound): chare -> first partition at this leap.
+	seenPart []int32
+	seenMark []int32
+	dedup    map[int64]struct{}
+
+	// w-clock (phaseW): last w per canonical serial block, max receive w
+	// per chare timeline.
+	lastW       []int32
+	lastWMark   []int32
+	maxRecvW    []int32
+	maxRecvMark []int32
+
+	// Fragment table of the lane's current phase (struct-of-arrays).
+	fragBlock   []trace.BlockID
+	fragChare   []trace.ChareID
+	fragWInit   []int32
+	fragFirst   []trace.EventID // initial event of each fragment
+	fragOff     []int32         // fragment -> offset into fragEvents
+	fragCur     []int32
+	fragEvents  []trace.EventID // phase events grouped by fragment
+	fragOfBlock []int32         // canonical block -> fragment index
+	blockMark   []int32
+
+	// Fragment placement (orderFragments): dedup + Kahn state. The edge
+	// dedup table is epoch-marked: a slot is live only when edgeMark[i] ==
+	// edgeEpoch, so clearing between phases is one increment, and
+	// freshly-grown (zeroed) tables can never alias an epoch ≥ 1.
+	edgeU, edgeV []int32
+	edgeKey      []int64
+	edgeMark     []int32
+	edgeEpoch    int32
+	fragInv      []int32 // fragment -> invoking chare (NoChare as int32)
+	fragRank     []int32 // fragment -> rank of the invoking chare
+	fragSrc      []int32 // fragment -> source fragment (-1 if none in phase)
+	fragTime     []trace.Time
+	fragIndeg    []int32
+	fragSuccOff  []int32
+	fragSuccCur  []int32
+	fragSucc     []int32
+	placed       []int32 // fragment indices in placement order
+	fragHeap     []int32
+
+	// Step assignment (stepPhase): event adjacency + per-chare tails.
+	adj       []trace.EventID
+	eventHeap []trace.EventID
+	lastStep  []int32 // chare -> local step of the chare's last popped event
+	chareMark []int32
+}
+
+func newExtractArena(tr *trace.Trace) *extractArena {
+	return &extractArena{
+		nEvents: len(tr.Events),
+		nChares: len(tr.Chares),
+		nBlocks: len(tr.Blocks),
+	}
+}
+
+// ensureLanes creates lanes 0..n before a parallel section: lane lookup from
+// worker goroutines is then a read-only index, never a concurrent append.
+func (ar *extractArena) ensureLanes(n int) {
+	for len(ar.lanes) <= n {
+		ar.lanes = append(ar.lanes, nil)
+	}
+	for i := 0; i <= n; i++ {
+		if ar.lanes[i] == nil {
+			ar.lanes[i] = &laneScratch{
+				seenPart:    make([]int32, ar.nChares),
+				seenMark:    make([]int32, ar.nChares),
+				dedup:       make(map[int64]struct{}),
+				lastW:       make([]int32, ar.nBlocks),
+				lastWMark:   make([]int32, ar.nBlocks),
+				maxRecvW:    make([]int32, ar.nChares),
+				maxRecvMark: make([]int32, ar.nChares),
+				fragOfBlock: make([]int32, ar.nBlocks),
+				blockMark:   make([]int32, ar.nBlocks),
+				lastStep:    make([]int32, ar.nChares),
+				chareMark:   make([]int32, ar.nChares),
+			}
+		}
+	}
+}
+
+// lane returns worker lane idx's scratch; ensureLanes must have covered idx.
+func (ar *extractArena) lane(idx int) *laneScratch { return ar.lanes[idx] }
+
+// grow32 returns buf resized to n without preserving or zeroing contents.
+func grow32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+func grow64(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n)
+	}
+	return buf[:n]
+}
+
+func growEv(buf []trace.EventID, n int) []trace.EventID {
+	if cap(buf) < n {
+		return make([]trace.EventID, n)
+	}
+	return buf[:n]
+}
+
+func growTime(buf []trace.Time, n int) []trace.Time {
+	if cap(buf) < n {
+		return make([]trace.Time, n)
+	}
+	return buf[:n]
+}
+
+func growPeTime(buf []peTime, n int) []peTime {
+	if cap(buf) < n {
+		return make([]peTime, n)
+	}
+	return buf[:n]
+}
+
+// chareIndex returns the position of c in the sorted chare row.
+func chareIndex(chares []trace.ChareID, c trace.ChareID) int {
+	lo, hi := 0, len(chares)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if chares[mid] < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

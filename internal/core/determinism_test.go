@@ -7,6 +7,7 @@ package core_test
 // verify recipe, so it also exercises the worker pools for data races.
 
 import (
+	"bytes"
 	"testing"
 
 	"charmtrace/internal/apps/faultsim"
@@ -122,6 +123,41 @@ func TestExtractParallelismInvariance(t *testing.T) {
 			}
 			if snap := rec.Metrics.Snapshot(); len(snap.Counters) == 0 {
 				t.Error("recording run merged no metrics into the shared registry")
+			}
+		})
+	}
+}
+
+// TestExtractEncodedBytesAcrossParallelism: the cache's byte-identity
+// contract, pinned at the codec layer — EncodeStructure of an extraction at
+// Parallelism 1, 2 and 4 yields the same bytes on every proxy app, so one
+// disk entry (and one content address) serves requests at any worker count.
+func TestExtractEncodedBytesAcrossParallelism(t *testing.T) {
+	for _, w := range proxyWorkloads {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			t.Parallel()
+			tr, err := w.gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var golden []byte
+			for _, par := range []int{1, 2, 4} {
+				opt := w.opt
+				opt.Parallelism = par
+				s, err := core.Extract(tr, opt)
+				if err != nil {
+					t.Fatalf("par=%d: %v", par, err)
+				}
+				var buf bytes.Buffer
+				if err := core.EncodeStructure(&buf, s); err != nil {
+					t.Fatalf("par=%d: encode: %v", par, err)
+				}
+				if golden == nil {
+					golden = buf.Bytes()
+				} else if !bytes.Equal(buf.Bytes(), golden) {
+					t.Fatalf("par=%d: encoded bytes differ from par=1", par)
+				}
 			}
 		})
 	}

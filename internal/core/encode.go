@@ -188,6 +188,23 @@ func (b *sreader) str() string {
 	return string(buf)
 }
 
+// skipVarints discards n varint-encoded values without materializing them —
+// the summary decoder's way of stepping over ID payloads it does not need.
+func (b *sreader) skipVarints(n int) {
+	for i := 0; i < n && b.err == nil; i++ {
+		for {
+			c, err := b.r.ReadByte()
+			if err != nil {
+				b.err = err
+				return
+			}
+			if c < 0x80 {
+				break
+			}
+		}
+	}
+}
+
 // DecodeStructure parses an encoded structure and reattaches tr, which must
 // be the indexed trace the structure was extracted from (the caller's
 // content-addressing guarantees this; event and chare counts are validated
@@ -219,11 +236,17 @@ func DecodeStructure(r io.Reader, tr *trace.Trace) (*Structure, string, error) {
 	s.Phases = make([]Phase, 0, nPhases)
 	for i := 0; i < nPhases && b.err == nil; i++ {
 		p := Phase{ID: int32(i), Runtime: b.u8() != 0}
-		for j, n := 0, b.count("phase chare", uint64(nChares)); j < n && b.err == nil; j++ {
-			p.Chares = append(p.Chares, trace.ChareID(b.i32()))
+		if n := b.count("phase chare", uint64(nChares)); n > 0 && b.err == nil {
+			p.Chares = make([]trace.ChareID, 0, n)
+			for j := 0; j < n && b.err == nil; j++ {
+				p.Chares = append(p.Chares, trace.ChareID(b.i32()))
+			}
 		}
-		for j, n := 0, b.count("phase event", uint64(nEvents)); j < n && b.err == nil; j++ {
-			p.Events = append(p.Events, trace.EventID(b.i32()))
+		if n := b.count("phase event", uint64(nEvents)); n > 0 && b.err == nil {
+			p.Events = make([]trace.EventID, 0, n)
+			for j := 0; j < n && b.err == nil; j++ {
+				p.Events = append(p.Events, trace.EventID(b.i32()))
+			}
 		}
 		p.MaxLocalStep = b.i32()
 		p.Offset = b.i32()
@@ -232,13 +255,19 @@ func DecodeStructure(r io.Reader, tr *trace.Trace) (*Structure, string, error) {
 	}
 	s.DAG = graph.New(nPhases)
 	for i := 0; i < nPhases && b.err == nil; i++ {
-		for j, n := 0, b.count("edge", uint64(nPhases)); j < n && b.err == nil; j++ {
+		n := b.count("edge", uint64(nPhases))
+		if n == 0 || b.err != nil {
+			continue
+		}
+		adj := make([]int32, 0, n)
+		for j := 0; j < n && b.err == nil; j++ {
 			v := b.i32()
 			if b.err == nil && (v < 0 || int(v) >= nPhases) {
 				return nil, "", fmt.Errorf("core: decode: edge target %d out of range", v)
 			}
-			s.DAG.Adj[i] = append(s.DAG.Adj[i], v)
+			adj = append(adj, v)
 		}
+		s.DAG.Adj[i] = adj
 	}
 	readPerEvent := func(what string) []int32 {
 		out := make([]int32, nEvents)
@@ -273,4 +302,78 @@ func DecodeStructure(r io.Reader, tr *trace.Trace) (*Structure, string, error) {
 		return nil, "", fmt.Errorf("core: decode: %w", b.err)
 	}
 	return s, fp, nil
+}
+
+// PhaseSummary is one phase row of a StructureSummary: everything the codec
+// stores about a phase except the chare and event ID payloads, which the
+// summary decode steps over.
+type PhaseSummary struct {
+	Runtime      bool
+	Chares       int
+	Events       int
+	MaxLocalStep int32
+	Offset       int32
+	Leap         int32
+}
+
+// StructureSummary is the phase-table view of an encoded structure: the
+// counts, spans and DAG size that charmd's /structure response renders,
+// decodable from a disk entry without reconstructing per-event arrays or
+// attaching a trace. MaxStep matches Structure.MaxStep on the full decode.
+type StructureSummary struct {
+	Fingerprint string
+	NumEvents   int
+	NumChares   int
+	Phases      []PhaseSummary
+	DAGEdges    int
+	MaxStep     int32
+}
+
+// DecodeStructureSummary parses only the header, phase table and DAG degree
+// counts of an encoded structure — a streaming read that stops before the
+// per-event arrays, so serving a phase-table query from disk costs O(phases)
+// instead of O(events). The caller still owns fingerprint validation (the
+// summary carries the encoded one) exactly as with DecodeStructure.
+func DecodeStructureSummary(r io.Reader) (*StructureSummary, error) {
+	b := &sreader{r: bufio.NewReader(r)}
+	var magic [4]byte
+	if _, err := io.ReadFull(b.r, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: decode summary: %w", err)
+	}
+	if magic != structMagic {
+		return nil, fmt.Errorf("core: decode summary: bad magic %q", magic[:])
+	}
+	if v := b.uv(); b.err == nil && v != StructCodecVersion {
+		return nil, fmt.Errorf("core: decode summary: unsupported version %d", v)
+	}
+	sum := &StructureSummary{Fingerprint: b.str(), MaxStep: -1}
+	sum.NumEvents = b.count("event", math.MaxInt32)
+	sum.NumChares = b.count("chare", math.MaxInt32)
+	nPhases := b.count("phase", uint64(sum.NumEvents)+1)
+	if b.err == nil {
+		sum.Phases = make([]PhaseSummary, 0, nPhases)
+	}
+	for i := 0; i < nPhases && b.err == nil; i++ {
+		p := PhaseSummary{Runtime: b.u8() != 0}
+		p.Chares = b.count("phase chare", uint64(sum.NumChares))
+		b.skipVarints(p.Chares)
+		p.Events = b.count("phase event", uint64(sum.NumEvents))
+		b.skipVarints(p.Events)
+		p.MaxLocalStep = b.i32()
+		p.Offset = b.i32()
+		p.Leap = b.i32()
+		if hi := p.Offset + p.MaxLocalStep; p.Events > 0 && hi > sum.MaxStep {
+			sum.MaxStep = hi
+		}
+		sum.Phases = append(sum.Phases, p)
+	}
+	for i := 0; i < nPhases && b.err == nil; i++ {
+		deg := b.count("edge", uint64(nPhases))
+		b.skipVarints(deg)
+		sum.DAGEdges += deg
+	}
+	if b.err != nil {
+		return nil, fmt.Errorf("core: decode summary: %w", b.err)
+	}
+	return sum, nil
 }

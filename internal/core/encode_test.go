@@ -80,6 +80,87 @@ func TestStructureCodecRoundTrip(t *testing.T) {
 	}
 }
 
+// TestStructureSummaryMatchesFullDecode: the streaming summary decode
+// reports exactly what the full decode (and a fresh extraction) would for
+// every field the /structure response renders — the invariant that lets
+// charmd serve the phase table from disk without reconstructing per-event
+// arrays.
+func TestStructureSummaryMatchesFullDecode(t *testing.T) {
+	for _, w := range []struct {
+		name string
+		gen  func() (*trace.Trace, error)
+		opt  core.Options
+	}{
+		{"jacobi", func() (*trace.Trace, error) { return jacobi.Trace(jacobi.DefaultConfig()) }, core.DefaultOptions()},
+		{"lassen", func() (*trace.Trace, error) { return lassen.CharmTrace(lassen.DefaultConfig()) }, core.DefaultOptions()},
+	} {
+		t.Run(w.name, func(t *testing.T) {
+			tr, err := w.gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Index(); err != nil {
+				t.Fatal(err)
+			}
+			s, err := core.Extract(tr, w.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc := encodeToBytes(t, s)
+			sum, err := core.DecodeStructureSummary(bytes.NewReader(enc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum.Fingerprint != w.opt.Fingerprint() {
+				t.Errorf("summary fingerprint %q, want %q", sum.Fingerprint, w.opt.Fingerprint())
+			}
+			if sum.NumEvents != len(tr.Events) || sum.NumChares != len(tr.Chares) {
+				t.Errorf("summary counts %d events/%d chares, want %d/%d",
+					sum.NumEvents, sum.NumChares, len(tr.Events), len(tr.Chares))
+			}
+			if len(sum.Phases) != s.NumPhases() {
+				t.Fatalf("summary has %d phases, want %d", len(sum.Phases), s.NumPhases())
+			}
+			for i := range sum.Phases {
+				ps, p := sum.Phases[i], &s.Phases[i]
+				want := core.PhaseSummary{
+					Runtime: p.Runtime, Chares: len(p.Chares), Events: len(p.Events),
+					MaxLocalStep: p.MaxLocalStep, Offset: p.Offset, Leap: p.Leap,
+				}
+				if ps != want {
+					t.Errorf("phase %d summary %+v, want %+v", i, ps, want)
+				}
+			}
+			if sum.DAGEdges != s.DAG.NumEdges() {
+				t.Errorf("summary DAG edges %d, want %d", sum.DAGEdges, s.DAG.NumEdges())
+			}
+			if sum.MaxStep != s.MaxStep() {
+				t.Errorf("summary max step %d, want %d", sum.MaxStep, s.MaxStep())
+			}
+		})
+	}
+}
+
+// TestStructureSummaryErrors: the summary decode rejects what the full
+// decode would.
+func TestStructureSummaryErrors(t *testing.T) {
+	tr, err := jacobi.Trace(jacobi.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.Extract(tr, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := encodeToBytes(t, s)
+	if _, err := core.DecodeStructureSummary(bytes.NewReader(enc[:16])); err == nil {
+		t.Error("truncated header summarized without error")
+	}
+	if _, err := core.DecodeStructureSummary(bytes.NewReader([]byte("XXXXjunk"))); err == nil {
+		t.Error("bad magic summarized without error")
+	}
+}
+
 // TestStructureDecodeErrors: corruption and trace mismatches are rejected,
 // never silently accepted.
 func TestStructureDecodeErrors(t *testing.T) {

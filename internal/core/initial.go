@@ -5,30 +5,35 @@ import (
 	"charmtrace/internal/trace"
 )
 
-// atoms holds the initial-partition decomposition of a trace.
+// atoms holds the initial-partition decomposition of a trace, in flat
+// index-based tables: every lookup the pipeline's hot sweeps perform is a
+// slice index, never a map probe. It also owns the pipeline's arena — the
+// reusable scratch buffers threaded through every later stage.
 type atoms struct {
 	set *partition.Set
 	// of maps every dependency event to its atom.
 	of []partition.ID
-	// firstOf/lastOf map every block with events to its first/last atom.
-	firstOf map[trace.BlockID]partition.ID
-	lastOf  map[trace.BlockID]partition.ID
+	// firstOf/lastOf map every block to its first/last atom (-1: the block
+	// has no dependency events). Indexed by BlockID.
+	firstOf []partition.ID
+	lastOf  []partition.ID
 	// absorb maps an entry-method block to the when-triggered serial block
-	// that absorbed it (§2.1): the ordering stage treats the pair as one
-	// serial block.
-	absorb map[trace.BlockID]trace.BlockID
+	// that absorbed it (§2.1), -1 otherwise: the ordering stage treats the
+	// pair as one serial block. Indexed by BlockID.
+	absorb []trace.BlockID
+
+	// arena is the per-extraction scratch allocator for the pipeline and
+	// ordering stages.
+	arena *extractArena
 }
 
 // canonicalBlock resolves a block through the absorb chain: the serial
 // block that stands for it in the ordering stage.
 func (a *atoms) canonicalBlock(b trace.BlockID) trace.BlockID {
-	for {
-		next, ok := a.absorb[b]
-		if !ok {
-			return b
-		}
-		b = next
+	for a.absorb[b] >= 0 {
+		b = a.absorb[b]
 	}
+	return b
 }
 
 // buildAtoms constructs the initial partitions (§3.1.1): maximal runs of
@@ -40,15 +45,23 @@ func buildAtoms(tr *trace.Trace, opt Options) *atoms {
 	a := &atoms{
 		set:     partition.NewSet(),
 		of:      make([]partition.ID, len(tr.Events)),
-		firstOf: make(map[trace.BlockID]partition.ID),
-		lastOf:  make(map[trace.BlockID]partition.ID),
-		absorb:  make(map[trace.BlockID]trace.BlockID),
+		firstOf: make([]partition.ID, len(tr.Blocks)),
+		lastOf:  make([]partition.ID, len(tr.Blocks)),
+		absorb:  make([]trace.BlockID, len(tr.Blocks)),
 	}
 	for i := range a.of {
 		a.of[i] = -1
 	}
+	for i := range a.firstOf {
+		a.firstOf[i] = -1
+		a.lastOf[i] = -1
+		a.absorb[i] = -1
+	}
 
-	// Cut every serial block into runs of equal runtime-boundary flag.
+	// Cut every serial block into runs of equal runtime-boundary flag. The
+	// run buffer is reused across runs: AddAtom copies it into the set's
+	// flat event table.
+	var runEvents []trace.EventID
 	for bi := range tr.Blocks {
 		blk := &tr.Blocks[bi]
 		if len(blk.Events) == 0 {
@@ -56,11 +69,13 @@ func buildAtoms(tr *trace.Trace, opt Options) *atoms {
 		}
 		var prev partition.ID = -1
 		run := partition.Atom{Chare: blk.Chare, Block: blk.ID}
+		runEvents = runEvents[:0]
 		runSet := false
 		flush := func() {
-			if len(run.Events) == 0 {
+			if len(runEvents) == 0 {
 				return
 			}
+			run.Events = runEvents
 			id := a.set.AddAtom(run)
 			if prev >= 0 {
 				// Happened-before between fragments of the split block.
@@ -69,11 +84,11 @@ func buildAtoms(tr *trace.Trace, opt Options) *atoms {
 				a.firstOf[blk.ID] = id
 			}
 			a.lastOf[blk.ID] = id
-			for _, e := range run.Events {
+			for _, e := range runEvents {
 				a.of[e] = id
 			}
 			prev = id
-			run = partition.Atom{Chare: blk.Chare, Block: blk.ID}
+			runEvents = runEvents[:0]
 			runSet = false
 		}
 		for _, e := range blk.Events {
@@ -83,7 +98,7 @@ func buildAtoms(tr *trace.Trace, opt Options) *atoms {
 			}
 			run.Runtime = rt
 			runSet = true
-			run.Events = append(run.Events, e)
+			runEvents = append(runEvents, e)
 		}
 		flush()
 	}
@@ -106,9 +121,8 @@ func buildAtoms(tr *trace.Trace, opt Options) *atoms {
 		blocks := tr.BlocksOfChare(trace.ChareID(c))
 		for i := 0; i+1 < len(blocks); i++ {
 			cur, next := blocks[i], blocks[i+1]
-			la, ok1 := a.lastOf[cur]
-			fb, ok2 := a.firstOf[next]
-			if !ok1 || !ok2 {
+			la, fb := a.lastOf[cur], a.firstOf[next]
+			if la < 0 || fb < 0 {
 				continue
 			}
 			ce, ne := &tr.Entries[tr.Blocks[cur].Entry], &tr.Entries[tr.Blocks[next].Entry]
@@ -124,7 +138,7 @@ func buildAtoms(tr *trace.Trace, opt Options) *atoms {
 				// absorbed into that serial's entry method (§2.1): merge
 				// their partitions and let the ordering stage treat the
 				// pair as one serial block.
-				if a.set.Atom(la).Runtime == a.set.Atom(fb).Runtime {
+				if a.set.AtomRuntime(la) == a.set.AtomRuntime(fb) {
 					a.set.Union(la, fb)
 				} else {
 					a.set.AddEdge(la, fb)
@@ -133,6 +147,7 @@ func buildAtoms(tr *trace.Trace, opt Options) *atoms {
 			}
 		}
 	}
+	a.arena = newExtractArena(tr)
 	return a
 }
 
@@ -155,7 +170,7 @@ func touchesRuntime(tr *trace.Trace, eid trace.EventID) bool {
 			}
 		}
 	case trace.Recv:
-		if s := tr.SendOf(ev.Msg); s != trace.NoEvent {
+		if s := tr.MatchingSend(eid); s != trace.NoEvent {
 			return tr.IsRuntimeChare(tr.Events[s].Chare)
 		}
 	}

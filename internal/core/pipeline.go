@@ -4,7 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"time"
 
 	"charmtrace/internal/partition"
@@ -235,9 +235,8 @@ func neighborSerialMerge(tr *trace.Trace, a *atoms) int {
 			if ce.SDAGSerial < 0 || ne.SDAGSerial != ce.SDAGSerial+1 {
 				continue
 			}
-			la, ok1 := a.lastOf[blocks[i]]
-			fb, ok2 := a.firstOf[blocks[i+1]]
-			if !ok1 || !ok2 {
+			la, fb := a.lastOf[blocks[i]], a.firstOf[blocks[i+1]]
+			if la < 0 || fb < 0 {
 				continue
 			}
 			p := a.set.Find(la)
@@ -263,53 +262,87 @@ func neighborSerialMerge(tr *trace.Trace, a *atoms) int {
 	return merged
 }
 
-// partInfo caches per-partition ordering information used by the §3.1.4
-// heuristics: the earliest event per chare, the earliest source (send) per
-// chare and per processor, and overall minima.
-type partInfo struct {
-	// initByChare maps chare -> earliest event of the partition on it.
-	initByChare map[trace.ChareID]trace.EventID
-	// srcTimeByPE maps PE -> earliest partition-starting source time.
-	srcTimeByPE map[trace.PE]trace.Time
-	minTime     trace.Time
-}
-
-// buildPartInfo scans every partition independently; with workers > 1 the
-// scans run on the pool. Each iteration only reads the frozen view and
-// writes its own infos slot, so the result is identical for any worker
-// count.
-func buildPartInfo(tr *trace.Trace, a *atoms, v *partition.View, workers int, t *tel) []partInfo {
-	infos := make([]partInfo, len(v.Parts))
-	t.parallelFor("part-scan", len(v.Parts), workers, func(pi int) {
-		info := partInfo{
-			initByChare: make(map[trace.ChareID]trace.EventID),
-			srcTimeByPE: make(map[trace.PE]trace.Time),
-			minTime:     1<<62 - 1,
+// buildPartInfo computes the per-partition ordering information used by the
+// §3.1.4 heuristics — the earliest event per chare (aligned with the view's
+// sorted chare rows), the earliest partition-starting source time per PE,
+// and overall minima — into the arena's flat partInfos tables. Partitions
+// are scanned independently; with workers > 1 the scans run on the pool.
+// Each iteration only reads the frozen view and writes its own row, so the
+// result is identical for any worker count.
+func buildPartInfo(tr *trace.Trace, a *atoms, v *partition.View, workers int, t *tel) *partInfos {
+	info := &a.arena.info
+	n := len(v.Parts)
+	info.chareOff = grow32(info.chareOff, n+1)
+	total := int32(0)
+	for pi := range v.Parts {
+		info.chareOff[pi] = total
+		total += int32(len(v.Parts[pi].Chares))
+	}
+	info.chareOff[n] = total
+	info.initEvent = growEv(info.initEvent, int(total))
+	info.minTime = growTime(info.minTime, n)
+	info.src = growPeTime(info.src, int(total))
+	info.srcEnd = grow32(info.srcEnd, n)
+	t.parallelFor("part-scan", n, workers, func(pi int) {
+		part := &v.Parts[pi]
+		chares := part.Chares
+		base := info.chareOff[pi]
+		row := info.initEvent[base : base+int32(len(chares))]
+		for i := range row {
+			row[i] = trace.NoEvent
 		}
-		for _, atomID := range v.Parts[pi].Atoms {
-			for _, e := range a.set.Atom(atomID).Events {
+		minTime := trace.Time(1<<62 - 1)
+		for _, atomID := range part.Atoms {
+			for _, e := range a.set.AtomEvents(atomID) {
 				ev := &tr.Events[e]
-				if cur, ok := info.initByChare[ev.Chare]; !ok || less(tr, e, cur) {
-					info.initByChare[ev.Chare] = e
+				ci := chareIndex(chares, ev.Chare)
+				if cur := row[ci]; cur == trace.NoEvent || less(tr, e, cur) {
+					row[ci] = e
 				}
-				if ev.Time < info.minTime {
-					info.minTime = ev.Time
+				if ev.Time < minTime {
+					minTime = ev.Time
 				}
 			}
 		}
-		// Partition-starting sources: per-chare initial events that are sends.
-		for _, e := range info.initByChare {
+		info.minTime[pi] = minTime
+		// Partition-starting sources: per-chare initial events that are
+		// sends, reduced to the earliest time per PE (sort by (PE, time),
+		// keep the first of each PE run).
+		w := base
+		for _, e := range row {
+			if e == trace.NoEvent {
+				continue
+			}
 			ev := &tr.Events[e]
 			if ev.Kind != trace.Send {
 				continue
 			}
-			if cur, ok := info.srcTimeByPE[ev.PE]; !ok || ev.Time < cur {
-				info.srcTimeByPE[ev.PE] = ev.Time
+			info.src[w] = peTime{pe: ev.PE, t: ev.Time}
+			w++
+		}
+		seg := info.src[base:w]
+		slices.SortFunc(seg, func(x, y peTime) int {
+			if x.pe != y.pe {
+				return int(x.pe) - int(y.pe)
+			}
+			if x.t != y.t {
+				if x.t < y.t {
+					return -1
+				}
+				return 1
+			}
+			return 0
+		})
+		out := base
+		for i := range seg {
+			if i == 0 || seg[i].pe != seg[i-1].pe {
+				info.src[out] = seg[i]
+				out++
 			}
 		}
-		infos[pi] = info
+		info.srcEnd[pi] = out
 	})
-	return infos
+	return info
 }
 
 // less orders events by (time, ID) for deterministic minima.
@@ -327,31 +360,63 @@ func less(tr *trace.Trace, a, b trace.EventID) bool {
 // partitions (Figure 5).
 func inferDependencies(tr *trace.Trace, a *atoms, workers int, t *tel) int {
 	v := a.set.View()
-	infos := buildPartInfo(tr, a, v, workers, t)
-	type src struct {
-		e    trace.EventID
-		part int32
-	}
-	byChare := make(map[trace.ChareID][]src)
-	for pi := range infos {
-		for c, e := range infos[pi].initByChare {
-			if tr.Events[e].Kind != trace.Send {
+	info := buildPartInfo(tr, a, v, workers, t)
+	ar := a.arena
+	// Flatten the partition-starting sources into (chare, event, part) rows
+	// in partition order, then group by chare with a stable index sort:
+	// each partition contributes at most one source per chare, so a chare's
+	// run reproduces the per-chare list the map-based version accumulated —
+	// but chares are now visited in sorted order, keeping the edge
+	// insertion order deterministic.
+	srcChare, srcEvent, srcPart := ar.srcChare[:0], ar.srcEvent[:0], ar.srcPart[:0]
+	for pi := range v.Parts {
+		chares := v.Parts[pi].Chares
+		base := info.chareOff[pi]
+		for j, c := range chares {
+			e := info.initEvent[base+int32(j)]
+			if e == trace.NoEvent || tr.Events[e].Kind != trace.Send {
 				continue
 			}
-			byChare[c] = append(byChare[c], src{e, int32(pi)})
+			srcChare = append(srcChare, c)
+			srcEvent = append(srcEvent, e)
+			srcPart = append(srcPart, int32(pi))
 		}
 	}
+	ord := ar.srcOrd[:0]
+	for i := range srcChare {
+		ord = append(ord, int32(i))
+	}
+	slices.SortFunc(ord, func(x, y int32) int {
+		if srcChare[x] != srcChare[y] {
+			return int(srcChare[x]) - int(srcChare[y])
+		}
+		return int(x) - int(y)
+	})
+	ar.srcChare, ar.srcEvent, ar.srcPart, ar.srcOrd = srcChare, srcEvent, srcPart, ord
 	added := 0
-	for _, list := range byChare {
-		sort.Slice(list, func(i, j int) bool { return less(tr, list[i].e, list[j].e) })
-		for i := 0; i+1 < len(list); i++ {
-			p, q := list[i], list[i+1]
-			if p.part == q.part {
+	for i := 0; i < len(ord); {
+		j := i
+		for j < len(ord) && srcChare[ord[j]] == srcChare[ord[i]] {
+			j++
+		}
+		run := ord[i:j]
+		// Physical-time order of the chare's sources ((time, ID) is total,
+		// so the sort is deterministic).
+		slices.SortFunc(run, func(x, y int32) int {
+			if less(tr, srcEvent[x], srcEvent[y]) {
+				return -1
+			}
+			return 1
+		})
+		for k := 0; k+1 < len(run); k++ {
+			p, q := run[k], run[k+1]
+			if srcPart[p] == srcPart[q] {
 				continue
 			}
-			a.set.AddEdge(a.of[p.e], a.of[q.e])
+			a.set.AddEdge(a.of[srcEvent[p]], a.of[srcEvent[q]])
 			added++
 		}
+		i = j
 	}
 	_ = added
 	return 0 // Alg. 3 adds edges; partitions are merged by the cycle merge that follows.
@@ -369,24 +434,31 @@ func leapMerge(a *atoms) int {
 		v = a.set.View()
 	}
 	byLeap := v.PartsAtLeap()
+	ar := a.arena
+	// seen: (chare, kind) -> representative atom of the first partition at
+	// this leap holding that chare. Epoch-marked slots, one table half per
+	// kind; bumping the epoch resets the table between leaps.
+	if len(ar.seenAtom) < 2*ar.nChares {
+		ar.seenAtom = make([]partition.ID, 2*ar.nChares)
+		ar.seenMark = make([]int32, 2*ar.nChares)
+	}
 	plan := a.set.NewMergePlan()
 	for _, parts := range byLeap {
-		// seen maps (chare, kind) -> representative atom of the first
-		// partition at this leap holding that chare.
-		seen := make(map[int64]partition.ID)
+		ar.seenEpoch++
 		for _, pi := range parts {
 			p := &v.Parts[pi]
-			kind := int64(0)
+			kindOff := 0
 			if p.Runtime {
-				kind = 1
+				kindOff = ar.nChares
 			}
 			rep := p.Atoms[0]
 			for _, c := range p.Chares {
-				key := int64(c)<<1 | kind
-				if other, ok := seen[key]; ok {
-					plan.Schedule(other, rep)
+				slot := kindOff + int(c)
+				if ar.seenMark[slot] == ar.seenEpoch {
+					plan.Schedule(ar.seenAtom[slot], rep)
 				} else {
-					seen[key] = rep
+					ar.seenMark[slot] = ar.seenEpoch
+					ar.seenAtom[slot] = rep
 				}
 			}
 		}
@@ -442,33 +514,44 @@ func enforceRound(tr *trace.Trace, a *atoms, opt Options, workers int, t *tel) (
 	byLeap := v.PartsAtLeap()
 
 	// Overlap detection is independent per leap (each leap has its own
-	// chare-occupancy map), so leaps are scanned on the pool; per-leap
+	// chare-occupancy table), so leaps are scanned on the pool — contiguous
+	// leap spans per worker, each with its own lane scratch; per-leap
 	// results concatenated in leap order reproduce the sequential scan.
 	type pair struct{ p, q int32 }
 	perLeap := make([][]pair, len(byLeap))
-	t.parallelFor("overlap-scan", len(byLeap), workers, func(li int) {
-		parts := byLeap[li]
-		seen := make(map[trace.ChareID]int32)
-		dedup := make(map[int64]struct{})
-		var found []pair
-		for _, pi := range parts {
-			for _, c := range v.Parts[pi].Chares {
-				if other, ok := seen[c]; ok && other != pi {
-					lo, hi := other, pi
-					if lo > hi {
-						lo, hi = hi, lo
+	a.arena.ensureLanes(workers)
+	t.parallelSpans("overlap-scan", len(byLeap), workers, func(idx, lo0, hi0 int) {
+		ls := a.arena.lane(idx)
+		for li := lo0; li < hi0; li++ {
+			parts := byLeap[li]
+			ls.epoch++
+			var found []pair
+			for _, pi := range parts {
+				for _, c := range v.Parts[pi].Chares {
+					if ls.seenMark[c] == ls.epoch {
+						// seenPart keeps the leap's first holder of c; a
+						// part never lists a chare twice, so this is a
+						// genuine cross-partition overlap.
+						lo, hi := ls.seenPart[c], pi
+						if lo > hi {
+							lo, hi = hi, lo
+						}
+						key := int64(lo)<<32 | int64(uint32(hi))
+						if _, dup := ls.dedup[key]; !dup {
+							ls.dedup[key] = struct{}{}
+							found = append(found, pair{lo, hi})
+						}
+					} else {
+						ls.seenMark[c] = ls.epoch
+						ls.seenPart[c] = pi
 					}
-					key := int64(lo)<<32 | int64(uint32(hi))
-					if _, dup := dedup[key]; !dup {
-						dedup[key] = struct{}{}
-						found = append(found, pair{lo, hi})
-					}
-				} else {
-					seen[c] = pi
 				}
 			}
+			if found != nil {
+				clear(ls.dedup)
+			}
+			perLeap[li] = found
 		}
-		perLeap[li] = found
 	})
 	var overlaps []pair
 	for _, found := range perLeap {
@@ -496,41 +579,64 @@ func enforceRound(tr *trace.Trace, a *atoms, opt Options, workers int, t *tel) (
 // partLater reports whether partition p starts later than q, comparing the
 // physical time of initial sources on shared chares, falling back to shared
 // processors, then to the overall earliest event (§3.1.4, "Enforcing DAG
-// Properties").
-func partLater(tr *trace.Trace, v *partition.View, infos []partInfo, p, q int32) bool {
-	ip, iq := &infos[p], &infos[q]
+// Properties"). The shared-key scans are merge-joins over the partitions'
+// sorted chare rows and PE-sorted source rows.
+func partLater(tr *trace.Trace, v *partition.View, info *partInfos, p, q int32) bool {
 	// Shared chares: compare earliest initial events there.
+	pc, qc := v.Parts[p].Chares, v.Parts[q].Chares
+	pRow := info.initEvent[info.chareOff[p] : info.chareOff[p]+int32(len(pc))]
+	qRow := info.initEvent[info.chareOff[q] : info.chareOff[q]+int32(len(qc))]
 	bestP, bestQ := trace.Time(1<<62-1), trace.Time(1<<62-1)
-	for c, e := range ip.initByChare {
-		if e2, ok := iq.initByChare[c]; ok {
-			if tr.Events[e].Time < bestP {
-				bestP = tr.Events[e].Time
+	i, j := 0, 0
+	for i < len(pc) && j < len(qc) {
+		switch {
+		case pc[i] == qc[j]:
+			if ep, eq := pRow[i], qRow[j]; ep != trace.NoEvent && eq != trace.NoEvent {
+				if t := tr.Events[ep].Time; t < bestP {
+					bestP = t
+				}
+				if t := tr.Events[eq].Time; t < bestQ {
+					bestQ = t
+				}
 			}
-			if tr.Events[e2].Time < bestQ {
-				bestQ = tr.Events[e2].Time
-			}
+			i++
+			j++
+		case pc[i] < qc[j]:
+			i++
+		default:
+			j++
 		}
 	}
 	if bestP != bestQ {
 		return bestP > bestQ
 	}
 	// Shared processors: compare earliest initial-source times.
+	ps := info.src[info.chareOff[p]:info.srcEnd[p]]
+	qs := info.src[info.chareOff[q]:info.srcEnd[q]]
 	bestP, bestQ = 1<<62-1, 1<<62-1
-	for pe, tp := range ip.srcTimeByPE {
-		if tq, ok := iq.srcTimeByPE[pe]; ok {
-			if tp < bestP {
-				bestP = tp
+	i, j = 0, 0
+	for i < len(ps) && j < len(qs) {
+		switch {
+		case ps[i].pe == qs[j].pe:
+			if ps[i].t < bestP {
+				bestP = ps[i].t
 			}
-			if tq < bestQ {
-				bestQ = tq
+			if qs[j].t < bestQ {
+				bestQ = qs[j].t
 			}
+			i++
+			j++
+		case ps[i].pe < qs[j].pe:
+			i++
+		default:
+			j++
 		}
 	}
 	if bestP != bestQ {
 		return bestP > bestQ
 	}
-	if ip.minTime != iq.minTime {
-		return ip.minTime > iq.minTime
+	if info.minTime[p] != info.minTime[q] {
+		return info.minTime[p] > info.minTime[q]
 	}
 	return p > q
 }
@@ -546,46 +652,69 @@ func enforceCharePaths(tr *trace.Trace, a *atoms) int {
 		v = a.set.View()
 	}
 	byLeap := v.PartsAtLeap()
-	lastMap := make(map[trace.ChareID]int32) // chare -> nearest later leap containing it
+	ar := a.arena
+	// lastLeap[c]: nearest later leap containing chare c, -1 for none.
+	lastLeap := grow32(ar.lastLeap, ar.nChares)
+	for i := range lastLeap {
+		lastLeap[i] = -1
+	}
+	if len(ar.coveredMark) < ar.nChares {
+		ar.coveredMark = make([]int32, ar.nChares)
+		ar.wantMark = make([]int32, ar.nChares)
+	}
+	ar.lastLeap = lastLeap
 	added := 0
 	for k := int32(len(byLeap)) - 1; k >= 0; k-- {
 		for _, pi := range byLeap[k] {
 			p := &v.Parts[pi]
-			// Chares covered by direct successors.
-			covered := make(map[trace.ChareID]bool)
+			// Chares covered by direct successors (epoch-marked set).
+			ar.coveredEpoch++
 			for _, succ := range v.G.Adj[pi] {
 				for _, c := range v.Parts[succ].Chares {
-					covered[c] = true
+					ar.coveredMark[c] = ar.coveredEpoch
 				}
 			}
-			// missing chares grouped by the next leap that contains them.
-			missingByLeap := make(map[int32][]trace.ChareID)
+			// Missing chares grouped by the next leap that contains them:
+			// collected in p.Chares order, then index-sorted by (leap,
+			// position) — the same per-leap chare lists and ascending leap
+			// walk the sorted-keys map version produced.
+			missC, missL := ar.missChare[:0], ar.missLeap[:0]
 			for _, c := range p.Chares {
-				if covered[c] {
+				if ar.coveredMark[c] == ar.coveredEpoch {
 					continue
 				}
-				if l, ok := lastMap[c]; ok {
-					missingByLeap[l] = append(missingByLeap[l], c)
+				if l := lastLeap[c]; l >= 0 {
+					missC = append(missC, c)
+					missL = append(missL, l)
 				}
 				// No later leap contains c: property 2 already satisfied.
 			}
-			var leaps []int32
-			for l := range missingByLeap {
-				leaps = append(leaps, l)
+			ord := ar.missOrd[:0]
+			for i := range missC {
+				ord = append(ord, int32(i))
 			}
-			sort.Slice(leaps, func(i, j int) bool { return leaps[i] < leaps[j] })
-			for _, l := range leaps {
-				want := make(map[trace.ChareID]bool)
-				for _, c := range missingByLeap[l] {
-					want[c] = true
+			slices.SortFunc(ord, func(x, y int32) int {
+				if missL[x] != missL[y] {
+					return int(missL[x]) - int(missL[y])
+				}
+				return int(x) - int(y)
+			})
+			ar.missChare, ar.missLeap, ar.missOrd = missC, missL, ord
+			for i := 0; i < len(ord); {
+				j := i
+				l := missL[ord[i]]
+				ar.wantEpoch++
+				for j < len(ord) && missL[ord[j]] == l {
+					ar.wantMark[missC[ord[j]]] = ar.wantEpoch
+					j++
 				}
 				for _, qi := range byLeap[l] {
 					q := &v.Parts[qi]
 					hit := false
 					for _, c := range q.Chares {
-						if want[c] {
+						if ar.wantMark[c] == ar.wantEpoch {
 							hit = true
-							delete(want, c)
+							ar.wantMark[c] = 0 // claimed by q
 						}
 					}
 					if hit {
@@ -593,11 +722,12 @@ func enforceCharePaths(tr *trace.Trace, a *atoms) int {
 						added++
 					}
 				}
+				i = j
 			}
 		}
 		for _, pi := range byLeap[k] {
 			for _, c := range v.Parts[pi].Chares {
-				lastMap[c] = k
+				lastLeap[c] = k
 			}
 		}
 	}

@@ -8,10 +8,20 @@
 // The phase-finding pipeline in internal/core repeatedly alternates between
 // scheduling merges (unions) based on heuristics and taking a fresh View to
 // inspect the resulting partition graph.
+//
+// The atom table is stored struct-of-arrays: per-field slices indexed by ID,
+// with every atom's events packed into one shared flat buffer. The repeated
+// scans of the pipeline (dependency sweep, per-partition info, view
+// construction) therefore walk contiguous memory instead of chasing
+// per-atom slice headers, and a Set performs O(1) allocations per atom
+// batch instead of O(atoms). Transient per-call state (root indexing, edge
+// deduplication) lives in a scratch area owned by the Set and reused across
+// calls; a Set is single-extraction state, so the scratch dies with it.
 package partition
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 
@@ -23,9 +33,11 @@ import (
 // current partition is identified by its union-find root.
 type ID int32
 
-// Atom is an initial partition: a maximal run of dependency events within
-// one serial block that does not cross the application/runtime boundary
-// (Section 3.1.1, Figure 2). Every atom's events belong to a single chare.
+// Atom describes an initial partition for AddAtom: a maximal run of
+// dependency events within one serial block that does not cross the
+// application/runtime boundary (Section 3.1.1, Figure 2). Every atom's
+// events belong to a single chare. The Set copies the descriptor into its
+// columnar atom table; the caller may reuse the Events slice.
 type Atom struct {
 	Chare   trace.ChareID
 	Runtime bool // partition carries a dependency touching the runtime
@@ -38,22 +50,55 @@ type edge struct{ from, to ID }
 
 // Set is the evolving collection of partitions.
 type Set struct {
-	atoms  []Atom
+	// Atom table, struct-of-arrays. events holds every atom's events
+	// back-to-back; atom id's slice is events[evOff[id]:evOff[id+1]].
+	chare  []trace.ChareID
+	block  []trace.BlockID
+	atomRT []bool // creation-time runtime flag, immutable
+	evOff  []int32
+	events []trace.EventID
+
 	parent []ID
 	size   []int32
 	// runtime[root] tracks whether the merged partition contains any
 	// runtime dependency; maintained under union.
 	runtime []bool
 	edges   []edge
+
+	scratch setScratch
+}
+
+// setScratch holds transient buffers reused across partsIndex / CycleMerge /
+// View calls on one Set. Nothing here is referenced by a returned View.
+type setScratch struct {
+	partOf   []int32 // atom root -> dense partition index
+	atomPart []int32 // atom -> dense partition index
+	parts    []ID
+	edgeU    []int32 // condensed edge endpoints (dense part indices)
+	edgeV    []int32
+	deg      []int32
+	counts   []int32
+	// Open-addressing dedup table for dedupedEdges. Slots are live only when
+	// dedupMark[i] == dedupEpoch, so clearing between calls is a single
+	// increment; freshly-grown tables are zeroed, which can never collide
+	// with an epoch ≥ 1.
+	dedupKey   []int64
+	dedupMark  []int32
+	dedupEpoch int32
 }
 
 // NewSet returns an empty partition set.
-func NewSet() *Set { return &Set{} }
+func NewSet() *Set { return &Set{evOff: []int32{0}} }
 
-// AddAtom registers an initial partition and returns its ID.
+// AddAtom registers an initial partition and returns its ID. The events are
+// copied into the set's flat event table.
 func (s *Set) AddAtom(a Atom) ID {
-	id := ID(len(s.atoms))
-	s.atoms = append(s.atoms, a)
+	id := ID(len(s.parent))
+	s.chare = append(s.chare, a.Chare)
+	s.block = append(s.block, a.Block)
+	s.atomRT = append(s.atomRT, a.Runtime)
+	s.events = append(s.events, a.Events...)
+	s.evOff = append(s.evOff, int32(len(s.events)))
 	s.parent = append(s.parent, id)
 	s.size = append(s.size, 1)
 	s.runtime = append(s.runtime, a.Runtime)
@@ -61,10 +106,23 @@ func (s *Set) AddAtom(a Atom) ID {
 }
 
 // NumAtoms returns the number of atoms (initial partitions).
-func (s *Set) NumAtoms() int { return len(s.atoms) }
+func (s *Set) NumAtoms() int { return len(s.parent) }
 
-// Atom returns the atom with the given ID.
-func (s *Set) Atom(id ID) *Atom { return &s.atoms[id] }
+// AtomChare returns the chare an atom's events belong to.
+func (s *Set) AtomChare(id ID) trace.ChareID { return s.chare[id] }
+
+// AtomBlock returns the serial block the atom was cut from.
+func (s *Set) AtomBlock(id ID) trace.BlockID { return s.block[id] }
+
+// AtomRuntime returns the atom's creation-time runtime flag. Unlike
+// IsRuntime it never changes under merging.
+func (s *Set) AtomRuntime(id ID) bool { return s.atomRT[id] }
+
+// AtomEvents returns the atom's events. The slice aliases the set's flat
+// event table and must not be modified.
+func (s *Set) AtomEvents(id ID) []trace.EventID {
+	return s.events[s.evOff[id]:s.evOff[id+1]]
+}
 
 // AddEdge records a dependency edge between the partitions containing the
 // two atoms. Self-edges (same current partition) are stored too; views and
@@ -127,24 +185,12 @@ func (s *Set) IsRuntime(a ID) bool { return s.runtime[s.Find(a)] }
 // (Section 3.1: "we merge partitions that form strongly connected
 // components"). It returns the number of partitions eliminated.
 func (s *Set) CycleMerge() int {
-	parts, partOf := s.partsIndex()
+	parts, atomPart := s.partsIndex()
 	if len(parts) == 0 {
 		return 0
 	}
-	g := graph.New(len(parts))
-	seen := make(map[int64]struct{}, len(s.edges))
-	for _, e := range s.edges {
-		u, v := partOf[s.Find(e.from)], partOf[s.Find(e.to)]
-		if u == v {
-			continue
-		}
-		key := int64(u)<<32 | int64(uint32(v))
-		if _, dup := seen[key]; dup {
-			continue
-		}
-		seen[key] = struct{}{}
-		g.AddEdge(u, v)
-	}
+	eu, ev := s.dedupedEdges(atomPart)
+	g := s.adjFromEdges(len(parts), eu, ev)
 	comp, ncomp := g.SCC()
 	if ncomp == len(parts) {
 		return 0
@@ -167,18 +213,127 @@ func (s *Set) CycleMerge() int {
 }
 
 // partsIndex returns the current roots in deterministic (atom ID) order and
-// a map from root to dense index.
-func (s *Set) partsIndex() ([]ID, map[ID]int32) {
-	var parts []ID
-	partOf := make(map[ID]int32)
-	for a := ID(0); int(a) < len(s.atoms); a++ {
+// an atom-indexed dense partition-index table, so callers read an atom's
+// partition with one array load instead of a Find. Both are scratch, valid
+// until the next partsIndex call or merge.
+func (s *Set) partsIndex() ([]ID, []int32) {
+	n := len(s.parent)
+	sc := &s.scratch
+	if cap(sc.partOf) < n {
+		sc.partOf = make([]int32, n)
+	}
+	if cap(sc.atomPart) < n {
+		sc.atomPart = make([]int32, n)
+	}
+	partOf := sc.partOf[:n]
+	atomPart := sc.atomPart[:n]
+	for i := range partOf {
+		partOf[i] = -1
+	}
+	parts := sc.parts[:0]
+	for a := ID(0); int(a) < n; a++ {
 		r := s.Find(a)
-		if _, ok := partOf[r]; !ok {
+		if partOf[r] < 0 {
 			partOf[r] = int32(len(parts))
 			parts = append(parts, r)
 		}
+		atomPart[a] = partOf[r]
 	}
-	return parts, partOf
+	sc.parts = parts
+	return parts, atomPart
+}
+
+// dedupedEdges projects the atom-level edge list onto the current
+// partitions: self-loops dropped, duplicates removed, and — because the
+// condensed graph's adjacency order is part of the deterministic output —
+// first-occurrence order preserved, exactly as a map-based first-seen
+// filter would. The returned slices are scratch, valid until the next call.
+func (s *Set) dedupedEdges(atomPart []int32) (eu, ev []int32) {
+	sc := &s.scratch
+	eu, ev = sc.edgeU[:0], sc.edgeV[:0]
+	// One linear-probing table sized to keep the load factor under 1/2 even
+	// if every raw edge survives projection. Inserting on first sight and
+	// dropping on key match preserves first-occurrence order in one pass —
+	// the condensed graph's adjacency order is part of the deterministic
+	// output, so this must behave exactly like a map-based first-seen filter.
+	size := 16
+	for size < 2*len(s.edges) {
+		size <<= 1
+	}
+	if cap(sc.dedupKey) < size {
+		sc.dedupKey = make([]int64, size)
+		sc.dedupMark = make([]int32, size)
+		sc.dedupEpoch = 0
+	}
+	keys := sc.dedupKey[:size]
+	marks := sc.dedupMark[:size]
+	sc.dedupEpoch++
+	if sc.dedupEpoch <= 0 { // epoch wrapped: stale marks could alias it
+		clear(sc.dedupMark[:cap(sc.dedupMark)])
+		sc.dedupEpoch = 1
+	}
+	epoch := sc.dedupEpoch
+	mask := uint64(size - 1)
+	for _, e := range s.edges {
+		u, v := atomPart[e.from], atomPart[e.to]
+		if u == v {
+			continue
+		}
+		k := int64(u)<<32 | int64(uint32(v))
+		h := uint64(k)
+		h ^= h >> 33
+		h *= 0x9e3779b97f4a7c15
+		h ^= h >> 29
+		i := h & mask
+		for {
+			if marks[i] != epoch {
+				marks[i], keys[i] = epoch, k
+				eu = append(eu, u)
+				ev = append(ev, v)
+				break
+			}
+			if keys[i] == k {
+				break
+			}
+			i = (i + 1) & mask
+		}
+	}
+	sc.edgeU, sc.edgeV = eu, ev
+	return eu, ev
+}
+
+// adjFromEdges builds a graph over n nodes from an edge list, preserving
+// per-source edge order. Adjacency rows are full-capacity subslices of one
+// flat buffer, so a later append to a row (the ordering stage inserts
+// collision-repair edges into the final DAG) reallocates that row instead
+// of clobbering its neighbour.
+func (s *Set) adjFromEdges(n int, eu, ev []int32) *graph.Graph {
+	sc := &s.scratch
+	if cap(sc.deg) < n {
+		sc.deg = make([]int32, n)
+	}
+	deg := sc.deg[:n]
+	for i := range deg {
+		deg[i] = 0
+	}
+	for _, u := range eu {
+		deg[u]++
+	}
+	flat := make([]int32, len(eu))
+	adj := make([][]int32, n)
+	off := int32(0)
+	for u := 0; u < n; u++ {
+		// Zero-degree rows stay nil, matching the append-built adjacency the
+		// codec produces (DeepEqual distinguishes nil from empty).
+		if deg[u] > 0 {
+			adj[u] = flat[off : off : off+deg[u]]
+			off += deg[u]
+		}
+	}
+	for i, u := range eu {
+		adj[u] = append(adj[u], ev[i])
+	}
+	return &graph.Graph{Adj: adj}
 }
 
 // Part is one current partition in a View.
@@ -218,7 +373,9 @@ func (p *Part) ChareOverlap(q *Part) bool {
 // A View is safe for concurrent readers: its exported fields are never
 // mutated after Set.View returns, every method is read-only, and the one
 // lazy computation (Leaps) is synchronized. Concurrent readers must not
-// mutate Parts, PartOf or G themselves.
+// mutate Parts, PartOf or G themselves. Views own their storage (the per-
+// part sub-slices share a few flat buffers allocated at snapshot time), so
+// snapshots taken at different times coexist safely.
 type View struct {
 	Parts  []Part
 	PartOf []int32 // atom -> dense partition index
@@ -230,47 +387,60 @@ type View struct {
 }
 
 // View snapshots the current partitions and the deduplicated partition
-// graph (self-loops dropped).
+// graph (self-loops dropped). Per-part atom and chare lists are carved out
+// of single flat buffers: a snapshot costs a constant number of
+// allocations, not one per partition.
 func (s *Set) View() *View {
-	parts, partOf := s.partsIndex()
+	parts, atomPart := s.partsIndex()
+	n := len(parts)
+	natoms := len(s.parent)
 	v := &View{
-		Parts:  make([]Part, len(parts)),
-		PartOf: make([]int32, len(s.atoms)),
-		G:      graph.New(len(parts)),
+		Parts:  make([]Part, n),
+		PartOf: make([]int32, natoms),
 	}
 	for i, root := range parts {
 		v.Parts[i] = Part{Root: root, Runtime: s.runtime[root]}
 	}
-	for a := ID(0); int(a) < len(s.atoms); a++ {
-		pi := partOf[s.Find(a)]
-		v.PartOf[a] = pi
+	sc := &s.scratch
+	if cap(sc.counts) < n {
+		sc.counts = make([]int32, n)
+	}
+	counts := sc.counts[:n]
+	for i := range counts {
+		counts[i] = 0
+	}
+	copy(v.PartOf, atomPart)
+	for a := ID(0); int(a) < natoms; a++ {
+		counts[atomPart[a]]++
+	}
+	atomsBuf := make([]ID, natoms)
+	off := int32(0)
+	for i := range v.Parts {
+		v.Parts[i].Atoms = atomsBuf[off : off : off+counts[i]]
+		off += counts[i]
+	}
+	for a := ID(0); int(a) < natoms; a++ {
+		pi := v.PartOf[a]
 		v.Parts[pi].Atoms = append(v.Parts[pi].Atoms, a)
 	}
+	// Chare sets: copy each part's atom chares into the shared buffer,
+	// sort-and-compact in place. Total writes never exceed natoms, so the
+	// buffer never reallocates and earlier sub-slices stay valid.
+	charesBuf := make([]trace.ChareID, 0, natoms)
 	for i := range v.Parts {
 		p := &v.Parts[i]
-		set := make(map[trace.ChareID]struct{}, 4)
+		start := len(charesBuf)
 		for _, a := range p.Atoms {
-			set[s.atoms[a].Chare] = struct{}{}
+			charesBuf = append(charesBuf, s.chare[a])
 		}
-		p.Chares = make([]trace.ChareID, 0, len(set))
-		for c := range set {
-			p.Chares = append(p.Chares, c)
-		}
-		sort.Slice(p.Chares, func(x, y int) bool { return p.Chares[x] < p.Chares[y] })
+		seg := charesBuf[start:]
+		slices.Sort(seg)
+		seg = slices.Compact(seg)
+		charesBuf = charesBuf[:start+len(seg)]
+		p.Chares = charesBuf[start : start+len(seg) : start+len(seg)]
 	}
-	seen := make(map[int64]struct{}, len(s.edges))
-	for _, e := range s.edges {
-		u, v2 := partOf[s.Find(e.from)], partOf[s.Find(e.to)]
-		if u == v2 {
-			continue
-		}
-		key := int64(u)<<32 | int64(uint32(v2))
-		if _, dup := seen[key]; dup {
-			continue
-		}
-		seen[key] = struct{}{}
-		v.G.AddEdge(u, v2)
-	}
+	eu, ev := s.dedupedEdges(atomPart)
+	v.G = s.adjFromEdges(n, eu, ev)
 	return v
 }
 
@@ -291,10 +461,20 @@ func (v *View) Leaps() ([]int32, int32) {
 }
 
 // PartsAtLeap groups partition indices by leap: result[l] lists the
-// partitions whose leap is l.
+// partitions whose leap is l, in partition order.
 func (v *View) PartsAtLeap() [][]int32 {
 	leap, maxLeap := v.Leaps()
+	counts := make([]int32, maxLeap+1)
+	for _, l := range leap {
+		counts[l]++
+	}
+	flat := make([]int32, len(leap))
 	out := make([][]int32, maxLeap+1)
+	off := int32(0)
+	for l := range out {
+		out[l] = flat[off : off : off+counts[l]]
+		off += counts[l]
+	}
 	for p, l := range leap {
 		out[l] = append(out[l], int32(p))
 	}

@@ -215,7 +215,7 @@ func TestViewCoversAllAtoms(t *testing.T) {
 				if v.PartOf[a] != int32(pi) {
 					return false
 				}
-				if !p.HasChare(s.Atom(a).Chare) {
+				if !p.HasChare(s.AtomChare(a)) {
 					return false
 				}
 			}

@@ -65,6 +65,10 @@ const DefaultMaxMemEntries = 64
 // DefaultDetachedTimeout caps a detached flight when Config leaves it zero.
 const DefaultDetachedTimeout = 5 * time.Minute
 
+// DefaultMaxEntryBytes bounds one encoded entry accepted from a cluster
+// peer when Config leaves MaxEntryBytes zero.
+const DefaultMaxEntryBytes = 64 << 20
+
 // ErrClosed is returned by Get after Close: the cache is draining and
 // accepts no new flights. The serving layer maps it to 503.
 var ErrClosed = errors.New("resultcache: closed")
@@ -111,6 +115,11 @@ type Config struct {
 	// disables peer fill. Kept as a func to avoid a resultcache→cluster
 	// dependency.
 	PeerFetch func(ctx context.Context, traceDigest, key string) (io.ReadCloser, error)
+	// MaxEntryBytes bounds one encoded entry read from a cluster peer — the
+	// same limit the serving layer passes to PutEntry for replication
+	// writes, so a lying or corrupted peer cannot balloon a fill into an
+	// unbounded allocation (0 = DefaultMaxEntryBytes, negative = unbounded).
+	MaxEntryBytes int64
 }
 
 // Cache is the three-layer result cache. Safe for concurrent use.
@@ -122,6 +131,7 @@ type Cache struct {
 	extract         func(tr *trace.Trace, opt core.Options) (*core.Structure, error)
 	index           func(s *core.Structure) (any, int64)
 	peerFetch       func(ctx context.Context, traceDigest, key string) (io.ReadCloser, error)
+	maxEntryBytes   int64
 	readFile        func(string) ([]byte, error) // os.ReadFile; swapped by fault-injection tests
 
 	reg           *telemetry.Registry
@@ -221,6 +231,13 @@ func New(cfg Config) (*Cache, error) {
 	if dt < 0 {
 		dt = 0 // no cap
 	}
+	meb := cfg.MaxEntryBytes
+	if meb == 0 {
+		meb = DefaultMaxEntryBytes
+	}
+	if meb < 0 {
+		meb = 0 // unbounded
+	}
 	c := &Cache{
 		dir:             cfg.Dir,
 		maxEntries:      max,
@@ -229,6 +246,7 @@ func New(cfg Config) (*Cache, error) {
 		extract:         ext,
 		index:           cfg.Index,
 		peerFetch:       cfg.PeerFetch,
+		maxEntryBytes:   meb,
 		readFile:        os.ReadFile,
 		reg:             reg,
 		hits:            reg.Counter("cache.hits"),
@@ -580,6 +598,7 @@ func (c *Cache) fill(ctx context.Context, id, traceDigest string, prog *core.Pro
 			if err == nil && fp == wantFP {
 				c.hits.Add(1)
 				c.diskHits.Add(1)
+				c.touch(path)
 				return s, OutcomeDisk, nil
 			}
 			// A corrupt or stale entry self-heals: count it, re-extract,
@@ -631,9 +650,16 @@ func (c *Cache) peerFill(ctx context.Context, traceDigest, id, path, wantFP stri
 		c.peerMisses.Add(1)
 		return nil, false
 	}
-	data, err := io.ReadAll(rc)
+	// Bound the read to the same entry-size limit replication writes honor:
+	// a peer streaming more than MaxEntryBytes is treated as a miss, not an
+	// unbounded allocation.
+	body := io.Reader(rc)
+	if c.maxEntryBytes > 0 {
+		body = io.LimitReader(rc, c.maxEntryBytes+1)
+	}
+	data, err := io.ReadAll(body)
 	rc.Close()
-	if err != nil {
+	if err != nil || (c.maxEntryBytes > 0 && int64(len(data)) > c.maxEntryBytes) {
 		c.peerMisses.Add(1)
 		return nil, false
 	}
@@ -674,30 +700,31 @@ func (c *Cache) writeDisk(path string, s *core.Structure) error {
 	return c.writeDiskFrom(path, func(w io.Writer) error { return core.EncodeStructure(w, s) })
 }
 
+// tmpSeq makes temp-file names unique across the process, so writeDiskFrom
+// can open with O_EXCL on the first try instead of paying CreateTemp's
+// random-name retry loop plus a Chmod on every entry.
+var tmpSeq atomic.Uint64
+
 // writeDiskFrom persists one entry atomically (temp file + rename), so a
 // crash mid-write never leaves a truncated entry a later decode would
-// reject. The entry is world-readable (0644, not CreateTemp's 0600) so
-// operators and sidecar readers can inspect .cstr files in place.
+// reject. The entry is created world-readable (0644, not CreateTemp's 0600)
+// so operators and sidecar readers can inspect .cstr files in place.
 func (c *Cache) writeDiskFrom(path string, write func(io.Writer) error) error {
-	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
+	name := filepath.Join(c.dir, fmt.Sprintf(".tmp-%d-%d", os.Getpid(), tmpSeq.Add(1)))
+	tmp, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return err
 	}
 	if err := write(tmp); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Chmod(0o644); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+		os.Remove(name)
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		os.Remove(name)
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	return os.Rename(name, path)
 }
 
 // ErrNoEntry is returned by OpenEntry when the disk store has no entry for
@@ -720,7 +747,8 @@ func (c *Cache) OpenEntry(key string) (io.ReadCloser, int64, error) {
 	if c.dir == "" || !ValidKey(key) {
 		return nil, 0, ErrNoEntry
 	}
-	f, err := os.Open(filepath.Join(c.dir, key+".cstr"))
+	path := filepath.Join(c.dir, key+".cstr")
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, 0, ErrNoEntry
 	}
@@ -729,7 +757,48 @@ func (c *Cache) OpenEntry(key string) (io.ReadCloser, int64, error) {
 		f.Close()
 		return nil, 0, ErrNoEntry
 	}
+	c.touch(path)
 	return f, info.Size(), nil
+}
+
+// touch refreshes a disk entry's mtime, best-effort. The disk GC evicts
+// least-recently-modified first, so without this a frequently-read entry
+// that was written long ago looks cold and gets evicted before entries
+// nobody has asked for since their write — reads must count as recency for
+// the mtime order to be an LRU. Racing with a concurrent GC removal is
+// fine: Chtimes on an unlinked path just fails, and the open file (if any)
+// still serves.
+func (c *Cache) touch(path string) {
+	now := time.Now()
+	os.Chtimes(path, now, now)
+}
+
+// ReadSummary stream-decodes the phase-table summary of one disk entry —
+// the zero-copy serving path for phase-table queries: no trace attach, no
+// per-event arrays, O(phases) work. A decodable entry whose fingerprint
+// matches counts as a disk hit and refreshes the entry's recency; an entry
+// that is missing is ErrNoEntry, and one that is corrupt or stale is
+// counted like any unreadable entry and also reported as ErrNoEntry so the
+// caller falls back to the full (self-healing) path.
+func (c *Cache) ReadSummary(key, wantFP string) (*core.StructureSummary, error) {
+	if c.dir == "" || !ValidKey(key) {
+		return nil, ErrNoEntry
+	}
+	path := filepath.Join(c.dir, key+".cstr")
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, ErrNoEntry
+	}
+	defer f.Close()
+	sum, err := core.DecodeStructureSummary(f)
+	if err != nil || sum.Fingerprint != wantFP {
+		c.diskErrors.Add(1)
+		return nil, ErrNoEntry
+	}
+	c.hits.Add(1)
+	c.diskHits.Add(1)
+	c.touch(path)
+	return sum, nil
 }
 
 // PutEntry writes one already-encoded entry into the disk store (the

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 	"charmtrace/internal/core"
 	"charmtrace/internal/metrics"
 	"charmtrace/internal/query"
+	"charmtrace/internal/resultcache"
 	"charmtrace/internal/structdiff"
 	"charmtrace/internal/telemetry"
 	"charmtrace/internal/trace"
@@ -193,14 +195,73 @@ func (s *Server) handleStructure(w http.ResponseWriter, r *http.Request) {
 		s.serveQuery(w, r, digest, opt, spec)
 		return
 	}
+	if resp, ok := s.serveStructureFast(r.Context(), digest, opt); ok {
+		writeJSON(w, resp)
+		return
+	}
 	st, err := s.structureFor(r.Context(), digest, opt)
 	if err != nil {
 		httpError(w, err)
 		return
 	}
+	writeJSON(w, structureResponseOf(digest, opt.Fingerprint(), st))
+}
+
+// serveStructureFast is the zero-copy serving path for the phase table. A
+// memory hit renders from the resident structure as always; a memory miss
+// over a matching disk entry renders from the entry's streaming summary —
+// no trace load, no full DecodeStructure, no extraction slot — which is
+// what makes the first post-restart /structure read O(phases) instead of
+// O(events). ok=false (unknown digest, no disk entry, corrupt or stale
+// entry) falls back to the full structureFor path, whose read self-heals
+// bad entries. The two render paths are byte-identical (pinned by the
+// serving tests): every response field is preserved by the codec's phase
+// table.
+func (s *Server) serveStructureFast(ctx context.Context, digest string, opt core.Options) (structureResponse, bool) {
+	s.mu.RLock()
+	known := s.traces[digest] != nil
+	s.mu.RUnlock()
+	if !known {
+		return structureResponse{}, false
+	}
+	fp := opt.Fingerprint()
+	key := resultcache.KeyID(digest, fp)
+	resultcache.RecordKey(ctx, key)
+	if st, ok := s.cache.Lookup(digest, opt); ok {
+		resultcache.RecordOutcome(ctx, resultcache.OutcomeMem)
+		return structureResponseOf(digest, fp, st), true
+	}
+	sum, err := s.cache.ReadSummary(key, fp)
+	if err != nil {
+		return structureResponse{}, false
+	}
+	resultcache.RecordOutcome(ctx, resultcache.OutcomeDisk)
 	resp := structureResponse{
 		Digest:      digest,
-		Fingerprint: opt.Fingerprint(),
+		Fingerprint: fp,
+		Events:      sum.NumEvents,
+		NumPhases:   len(sum.Phases),
+		MaxStep:     sum.MaxStep,
+		DAGEdges:    sum.DAGEdges,
+		Phases:      make([]phaseJSON, 0, len(sum.Phases)),
+	}
+	for i := range sum.Phases {
+		p := &sum.Phases[i]
+		resp.Phases = append(resp.Phases, phaseJSON{
+			ID: int32(i), Runtime: p.Runtime, Leap: p.Leap, Offset: p.Offset,
+			MaxLocalStep: p.MaxLocalStep, FirstStep: p.Offset, LastStep: p.Offset + p.MaxLocalStep,
+			Chares: p.Chares, Events: p.Events,
+		})
+	}
+	return resp, true
+}
+
+// structureResponseOf renders the /structure payload from a decoded or
+// freshly extracted structure.
+func structureResponseOf(digest, fp string, st *core.Structure) structureResponse {
+	resp := structureResponse{
+		Digest:      digest,
+		Fingerprint: fp,
 		Events:      len(st.Trace.Events),
 		NumPhases:   st.NumPhases(),
 		MaxStep:     st.MaxStep(),
@@ -216,7 +277,7 @@ func (s *Server) handleStructure(w http.ResponseWriter, r *http.Request) {
 			Chares: len(p.Chares), Events: len(p.Events),
 		})
 	}
-	writeJSON(w, resp)
+	return resp
 }
 
 // stepJSON is one event on a chare's logical timeline.

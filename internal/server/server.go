@@ -192,6 +192,7 @@ func New(cfg Config) (*Server, error) {
 		Metrics:         reg,
 		Extract:         cfg.extract,
 		PeerFetch:       cfg.PeerFetch,
+		MaxEntryBytes:   cfg.MaxEntryBytes,
 		Index: func(st *core.Structure) (any, int64) {
 			idx := engine.Index(st)
 			return idx, idx.Bytes()

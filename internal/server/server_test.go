@@ -143,6 +143,70 @@ func TestServeByteIdentityAcrossCacheLayersAndRestart(t *testing.T) {
 	}
 }
 
+// TestStructureServedFromDiskSummary: after a restart, a /structure request
+// is answered from the disk entry's streaming summary — byte-identical to
+// the fresh response, labeled a disk hit, and served without decoding the
+// trace or the per-event arrays (the zero-copy serving path). /steps still
+// needs per-event data, so it takes the full path.
+func TestStructureServedFromDiskSummary(t *testing.T) {
+	dir := t.TempDir()
+	enc := encodedJacobi(t, 0)
+	_, ts := newTestServer(t, Config{DataDir: dir})
+	digest := upload(t, ts, enc)
+	want := mustGet(t, ts, "/v1/traces/"+digest+"/structure")
+	ts.Close()
+
+	srv2, ts2 := newTestServer(t, Config{DataDir: dir})
+	resp, err := http.Get(ts2.URL + "/v1/traces/" + digest + "/structure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("summary-served response differs from fresh extraction's")
+	}
+	if h := resp.Header.Get("X-Charmd-Cache"); h != "disk" {
+		t.Errorf("X-Charmd-Cache = %q, want %q", h, "disk")
+	}
+	reg := srv2.Registry()
+	if hits := reg.Counter("cache.disk_hits").Value(); hits != 1 {
+		t.Errorf("disk_hits = %d, want 1", hits)
+	}
+	if misses := reg.Counter("cache.misses").Value(); misses != 0 {
+		t.Errorf("misses = %d, want 0", misses)
+	}
+	// The summary path never needed the trace: the lazily-loaded entry is
+	// still undecoded, which is exactly what makes the first post-restart
+	// phase-table read cheap.
+	srv2.mu.RLock()
+	undecoded := srv2.traces[digest] != nil && srv2.traces[digest].tr == nil
+	srv2.mu.RUnlock()
+	if !undecoded {
+		t.Error("summary path decoded the trace")
+	}
+
+	// /steps needs per-event data: it takes the full path (another disk
+	// hit), loads the trace, and warms the memory LRU for later /structure
+	// requests to hit in memory again.
+	mustGet(t, ts2, "/v1/traces/"+digest+"/steps")
+	resp2, err := http.Get(ts2.URL + "/v1/traces/" + digest + "/structure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if h := resp2.Header.Get("X-Charmd-Cache"); h != "mem" {
+		t.Errorf("post-warm X-Charmd-Cache = %q, want %q", h, "mem")
+	}
+	if !bytes.Equal(got2, want) {
+		t.Errorf("memory-served response differs from summary-served one")
+	}
+}
+
 // TestConcurrentStructureRequestsCoalesce: K parallel requests for one
 // uncached trace run the extraction pipeline exactly once, and the serving
 // counters and latency histograms show up in /debug/stats.

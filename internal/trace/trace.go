@@ -25,6 +25,11 @@ type Trace struct {
 	// recvsOf maps a message to its receive events (one for point-to-point,
 	// several for broadcasts).
 	recvsOf map[MsgID][]EventID
+	// matchSend[e] is the send event of receive e's message (NoEvent for
+	// non-receives and unmatched receives): the O(1) dense form of
+	// SendOf(Events[e].Msg), for the extraction hot path where the map
+	// lookup dominates.
+	matchSend []EventID
 	// blocksByChare lists each chare's blocks in begin-time order.
 	blocksByChare [][]BlockID
 	// blocksByPE lists each processor's blocks in begin-time order.
@@ -51,6 +56,15 @@ func (t *Trace) Index() error {
 			t.sendOf[ev.Msg] = ev.ID
 		case Recv:
 			t.recvsOf[ev.Msg] = append(t.recvsOf[ev.Msg], ev.ID)
+		}
+	}
+	t.matchSend = make([]EventID, len(t.Events))
+	for i := range t.Events {
+		t.matchSend[i] = NoEvent
+		if ev := &t.Events[i]; ev.Kind == Recv && ev.Msg != NoMsg {
+			if id, ok := t.sendOf[ev.Msg]; ok {
+				t.matchSend[i] = id
+			}
 		}
 	}
 	t.blocksByChare = make([][]BlockID, len(t.Chares))
@@ -180,6 +194,11 @@ func (t *Trace) SendOf(m MsgID) EventID {
 	}
 	return NoEvent
 }
+
+// MatchingSend returns the send event of receive e's message, or NoEvent
+// when e is not a receive or its send was not recorded. It is equivalent to
+// SendOf(Events[e].Msg) but a dense array read instead of a map lookup.
+func (t *Trace) MatchingSend(e EventID) EventID { return t.matchSend[e] }
 
 // RecvsOf returns the receive events of a message (nil if none recorded).
 // The returned slice must not be modified.
