@@ -17,7 +17,7 @@ test:
 verify: build test
 	$(GO) vet ./...
 	$(GO) test -race ./internal/core ./internal/partition ./internal/tracefile
-	$(GO) test -race ./internal/resultcache ./internal/server ./internal/query ./internal/cluster
+	$(GO) test -race ./internal/resultcache ./internal/server ./internal/query ./internal/cluster ./internal/lod
 	$(GO) test -race ./internal/conformance ./internal/apps/lbmigrate ./internal/apps/faultsim ./internal/apps/ordstress
 
 # lint runs staticcheck when it is installed (CI installs it; offline dev

@@ -174,7 +174,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fresh := fs.String("new", "", "fresh bench export to compare (required)")
 	maxWall := fs.Float64("max-wall", 0.30, "enforced rows fail past this relative wall-time growth")
 	maxAlloc := fs.Float64("max-alloc", 0.20, "enforced rows fail past this relative allocs/op growth")
-	enforce := fs.String("enforce", "Fig10MergeTree,Serve", "comma-separated benchmark name prefixes that gate the exit status")
+	enforce := fs.String("enforce", "Fig10MergeTree,Serve,Lod", "comma-separated benchmark name prefixes that gate the exit status")
 	markdown := fs.Bool("markdown", false, "render a GitHub markdown table (for CI step summaries)")
 	if err := fs.Parse(args); err != nil {
 		return 2

@@ -29,6 +29,7 @@ import (
 
 	"charmtrace/internal/cli"
 	"charmtrace/internal/core"
+	"charmtrace/internal/lod"
 	"charmtrace/internal/query"
 	"charmtrace/internal/trace"
 	"charmtrace/internal/tracefile"
@@ -75,10 +76,25 @@ func run() error {
 	all := flag.Bool("all", false, "follow cursors and print the concatenated result")
 	rawSpec := flag.String("spec", "", "raw JSON query spec (@file to read from a file); overrides the filter flags")
 	retries := flag.Int("retries", 3, "remote mode: extra attempts after a 429 or 503 (Retry-After honored, exponential backoff otherwise)")
+	lodMode := flag.Bool("lod", false, "level-of-detail aggregation instead of a query (uses -resolution, -steps, -max-rows, -max-edges, -render)")
+	resolution := flag.String("resolution", "", "-lod: bucket budget, a positive integer or \"native\" (default native)")
+	maxRows := flag.Int("max-rows", 0, "-lod: cap cluster rows; past it the smallest clusters merge into one overflow row")
+	maxEdges := flag.Int("max-edges", 0, "-lod: cap aggregated communication edges, keeping the heaviest")
+	render := flag.Bool("render", false, "-lod: include the clustered text render (native resolution only)")
 	tele := cli.NewTelemetry("chquery", flag.CommandLine)
 	flag.Parse()
 	if err := tele.Start(); err != nil {
 		return err
+	}
+
+	cfg := fetcherConfig{
+		in: *in, app: *app, server: *server, digest: *digest, mp: *mp,
+		iters: *iters, scale: *scale, seed: *seed, parallelism: *parallelism,
+		retries: *retries,
+	}
+
+	if *lodMode {
+		return runLod(cfg, *resolution, *steps, *maxRows, *maxEdges, *render)
 	}
 
 	spec, err := buildSpec(*rawSpec, *sel, *phases, *chares, *steps, *groupBy, *aggs, *fields, *limit, *cursor)
@@ -90,11 +106,7 @@ func run() error {
 		spec.Limit = 1000
 	}
 
-	fetch, err := newFetcher(fetcherConfig{
-		in: *in, app: *app, server: *server, digest: *digest, mp: *mp,
-		iters: *iters, scale: *scale, seed: *seed, parallelism: *parallelism,
-		retries: *retries,
-	})
+	fetch, err := newFetcher(cfg)
 	if err != nil {
 		return err
 	}
@@ -189,29 +201,7 @@ func newFetcher(cfg fetcherConfig) (func(query.Spec) (*page, error), error) {
 		return func(spec query.Spec) (*page, error) { return postPage(target, spec, rt) }, nil
 	}
 
-	var tr *trace.Trace
-	var opt core.Options
-	var err error
-	switch {
-	case cfg.app != "":
-		tr, opt, err = cli.Generate(cfg.app, cli.Params{Iterations: cfg.iters, Scale: cfg.scale, Seed: cfg.seed})
-	case cfg.in != "":
-		tr, err = tracefile.ReadFile(cfg.in)
-		opt = core.DefaultOptions()
-		if cfg.mp {
-			opt = core.MessagePassingOptions()
-		}
-	default:
-		err = fmt.Errorf("need -in <file>, -app <workload> or -server <url>; workloads:\n%s", cli.Describe())
-	}
-	if err != nil {
-		return nil, err
-	}
-	opt.Parallelism = cfg.parallelism
-	ctx, stopSignals := cli.SignalContext(context.Background())
-	opt.Context = ctx
-	s, err := core.Extract(tr, opt)
-	stopSignals()
+	s, opt, err := loadLocal(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -228,6 +218,117 @@ func newFetcher(cfg fetcherConfig) (func(query.Spec) (*page, error), error) {
 			Rows: res.Rows, NextCursor: res.NextCursor,
 		}, nil
 	}, nil
+}
+
+// loadLocal resolves -in/-app into an extracted structure — the shared
+// local-mode front of the query and LOD paths.
+func loadLocal(cfg fetcherConfig) (*core.Structure, core.Options, error) {
+	var tr *trace.Trace
+	var opt core.Options
+	var err error
+	switch {
+	case cfg.app != "":
+		tr, opt, err = cli.Generate(cfg.app, cli.Params{Iterations: cfg.iters, Scale: cfg.scale, Seed: cfg.seed})
+	case cfg.in != "":
+		tr, err = tracefile.ReadFile(cfg.in)
+		opt = core.DefaultOptions()
+		if cfg.mp {
+			opt = core.MessagePassingOptions()
+		}
+	default:
+		err = fmt.Errorf("need -in <file>, -app <workload> or -server <url>; workloads:\n%s", cli.Describe())
+	}
+	if err != nil {
+		return nil, opt, err
+	}
+	opt.Parallelism = cfg.parallelism
+	ctx, stopSignals := cli.SignalContext(context.Background())
+	opt.Context = ctx
+	s, err := core.Extract(tr, opt)
+	stopSignals()
+	if err != nil {
+		return nil, opt, err
+	}
+	return s, opt, nil
+}
+
+// runLod executes one level-of-detail request: remotely via
+// POST /v1/traces/{digest}/lod, or locally by building the pyramid over a
+// freshly extracted structure. Either way the response JSON goes to stdout.
+func runLod(cfg fetcherConfig, resolution, steps string, maxRows, maxEdges int, render bool) error {
+	sp := lod.Spec{MaxRows: maxRows, MaxEdges: maxEdges, Render: render}
+	var err error
+	if sp.Resolution, err = lod.ParseResolution(resolution); err != nil {
+		return err
+	}
+	if steps != "" {
+		v := url.Values{}
+		v.Set("steps", steps)
+		parsed, err := lod.SpecFromParams(v)
+		if err != nil {
+			return err
+		}
+		sp.Steps = parsed.Steps
+	}
+	if err := sp.Validate(); err != nil {
+		return err
+	}
+
+	if cfg.server != "" {
+		if cfg.digest == "" {
+			return fmt.Errorf("-server requires -digest")
+		}
+		target := strings.TrimSuffix(cfg.server, "/") + "/v1/traces/" + cfg.digest + "/lod"
+		if cfg.mp {
+			target += "?preset=mp"
+		}
+		body, err := json.Marshal(sp)
+		if err != nil {
+			return err
+		}
+		rt := newRetrier(cfg.retries)
+		resp, err := rt.do(func() (*http.Response, error) {
+			return http.Post(target, "application/json", bytes.NewReader(body))
+		})
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			var e struct {
+				Error string `json:"error"`
+				Field string `json:"field"`
+			}
+			if json.Unmarshal(data, &e) == nil && e.Error != "" {
+				if e.Field != "" {
+					return fmt.Errorf("server: %s (field %s)", e.Error, e.Field)
+				}
+				return fmt.Errorf("server: %s", e.Error)
+			}
+			return fmt.Errorf("server: status %d: %s", resp.StatusCode, data)
+		}
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+
+	s, opt, err := loadLocal(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := lod.Build(s, nil).Query(sp, nil)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Fingerprint string `json:"fingerprint"`
+		*lod.Result
+	}{Fingerprint: opt.Fingerprint(), Result: res})
 }
 
 // postPage fetches one page from a charmd query endpoint, retrying

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"testing"
@@ -10,6 +11,7 @@ import (
 	"charmtrace/internal/apps/jacobi"
 	"charmtrace/internal/apps/mergetree"
 	"charmtrace/internal/core"
+	"charmtrace/internal/lod"
 	"charmtrace/internal/query"
 	"charmtrace/internal/resultcache"
 	"charmtrace/internal/telemetry"
@@ -68,6 +70,9 @@ func runBenchJSON(path string) error {
 		return err
 	}
 	if err := runQueryBench(e, mt); err != nil {
+		return err
+	}
+	if err := runLodBench(e, mt); err != nil {
 		return err
 	}
 	if err := e.WriteFile(path); err != nil {
@@ -149,6 +154,57 @@ func runQueryBench(e *telemetry.BenchExport, mt *trace.Trace) error {
 					break
 				}
 				paged.Cursor = res.NextCursor
+			}
+		}
+	})
+	return nil
+}
+
+// runLodBench measures the level-of-detail aggregation layer on the
+// merge-tree structure: building the mip-pyramid (what the cache's aux
+// slot pays once per entry), a cold interactive request (pyramid built per
+// request plus the resolution=64 query and its JSON encoding), and the
+// same request over the cached pyramid (charmd's steady state). The
+// cold/cached gap is what caching the pyramid beside the index buys.
+func runLodBench(e *telemetry.BenchExport, mt *trace.Trace) error {
+	s, err := core.Extract(mt, core.MessagePassingOptions())
+	if err != nil {
+		return err
+	}
+	sp := lod.Spec{Resolution: 64}
+
+	run := func(name string, bench func(b *testing.B)) {
+		fmt.Printf("  %-28s", name)
+		r := testing.Benchmark(bench)
+		e.Add(name, r.N, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+		fmt.Printf(" %12d ns/op  (%d iterations)\n", r.NsPerOp(), r.N)
+	}
+
+	run("Lod/build-pyramid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lod.Build(s, nil)
+		}
+	})
+	run("Lod/cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out, err := lod.Build(s, nil).Query(sp, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := json.Marshal(out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	p := lod.Build(s, nil)
+	run("Lod/cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out, err := p.Query(sp, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := json.Marshal(out); err != nil {
+				b.Fatal(err)
 			}
 		}
 	})

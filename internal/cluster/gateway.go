@@ -194,6 +194,8 @@ func (g *Gateway) routes() {
 	handle("GET /v1/traces/{digest}/steps", "steps", g.handleDigestRead)
 	handle("GET /v1/traces/{digest}/metrics", "metrics", g.handleDigestRead)
 	handle("POST /v1/traces/{digest}/query", "query", g.handleQuery)
+	handle("GET /v1/traces/{digest}/lod", "lod", g.handleDigestRead)
+	handle("POST /v1/traces/{digest}/lod", "lod_post", g.handleQuery)
 	handle("GET /v1/structdiff", "structdiff", g.handleStructDiff)
 	handle("GET /metrics", "prom", g.handleProm)
 	handle("GET /cluster", "cluster", g.handleCluster)
@@ -424,13 +426,22 @@ func copyProxyHeaders(dst, src http.Header) {
 	}
 }
 
+// countNode attributes one answered request to (route, member) — the
+// gateway.node_requests.<route>.<node> series that /cluster renders as the
+// per-member request table, so per-route traffic (LOD included) is
+// attributable per node.
+func (g *Gateway) countNode(route, node string) {
+	g.reg.Counter("gateway.node_requests." + route + "." + node).Add(1)
+}
+
 // proxy routes one request across the key's candidates with sequential
 // failover (a transport error marks the node dead and tries the next) and,
 // for hedgeable requests, one tail-latency hedge: after hedgeDelay with no
 // answer, a second identical request races the first; the first usable
 // response wins and the loser's context is cancelled. The winner's body
-// streams to the client unbuffered.
-func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, key, digest string, body []byte, hedgeable bool) {
+// streams to the client unbuffered. route labels the answering node's
+// request counter.
+func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, route, key, digest string, body []byte, hedgeable bool) {
 	candidates := g.candidates(key)
 	if len(candidates) == 0 {
 		g.exhausted.Add(1)
@@ -543,7 +554,7 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, key, digest stri
 		// lost via their own cancels, delivered through the drain above.
 	}
 
-	g.relay(w, r, winner, digest)
+	g.relay(w, r, winner, route, digest)
 	g.proxyMS.Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
 }
 
@@ -551,12 +562,13 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, key, digest stri
 // bookkeeping: peer-fill counters from the node's X-Charmd-Cache header,
 // and async result replication when the answer came from a fresh
 // extraction (a cluster-wide miss).
-func (g *Gateway) relay(w http.ResponseWriter, r *http.Request, a *attemptResult, digest string) {
+func (g *Gateway) relay(w http.ResponseWriter, r *http.Request, a *attemptResult, route, digest string) {
 	defer a.cancel()
 	defer a.resp.Body.Close()
 	if sw, ok := w.(*gwStatusWriter); ok {
 		sw.node = a.member.Name
 	}
+	g.countNode(route, a.member.Name)
 	h := w.Header()
 	for k, vs := range a.resp.Header {
 		switch http.CanonicalHeaderKey(k) {
@@ -664,12 +676,13 @@ func (g *Gateway) fetchEntry(ctx context.Context, m Member, key, reqID string) (
 // summary, structure, steps, metrics) with failover and hedging.
 func (g *Gateway) handleDigestRead(w http.ResponseWriter, r *http.Request, route string) {
 	digest := r.PathValue("digest")
-	g.proxy(w, r, digest, digest, nil, true)
+	g.proxy(w, r, route, digest, digest, nil, true)
 }
 
-// handleQuery proxies POST /v1/traces/{digest}/query. The body is buffered
-// (bounded) so a failover can resend it; queries are read-only but POST, so
-// they fail over without hedging.
+// handleQuery proxies the digest-scoped POST analysis requests (query and
+// LOD specs alike — the proxied path is the inbound one). The body is
+// buffered (bounded) so a failover can resend it; these are read-only but
+// POST, so they fail over without hedging.
 func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request, route string) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4<<20))
 	if err != nil {
@@ -677,7 +690,7 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request, route stri
 		return
 	}
 	digest := r.PathValue("digest")
-	g.proxy(w, r, digest, digest, body, false)
+	g.proxy(w, r, route, digest, digest, body, false)
 }
 
 // handleStructDiff routes by the a-side digest: with R >= 2 and upload
@@ -689,7 +702,7 @@ func (g *Gateway) handleStructDiff(w http.ResponseWriter, r *http.Request, route
 		gwError(w, http.StatusBadRequest, "need a=<digest> and b=<digest>")
 		return
 	}
-	g.proxy(w, r, a, "", nil, true)
+	g.proxy(w, r, route, a, "", nil, true)
 }
 
 // handleUpload ingests one trace through the gateway: the body is buffered,
@@ -751,6 +764,7 @@ func (g *Gateway) handleUpload(w http.ResponseWriter, r *http.Request, route str
 	if sw, ok := w.(*gwStatusWriter); ok {
 		sw.node = winnerName
 	}
+	g.countNode(route, winnerName)
 	// Fan the accepted trace out to the rest of the replica set so peer
 	// fill and failover find the bytes everywhere they should be.
 	if winner.StatusCode < 300 {
@@ -805,18 +819,24 @@ func (g *Gateway) postTrace(ctx context.Context, m Member, body []byte, reqID, c
 }
 
 // handleList fans GET /v1/traces out to every live member and merges the
-// results: the union of all traces, deduplicated by digest, sorted.
+// results: the union of all traces, deduplicated by digest, sorted. The
+// entry shape mirrors charmd's (bytes plus the summary-tier structure
+// fields); when members disagree — only some hold a cached result — the
+// merge prefers an entry that carries the structure fields.
 func (g *Gateway) handleList(w http.ResponseWriter, r *http.Request, route string) {
 	type listEntry struct {
-		Digest string `json:"digest"`
-		Bytes  int64  `json:"bytes"`
+		Digest    string `json:"digest"`
+		Bytes     int64  `json:"bytes"`
+		NumPhases *int   `json:"num_phases,omitempty"`
+		MaxStep   *int32 `json:"max_step,omitempty"`
+		Events    *int   `json:"events,omitempty"`
 	}
 	type listResp struct {
 		Traces []listEntry `json:"traces"`
 	}
 	reqID := telemetry.RequestID(r.Context())
 	var mu sync.Mutex
-	merged := make(map[string]int64)
+	merged := make(map[string]listEntry)
 	var wg sync.WaitGroup
 	answered := false
 	for _, m := range g.ring.Members() {
@@ -845,10 +865,13 @@ func (g *Gateway) handleList(w http.ResponseWriter, r *http.Request, route strin
 			if json.NewDecoder(resp.Body).Decode(&lr) != nil {
 				return
 			}
+			g.countNode(route, m.Name)
 			mu.Lock()
 			answered = true
 			for _, e := range lr.Traces {
-				merged[e.Digest] = e.Bytes
+				if old, ok := merged[e.Digest]; !ok || (old.NumPhases == nil && e.NumPhases != nil) {
+					merged[e.Digest] = e
+				}
 			}
 			mu.Unlock()
 		}(m)
@@ -866,7 +889,7 @@ func (g *Gateway) handleList(w http.ResponseWriter, r *http.Request, route strin
 	sort.Strings(digests)
 	out := listResp{Traces: make([]listEntry, 0, len(digests))}
 	for _, d := range digests {
-		out.Traces = append(out.Traces, listEntry{Digest: d, Bytes: merged[d]})
+		out.Traces = append(out.Traces, merged[d])
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
@@ -883,29 +906,60 @@ func (g *Gateway) handleProm(w http.ResponseWriter, r *http.Request, route strin
 }
 
 // handleCluster describes the cluster: members with liveness, replication
-// factor, and each member's share of a synthetic keyspace (a quick ring-
-// balance sanity check for operators).
+// factor, each member's share of a synthetic keyspace (a quick ring-
+// balance sanity check for operators), the gateway's per-route request
+// counts, and each member's answered requests broken down by route — the
+// table that makes per-route traffic (LOD included) attributable per node.
 func (g *Gateway) handleCluster(w http.ResponseWriter, r *http.Request, route string) {
 	shares := make(map[string]int, g.ring.Len())
 	const probes = 1024
 	for i := 0; i < probes; i++ {
 		shares[g.ring.Owner(fmt.Sprintf("share-probe-%d", i)).Name]++
 	}
+	routes := make(map[string]int64)
+	byNode := make(map[string]map[string]int64)
+	for name, v := range g.reg.Snapshot().Counters {
+		if rt, ok := strings.CutPrefix(name, "gateway.route."); ok {
+			routes[rt] = v
+			continue
+		}
+		rest, ok := strings.CutPrefix(name, "gateway.node_requests.")
+		if !ok {
+			continue
+		}
+		rt, node, ok := strings.Cut(rest, ".")
+		if !ok {
+			continue
+		}
+		if byNode[node] == nil {
+			byNode[node] = make(map[string]int64)
+		}
+		byNode[node][rt] += v
+	}
 	status := g.health.Snapshot()
 	type memberJSON struct {
-		Name       string  `json:"name"`
-		URL        string  `json:"url"`
-		Alive      bool    `json:"alive"`
-		OwnedShare float64 `json:"owned_share"`
+		Name            string           `json:"name"`
+		URL             string           `json:"url"`
+		Alive           bool             `json:"alive"`
+		OwnedShare      float64          `json:"owned_share"`
+		Requests        int64            `json:"requests"`
+		RequestsByRoute map[string]int64 `json:"requests_by_route,omitempty"`
 	}
 	out := struct {
-		Replication int          `json:"replication"`
-		Members     []memberJSON `json:"members"`
-	}{Replication: g.cfg.Replication}
+		Replication int              `json:"replication"`
+		Routes      map[string]int64 `json:"routes"`
+		Members     []memberJSON     `json:"members"`
+	}{Replication: g.cfg.Replication, Routes: routes}
 	for _, ms := range status {
+		var total int64
+		for _, v := range byNode[ms.Name] {
+			total += v
+		}
 		out.Members = append(out.Members, memberJSON{
 			Name: ms.Name, URL: ms.URL, Alive: ms.Alive,
-			OwnedShare: float64(shares[ms.Name]) / probes,
+			OwnedShare:      float64(shares[ms.Name]) / probes,
+			Requests:        total,
+			RequestsByRoute: byNode[ms.Name],
 		})
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -960,6 +1014,7 @@ func (g *Gateway) handleNodePassthrough(w http.ResponseWriter, r *http.Request, 
 	if sw, ok := w.(*gwStatusWriter); ok {
 		sw.node = name
 	}
+	g.countNode(route, name)
 	for k, vs := range resp.Header {
 		switch http.CanonicalHeaderKey(k) {
 		case "Connection", "Keep-Alive", "Te", "Trailer", "Transfer-Encoding", "Upgrade", "X-Request-Id":

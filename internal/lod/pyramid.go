@@ -1,0 +1,264 @@
+// Package lod is the server-side level-of-detail aggregation engine: the
+// layer that lets an interactive client render a recovered structure at any
+// scale without ever receiving per-event payloads. The paper's logical view
+// (phases → steps → chares → communication) is exactly what a trace UI
+// draws, but at a thousand chares and tens of thousands of events the
+// client drowns; Traveler and the scalable-Gantt study (PAPERS.md) both
+// conclude the server must aggregate to the client's resolution.
+//
+// The engine precomputes a mip-pyramid of power-of-two step-bucket levels
+// over a structure: level 0 buckets one global step each, level L buckets
+// 2^L steps, aligned to the absolute step grid so any window snaps onto
+// bucket boundaries and coarsening is exactly monotone (a parent cell is
+// the merge of its two children — pinned by the property suite). Chare rows
+// are collapsed through internal/charegroup's behavioural clustering, and
+// communication is aggregated to (bucket, cluster) → (bucket, cluster)
+// edge weights instead of per-message lines. A query picks the coarsest
+// level that fits the requested resolution and renders O(buckets × rows)
+// output, never O(events).
+//
+// Everything is deterministic: the pyramid is a pure function of the
+// structure (which is itself byte-identical at any extraction parallelism),
+// cells are stored in fixed array order and edges in sorted key order, so
+// the same trace + options + resolution yields a byte-identical response
+// from any replica.
+package lod
+
+import (
+	"sort"
+
+	"charmtrace/internal/charegroup"
+	"charmtrace/internal/core"
+	"charmtrace/internal/metrics"
+	"charmtrace/internal/trace"
+)
+
+// NumMetrics is the §4 metric column count carried per cell.
+const NumMetrics = 4
+
+// MetricNames are the canonical §4 metric column names, in cell array
+// order — the legend every response carries so clients can label the
+// metric_sum/metric_max arrays without hardcoding the order.
+var MetricNames = [NumMetrics]string{
+	"sub_dur",
+	"idle_experienced",
+	"differential_duration",
+	"imbalance",
+}
+
+// Cell is one (cluster, bucket) aggregate: event counts by kind, the
+// virtual-time span of the bucket's events, and the §4 metric rollups.
+// A Cell with Events == 0 is empty and its Time fields are meaningless.
+type Cell struct {
+	Events  int64
+	Sends   int64
+	Recvs   int64
+	TimeMin trace.Time
+	TimeMax trace.Time
+	Sum     [NumMetrics]int64
+	Max     [NumMetrics]int64
+}
+
+// merge folds other into c (the coarsening operation).
+func (c *Cell) merge(o *Cell) {
+	if o.Events == 0 {
+		return
+	}
+	if c.Events == 0 {
+		*c = *o
+		return
+	}
+	c.Events += o.Events
+	c.Sends += o.Sends
+	c.Recvs += o.Recvs
+	if o.TimeMin < c.TimeMin {
+		c.TimeMin = o.TimeMin
+	}
+	if o.TimeMax > c.TimeMax {
+		c.TimeMax = o.TimeMax
+	}
+	for m := 0; m < NumMetrics; m++ {
+		c.Sum[m] += o.Sum[m]
+		if o.Max[m] > c.Max[m] {
+			c.Max[m] = o.Max[m]
+		}
+	}
+}
+
+// Edge is one aggregated communication edge at a level: the total number of
+// matched send→recv pairs whose send lands in (SrcBucket, SrcCluster) and
+// whose receive lands in (DstBucket, DstCluster).
+type Edge struct {
+	SrcBucket  int32
+	SrcCluster int32
+	DstBucket  int32
+	DstCluster int32
+	Weight     int64
+}
+
+// Level is one pyramid level: buckets of Width = 2^level global steps,
+// aligned to step 0. Cells is row-major [cluster][bucket]; Edges is sorted
+// by (SrcBucket, SrcCluster, DstBucket, DstCluster).
+type Level struct {
+	Width   int32
+	Buckets int32
+	Cells   []Cell
+	Edges   []Edge
+}
+
+// cell returns the (cluster, bucket) cell.
+func (l *Level) cell(cluster, bucket int32) *Cell {
+	return &l.Cells[int(cluster)*int(l.Buckets)+int(bucket)]
+}
+
+// Pyramid is the precomputed level-of-detail structure for one recovered
+// structure. Immutable once built and safe for concurrent readers;
+// resultcache caches it beside the query index so repeat LOD queries never
+// rescan the trace.
+type Pyramid struct {
+	S *core.Structure
+	// Clusters is the behavioural clustering (charegroup.Exact): the
+	// maximal row collapse that loses nothing, since members have
+	// identical logical timelines.
+	Clusters []charegroup.Cluster
+	// ClusterOf maps each chare to its cluster index.
+	ClusterOf []int32
+	// Levels[l] has bucket width 2^l; the top level has one bucket.
+	Levels []Level
+
+	bytes int64
+}
+
+// Build constructs the pyramid. rep supplies the §4 per-event metrics; nil
+// computes them (one metrics.Compute pass — callers that already hold a
+// query index can pass its report to share the work). Cost beyond the
+// metrics pass is one scan of the events plus a geometric coarsening sweep,
+// so ~2× the base level's size in total.
+func Build(s *core.Structure, rep *metrics.Report) *Pyramid {
+	if rep == nil {
+		rep = metrics.Compute(s)
+	}
+	tr := s.Trace
+	p := &Pyramid{
+		S:         s,
+		Clusters:  charegroup.Exact(s),
+		ClusterOf: make([]int32, len(tr.Chares)),
+	}
+	for i := range p.Clusters {
+		for _, m := range p.Clusters[i].Members {
+			p.ClusterOf[m] = int32(i)
+		}
+	}
+	numSteps := int32(s.MaxStep()) + 1
+	if numSteps <= 0 {
+		p.bytes = int64(len(p.ClusterOf)) * 4
+		return p
+	}
+	nc := int32(len(p.Clusters))
+
+	// Base level: one bucket per global step.
+	base := Level{Width: 1, Buckets: numSteps, Cells: make([]Cell, int(nc)*int(numSteps))}
+	type edgeKey struct{ sb, sc, db, dc int32 }
+	acc := make(map[edgeKey]int64)
+	for e := range tr.Events {
+		ev := &tr.Events[e]
+		eid := trace.EventID(e)
+		c := base.cell(p.ClusterOf[ev.Chare], s.Step[eid])
+		if c.Events == 0 {
+			c.TimeMin, c.TimeMax = ev.Time, ev.Time
+		} else {
+			if ev.Time < c.TimeMin {
+				c.TimeMin = ev.Time
+			}
+			if ev.Time > c.TimeMax {
+				c.TimeMax = ev.Time
+			}
+		}
+		c.Events++
+		if ev.Kind == trace.Send {
+			c.Sends++
+		} else {
+			c.Recvs++
+		}
+		vals := [NumMetrics]trace.Time{
+			rep.SubDur[eid],
+			rep.IdleExperienced[eid],
+			rep.DifferentialDuration[eid],
+			rep.Imbalance[eid],
+		}
+		for m, v := range vals {
+			c.Sum[m] += int64(v)
+			if int64(v) > c.Max[m] {
+				c.Max[m] = int64(v)
+			}
+		}
+		if ev.Kind == trace.Recv {
+			if send := tr.MatchingSend(eid); send != trace.NoEvent {
+				sv := &tr.Events[send]
+				acc[edgeKey{s.Step[send], p.ClusterOf[sv.Chare], s.Step[eid], p.ClusterOf[ev.Chare]}]++
+			}
+		}
+	}
+	base.Edges = make([]Edge, 0, len(acc))
+	for k, w := range acc {
+		base.Edges = append(base.Edges, Edge{k.sb, k.sc, k.db, k.dc, w})
+	}
+	sortEdges(base.Edges)
+	p.Levels = append(p.Levels, base)
+
+	// Coarsen: each level halves the bucket count (ceiling) until one
+	// bucket spans everything. Parent bucket b merges children 2b, 2b+1.
+	for p.Levels[len(p.Levels)-1].Buckets > 1 {
+		prev := &p.Levels[len(p.Levels)-1]
+		nb := (prev.Buckets + 1) / 2
+		lvl := Level{Width: prev.Width * 2, Buckets: nb, Cells: make([]Cell, int(nc)*int(nb))}
+		for ci := int32(0); ci < nc; ci++ {
+			for b := int32(0); b < prev.Buckets; b++ {
+				lvl.cell(ci, b/2).merge(prev.cell(ci, b))
+			}
+		}
+		half := make(map[edgeKey]int64, len(prev.Edges))
+		for _, e := range prev.Edges {
+			half[edgeKey{e.SrcBucket / 2, e.SrcCluster, e.DstBucket / 2, e.DstCluster}] += e.Weight
+		}
+		lvl.Edges = make([]Edge, 0, len(half))
+		for k, w := range half {
+			lvl.Edges = append(lvl.Edges, Edge{k.sb, k.sc, k.db, k.dc, w})
+		}
+		sortEdges(lvl.Edges)
+		p.Levels = append(p.Levels, lvl)
+	}
+
+	const cellSize = 8 * (5 + 2*NumMetrics) // counts + span + metric arrays
+	const edgeSize = 4*4 + 8
+	for i := range p.Levels {
+		p.bytes += int64(len(p.Levels[i].Cells))*cellSize + int64(len(p.Levels[i].Edges))*edgeSize
+	}
+	p.bytes += int64(len(p.ClusterOf)) * 4
+	for i := range p.Clusters {
+		p.bytes += int64(len(p.Clusters[i].Members))*4 + 16
+	}
+	return p
+}
+
+// Bytes estimates the pyramid's resident size beyond the structure itself,
+// for cache memory accounting.
+func (p *Pyramid) Bytes() int64 { return p.bytes }
+
+// sortEdges orders edges by (SrcBucket, SrcCluster, DstBucket, DstCluster)
+// — the canonical wire order.
+func sortEdges(edges []Edge) {
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := &edges[i], &edges[j]
+		if a.SrcBucket != b.SrcBucket {
+			return a.SrcBucket < b.SrcBucket
+		}
+		if a.SrcCluster != b.SrcCluster {
+			return a.SrcCluster < b.SrcCluster
+		}
+		if a.DstBucket != b.DstBucket {
+			return a.DstBucket < b.DstBucket
+		}
+		return a.DstCluster < b.DstCluster
+	})
+}

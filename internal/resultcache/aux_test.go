@@ -1,0 +1,239 @@
+package resultcache
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"charmtrace/internal/core"
+)
+
+// countingAux is a Config.Aux builder that counts constructions.
+type countingAux struct {
+	mu     sync.Mutex
+	builds int
+}
+
+type fakeAux struct{ s *core.Structure }
+
+func (ca *countingAux) build(s *core.Structure) (any, int64) {
+	ca.mu.Lock()
+	ca.builds++
+	ca.mu.Unlock()
+	return &fakeAux{s: s}, 500
+}
+
+func TestGetAuxBuildsOncePerEntry(t *testing.T) {
+	tr, digest := testTrace(t)
+	ca := &countingAux{}
+	c, err := New(Config{Dir: t.TempDir(), Aux: ca.build})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+
+	s1, a1, err := c.GetAux(context.Background(), digest, tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, a2, err := c.GetAux(context.Background(), digest, tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 == nil || a1 != a2 {
+		t.Errorf("aux values differ across hits: %p vs %p", a1, a2)
+	}
+	if fa := a1.(*fakeAux); fa.s != s1 || s1 != s2 {
+		t.Error("aux not built against the cached structure")
+	}
+	if ca.builds != 1 {
+		t.Errorf("aux built %d times, want 1", ca.builds)
+	}
+	reg := c.Registry()
+	if got := counter(reg, "cache.aux_builds"); got != 1 {
+		t.Errorf("aux_builds = %d, want 1", got)
+	}
+	if got := counter(reg, "cache.aux_hits"); got != 1 {
+		t.Errorf("aux_hits = %d, want 1", got)
+	}
+	if got := reg.Gauge("cache.aux_bytes").Value(); got != 500 {
+		t.Errorf("aux_bytes = %v, want 500", got)
+	}
+}
+
+func TestLookupAuxPeeksAndBuilds(t *testing.T) {
+	tr, digest := testTrace(t)
+	ca := &countingAux{}
+	c, err := New(Config{Dir: t.TempDir(), Aux: ca.build})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+
+	if _, _, ok := c.LookupAux(digest, opt); ok {
+		t.Fatal("LookupAux hit an empty cache")
+	}
+	if ca.builds != 0 {
+		t.Fatalf("miss built an aux value (%d builds)", ca.builds)
+	}
+	if _, err := c.Get(context.Background(), digest, tr, opt); err != nil {
+		t.Fatal(err)
+	}
+	s, a, ok := c.LookupAux(digest, opt)
+	if !ok || s == nil || a == nil {
+		t.Fatalf("LookupAux after Get: ok=%v s=%v aux=%v", ok, s, a)
+	}
+	if ca.builds != 1 {
+		t.Errorf("aux built %d times, want 1", ca.builds)
+	}
+}
+
+// TestAuxIndependentOfIndex: the two derived slots build and account
+// independently on one entry — requesting one never constructs the other.
+func TestAuxIndependentOfIndex(t *testing.T) {
+	tr, digest := testTrace(t)
+	ci := &countingIndex{}
+	ca := &countingAux{}
+	c, err := New(Config{Index: ci.build, Aux: ca.build})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	if _, _, err := c.GetIndexed(context.Background(), digest, tr, opt); err != nil {
+		t.Fatal(err)
+	}
+	if ca.builds != 0 {
+		t.Fatalf("GetIndexed built the aux value (%d builds)", ca.builds)
+	}
+	if _, _, err := c.GetAux(context.Background(), digest, tr, opt); err != nil {
+		t.Fatal(err)
+	}
+	if ci.builds != 1 || ca.builds != 1 {
+		t.Fatalf("builds: index=%d aux=%d, want 1/1", ci.builds, ca.builds)
+	}
+	reg := c.Registry()
+	if got := reg.Gauge("cache.index_bytes").Value(); got != 1000 {
+		t.Errorf("index_bytes = %v, want 1000", got)
+	}
+	if got := reg.Gauge("cache.aux_bytes").Value(); got != 500 {
+		t.Errorf("aux_bytes = %v, want 500", got)
+	}
+}
+
+// TestAuxBytesReleasedOnEviction: evicting an entry whose aux value was
+// built subtracts its bytes from the gauge.
+func TestAuxBytesReleasedOnEviction(t *testing.T) {
+	tr, digest := testTrace(t)
+	ca := &countingAux{}
+	c, err := New(Config{MaxMemEntries: 1, Aux: ca.build})
+	if err != nil {
+		t.Fatal(err)
+	}
+	optA := core.DefaultOptions()
+	if _, _, err := c.GetAux(context.Background(), digest, tr, optA); err != nil {
+		t.Fatal(err)
+	}
+	reg := c.Registry()
+	if got := reg.Gauge("cache.aux_bytes").Value(); got != 500 {
+		t.Fatalf("aux_bytes after build = %v, want 500", got)
+	}
+
+	optB := optA
+	optB.Reorder = !optA.Reorder
+	if _, _, err := c.GetAux(context.Background(), digest, tr, optB); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if got := reg.Gauge("cache.aux_bytes").Value(); got != 500 {
+		t.Errorf("aux_bytes after eviction+rebuild = %v, want 500", got)
+	}
+	if got := counter(reg, "cache.aux_builds"); got != 2 {
+		t.Errorf("aux_builds = %d, want 2", got)
+	}
+}
+
+// TestGetAuxWithoutMemoryLayer: with the memory layer disabled every GetAux
+// builds a transient value, never accounted in the gauge.
+func TestGetAuxWithoutMemoryLayer(t *testing.T) {
+	tr, digest := testTrace(t)
+	ca := &countingAux{}
+	c, err := New(Config{Dir: t.TempDir(), MaxMemEntries: -1, Aux: ca.build})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	for i := 0; i < 2; i++ {
+		_, a, err := c.GetAux(context.Background(), digest, tr, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a == nil {
+			t.Fatal("nil aux value")
+		}
+	}
+	if ca.builds != 2 {
+		t.Errorf("aux built %d times, want 2 (transient per request)", ca.builds)
+	}
+	if got := c.Registry().Gauge("cache.aux_bytes").Value(); got != 0 {
+		t.Errorf("aux_bytes = %v, want 0 (transient values are unaccounted)", got)
+	}
+}
+
+// TestGetAuxNilBuilder: without Config.Aux the accessors degrade to
+// Get/Lookup with a nil aux value.
+func TestGetAuxNilBuilder(t *testing.T) {
+	tr, digest := testTrace(t)
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	s, a, err := c.GetAux(context.Background(), digest, tr, opt)
+	if err != nil || s == nil || a != nil {
+		t.Fatalf("GetAux = (%v, %v, %v), want (structure, nil, nil)", s, a, err)
+	}
+	if _, a, ok := c.LookupAux(digest, opt); !ok || a != nil {
+		t.Fatalf("LookupAux = (_, %v, %v), want (_, nil, true)", a, ok)
+	}
+}
+
+// TestConcurrentAuxRequestsBuildOnce: K concurrent aux requests for one
+// resident entry share a single build.
+func TestConcurrentAuxRequestsBuildOnce(t *testing.T) {
+	tr, digest := testTrace(t)
+	ca := &countingAux{}
+	c, err := New(Config{Aux: ca.build})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	if _, err := c.Get(context.Background(), digest, tr, opt); err != nil {
+		t.Fatal(err)
+	}
+	const K = 8
+	vals := make([]any, K)
+	var wg sync.WaitGroup
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, a, err := c.GetAux(context.Background(), digest, tr, opt)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			vals[i] = a
+		}(i)
+	}
+	wg.Wait()
+	if ca.builds != 1 {
+		t.Errorf("aux built %d times under concurrency, want 1", ca.builds)
+	}
+	for i := 1; i < K; i++ {
+		if vals[i] != vals[0] {
+			t.Fatalf("request %d got a different aux value", i)
+		}
+	}
+}

@@ -106,6 +106,13 @@ type Config struct {
 	// index results. The builder is kept as a func to avoid a
 	// resultcache→query dependency.
 	Index func(s *core.Structure) (val any, bytes int64)
+	// Aux derives a second read-only value from a cached structure, fully
+	// independent of Index (charmd installs the LOD pyramid builder).
+	// Same lifecycle as Index: built lazily at most once per
+	// memory-resident entry, dropped with it on eviction, bytes reported
+	// in the cache.aux_bytes gauge. nil disables GetAux/LookupAux's aux
+	// results. Kept as a func to avoid a resultcache→lod dependency.
+	Aux func(s *core.Structure) (val any, bytes int64)
 	// PeerFetch asks cluster peers for an already-encoded entry before the
 	// cache falls back to extraction on a full miss (charmd wires the
 	// ring-successor client here). It receives the trace digest (the
@@ -130,6 +137,7 @@ type Cache struct {
 	detachedTimeout time.Duration
 	extract         func(tr *trace.Trace, opt core.Options) (*core.Structure, error)
 	index           func(s *core.Structure) (any, int64)
+	aux             func(s *core.Structure) (any, int64)
 	peerFetch       func(ctx context.Context, traceDigest, key string) (io.ReadCloser, error)
 	maxEntryBytes   int64
 	readFile        func(string) ([]byte, error) // os.ReadFile; swapped by fault-injection tests
@@ -147,12 +155,15 @@ type Cache struct {
 	diskEvictions *telemetry.Counter // entries GCed to honor MaxDiskBytes
 	indexBuilds   *telemetry.Counter // per-entry index constructions
 	indexHits     *telemetry.Counter // indexed requests served by an already-built index
+	auxBuilds     *telemetry.Counter // per-entry aux constructions
+	auxHits       *telemetry.Counter // aux requests served by an already-built value
 	peerHits      *telemetry.Counter // misses filled from a cluster peer (cache.peer_hits)
 	peerMisses    *telemetry.Counter // peer fill attempted, fell back to extraction
 	replicaWrites *telemetry.Counter // entries written through PutEntry (cache.replica_writes)
 	extractMS     *telemetry.Histogram
 	memEntries    *telemetry.Gauge
 	indexBytes    *telemetry.Gauge // estimated bytes held by resident indexes
+	auxBytes      *telemetry.Gauge // estimated bytes held by resident aux values
 	flightsG      *telemetry.Gauge // in-progress extraction flights (cache.flights)
 
 	mu            sync.Mutex
@@ -161,16 +172,18 @@ type Cache struct {
 	lru           *list.List // front = most recently used
 	flights       map[string]*flight
 	idxBytesTotal int64 // sum of accounted entry.idxBytes, mirrored into indexBytes
+	auxBytesTotal int64 // sum of accounted entry.auxBytes, mirrored into auxBytes
 
 	flightWG sync.WaitGroup // outstanding detached flights, for Close
 	gcMu     sync.Mutex     // serializes disk GC sweeps
 }
 
-// entry is one memory-resident result plus its lazily-built index. The
-// index is built at most once per entry (idxOnce), outside the cache
-// lock; idxAccounted records whether its bytes were added to the
-// index_bytes gauge (an entry evicted mid-build never gets accounted, and
-// an accounted entry is subtracted on eviction).
+// entry is one memory-resident result plus its lazily-built derived
+// values (the query index and the aux value, e.g. the LOD pyramid). Each
+// is built at most once per entry (its Once), outside the cache lock;
+// the Accounted flags record whether the bytes were added to the
+// corresponding gauge (an entry evicted mid-build never gets accounted,
+// and an accounted entry is subtracted on eviction).
 type entry struct {
 	id string
 	s  *core.Structure
@@ -179,6 +192,11 @@ type entry struct {
 	idx          any
 	idxBytes     int64
 	idxAccounted bool
+
+	auxOnce      sync.Once
+	aux          any
+	auxBytes     int64
+	auxAccounted bool
 }
 
 // flight is one in-progress extraction other requests can join. The
@@ -245,6 +263,7 @@ func New(cfg Config) (*Cache, error) {
 		detachedTimeout: dt,
 		extract:         ext,
 		index:           cfg.Index,
+		aux:             cfg.Aux,
 		peerFetch:       cfg.PeerFetch,
 		maxEntryBytes:   meb,
 		readFile:        os.ReadFile,
@@ -261,12 +280,15 @@ func New(cfg Config) (*Cache, error) {
 		diskEvictions:   reg.Counter("cache.disk_evictions"),
 		indexBuilds:     reg.Counter("cache.index_builds"),
 		indexHits:       reg.Counter("cache.index_hits"),
+		auxBuilds:       reg.Counter("cache.aux_builds"),
+		auxHits:         reg.Counter("cache.aux_hits"),
 		peerHits:        reg.Counter("cache.peer_hits"),
 		peerMisses:      reg.Counter("cache.peer_misses"),
 		replicaWrites:   reg.Counter("cache.replica_writes"),
 		extractMS:       reg.Histogram("cache.extract_ms"),
 		memEntries:      reg.Gauge("cache.mem_entries"),
 		indexBytes:      reg.Gauge("cache.index_bytes"),
+		auxBytes:        reg.Gauge("cache.aux_bytes"),
 		flightsG:        reg.Gauge("cache.flights"),
 		entries:         make(map[string]*list.Element),
 		lru:             list.New(),
@@ -387,6 +409,77 @@ func (c *Cache) GetIndexed(ctx context.Context, traceDigest string, tr *trace.Tr
 	c.indexBuilds.Add(1)
 	idx, _ := c.index(s)
 	return s, idx, nil
+}
+
+// LookupAux is Lookup plus the entry's derived aux value, building it on
+// first use. The aux result is nil when Config.Aux is unset. Like Lookup
+// it never touches disk or starts a flight.
+func (c *Cache) LookupAux(traceDigest string, opt core.Options) (*core.Structure, any, bool) {
+	id := keyID(traceDigest, opt.Fingerprint())
+	c.mu.Lock()
+	el, ok := c.entries[id]
+	if !ok {
+		c.mu.Unlock()
+		return nil, nil, false
+	}
+	c.lru.MoveToFront(el)
+	e := el.Value.(*entry)
+	c.mu.Unlock()
+	c.hits.Add(1)
+	c.memHits.Add(1)
+	return e.s, c.auxFor(e), true
+}
+
+// GetAux is Get plus the entry's derived aux value. On a full miss the
+// value is built against the freshly-inserted entry; if the entry was
+// already evicted again (tiny MaxMemEntries under load) a transient,
+// unaccounted value is built for this caller alone. The aux result is
+// nil when Config.Aux is unset.
+func (c *Cache) GetAux(ctx context.Context, traceDigest string, tr *trace.Trace, opt core.Options) (*core.Structure, any, error) {
+	s, err := c.Get(ctx, traceDigest, tr, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	if c.aux == nil {
+		return s, nil, nil
+	}
+	id := keyID(traceDigest, opt.Fingerprint())
+	c.mu.Lock()
+	if el, ok := c.entries[id]; ok {
+		e := el.Value.(*entry)
+		c.mu.Unlock()
+		return s, c.auxFor(e), nil
+	}
+	c.mu.Unlock()
+	c.auxBuilds.Add(1)
+	v, _ := c.aux(s)
+	return s, v, nil
+}
+
+// auxFor returns the entry's aux value, building it exactly once — the
+// same discipline as indexFor (build outside c.mu, account only while
+// resident, subtract on eviction).
+func (c *Cache) auxFor(e *entry) any {
+	if c.aux == nil {
+		return nil
+	}
+	built := false
+	e.auxOnce.Do(func() {
+		built = true
+		e.aux, e.auxBytes = c.aux(e.s)
+		c.auxBuilds.Add(1)
+		c.mu.Lock()
+		if el, ok := c.entries[e.id]; ok && el.Value.(*entry) == e {
+			e.auxAccounted = true
+			c.auxBytesTotal += e.auxBytes
+			c.auxBytes.Set(float64(c.auxBytesTotal))
+		}
+		c.mu.Unlock()
+	})
+	if !built {
+		c.auxHits.Add(1)
+	}
+	return e.aux
 }
 
 // indexFor returns the entry's index, building it exactly once. The build
@@ -915,6 +1008,10 @@ func (c *Cache) insertLocked(id string, s *core.Structure) {
 		if e.idxAccounted {
 			c.idxBytesTotal -= e.idxBytes
 			c.indexBytes.Set(float64(c.idxBytesTotal))
+		}
+		if e.auxAccounted {
+			c.auxBytesTotal -= e.auxBytes
+			c.auxBytes.Set(float64(c.auxBytesTotal))
 		}
 		c.evictions.Add(1)
 	}

@@ -107,7 +107,20 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, summarize(digest, sink.n, tr))
 }
 
-// handleList returns every known trace, sorted by digest.
+// listEntry is one GET /v1/traces row. The structure fields are present
+// only when a cached result exists on disk: they come from the O(phases)
+// summary tier (no trace decode, no extraction), so clients can size LOD
+// and query requests without a per-trace probe round-trip.
+type listEntry struct {
+	Digest    string `json:"digest"`
+	Bytes     int64  `json:"bytes"`
+	NumPhases *int   `json:"num_phases,omitempty"`
+	MaxStep   *int32 `json:"max_step,omitempty"`
+	Events    *int   `json:"events,omitempty"`
+}
+
+// handleList returns every known trace, sorted by digest, each enriched
+// from the summary tier when a cached .cstr exists under either preset.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	digests := make([]string, 0, len(s.traces))
@@ -118,15 +131,22 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RUnlock()
 	sort.Strings(digests)
-	type listEntry struct {
-		Digest string `json:"digest"`
-		Bytes  int64  `json:"bytes"`
-	}
+	fps := []string{core.DefaultOptions().Fingerprint(), core.MessagePassingOptions().Fingerprint()}
 	out := struct {
 		Traces []listEntry `json:"traces"`
 	}{Traces: make([]listEntry, 0, len(digests))}
 	for _, d := range digests {
-		out.Traces = append(out.Traces, listEntry{Digest: d, Bytes: sizes[d]})
+		e := listEntry{Digest: d, Bytes: sizes[d]}
+		for _, fp := range fps {
+			sum, err := s.cache.ReadSummary(resultcache.KeyID(d, fp), fp)
+			if err != nil {
+				continue
+			}
+			np, ms, ev := len(sum.Phases), sum.MaxStep, sum.NumEvents
+			e.NumPhases, e.MaxStep, e.Events = &np, &ms, &ev
+			break
+		}
+		out.Traces = append(out.Traces, e)
 	}
 	writeJSON(w, out)
 }

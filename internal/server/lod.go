@@ -1,0 +1,116 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	"charmtrace/internal/core"
+	"charmtrace/internal/lod"
+	"charmtrace/internal/resultcache"
+	"charmtrace/internal/structdiff"
+)
+
+// lodResponse wraps one executed LOD query with the request's content
+// address, mirroring the other analysis responses.
+type lodResponse struct {
+	Digest      string `json:"digest"`
+	Fingerprint string `json:"fingerprint"`
+	*lod.Result
+}
+
+// handleLodGet serves GET /v1/traces/{digest}/lod: the level-of-detail
+// aggregation shaped by URL parameters (resolution, steps, max_rows,
+// max_edges, edges, render, diff). Responses are immutable per (digest,
+// options, parameters), so the standard ETag/304 path applies.
+func (s *Server) handleLodGet(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	opt, err := s.extractOptions(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	sp, err := lod.SpecFromParams(r.URL.Query())
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if s.notModified(w, r, digest, opt.Fingerprint()) {
+		return
+	}
+	s.serveLod(w, r, digest, opt, sp)
+}
+
+// handleLodPost serves POST /v1/traces/{digest}/lod with a JSON spec body —
+// the same response as the GET form with the equivalent parameters (pinned
+// by the serving tests), for clients that outgrow URL length.
+func (s *Server) handleLodPost(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	opt, err := s.extractOptions(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	sp, err := lod.ParseSpec(http.MaxBytesReader(w, r.Body, maxQuerySpecBytes))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	s.serveLod(w, r, digest, opt, sp)
+}
+
+// serveLod is the shared execution tail of both LOD forms: resolve the
+// cached pyramid, resolve the diff digest if the spec asks for the overlay,
+// run the query, render.
+func (s *Server) serveLod(w http.ResponseWriter, r *http.Request, digest string, opt core.Options, sp lod.Spec) {
+	pyr, err := s.pyramidFor(r.Context(), digest, opt)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	var diff *structdiff.Diff
+	if sp.Diff != "" {
+		other, err := s.structureFor(r.Context(), sp.Diff, opt)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		diff, err = structdiff.Compare(pyr.S, other)
+		if err != nil {
+			httpError(w, fmt.Errorf("%w: %s", errBadRequest, err))
+			return
+		}
+	}
+	res, err := pyr.Query(sp, diff)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSONCompact(w, lodResponse{Digest: digest, Fingerprint: opt.Fingerprint(), Result: res})
+}
+
+// pyramidFor resolves (digest, options) to the cached LOD pyramid through
+// the cache's aux slot — the same admission discipline as
+// indexedStructureFor: a memory hit (pyramid resident or built in place)
+// bypasses the extraction semaphore, everything else holds a slot.
+func (s *Server) pyramidFor(ctx context.Context, digest string, opt core.Options) (*lod.Pyramid, error) {
+	tr, err := s.lookupTrace(ctx, digest)
+	if err != nil {
+		return nil, err
+	}
+	resultcache.RecordKey(ctx, resultcache.KeyID(digest, opt.Fingerprint()))
+	if _, p, ok := s.cache.LookupAux(digest, opt); ok {
+		resultcache.RecordOutcome(ctx, resultcache.OutcomeMem)
+		return p.(*lod.Pyramid), nil
+	}
+	release, err := s.acquireSlot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	_, p, err := s.cache.GetAux(ctx, digest, tr, opt)
+	if err != nil {
+		return nil, err
+	}
+	return p.(*lod.Pyramid), nil
+}

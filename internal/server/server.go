@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"charmtrace/internal/core"
+	"charmtrace/internal/lod"
 	"charmtrace/internal/query"
 	"charmtrace/internal/resultcache"
 	"charmtrace/internal/telemetry"
@@ -196,6 +197,10 @@ func New(cfg Config) (*Server, error) {
 		Index: func(st *core.Structure) (any, int64) {
 			idx := engine.Index(st)
 			return idx, idx.Bytes()
+		},
+		Aux: func(st *core.Structure) (any, int64) {
+			p := lod.Build(st, nil)
+			return p, p.Bytes()
 		},
 	})
 	if err != nil {
@@ -360,6 +365,8 @@ func (s *Server) routes() {
 	handle("GET /v1/traces/{digest}/steps", "steps", s.handleSteps)
 	handle("GET /v1/traces/{digest}/metrics", "metrics", s.handleMetrics)
 	handle("POST /v1/traces/{digest}/query", "query", s.handleQuery)
+	handle("GET /v1/traces/{digest}/lod", "lod", s.handleLodGet)
+	handle("POST /v1/traces/{digest}/lod", "lod_post", s.handleLodPost)
 	handle("GET /v1/structdiff", "structdiff", s.handleStructDiff)
 	handle("GET /metrics", "prom", s.handleProm)
 	handle("GET /debug/stats", "stats", s.handleStats)
@@ -500,6 +507,7 @@ func httpError(w http.ResponseWriter, err error) {
 	var maxBytes *http.MaxBytesError
 	var overload *overloadError
 	var specErr *query.Error
+	var lodErr *lod.Error
 	switch {
 	case errors.As(err, &maxBytes):
 		code = http.StatusRequestEntityTooLarge
@@ -513,6 +521,9 @@ func httpError(w http.ResponseWriter, err error) {
 	case errors.As(err, &specErr):
 		code = http.StatusBadRequest
 		body["field"] = specErr.Field
+	case errors.As(err, &lodErr):
+		code = http.StatusBadRequest
+		body["field"] = lodErr.Field
 	case errors.Is(err, errUnknownTrace):
 		code = http.StatusNotFound
 	case errors.Is(err, tracefile.ErrMalformed), errors.Is(err, errBadRequest):
@@ -538,6 +549,13 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v)
+}
+
+// writeJSONCompact is writeJSON without indentation — for the LOD
+// responses, whose whole point is minimal bytes on the wire.
+func writeJSONCompact(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
 }
 
 // extractOptions resolves the analysis options for a request: a preset
